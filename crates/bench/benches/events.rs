@@ -1,0 +1,107 @@
+//! Criterion micro-benchmarks of the DepFast event machinery: the costs a
+//! system pays per waiting point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use depfast::event::{Notify, QuorumEvent, Signal, Watchable};
+use depfast::runtime::{Coroutine, Runtime};
+use simkit::{NodeId, Sim};
+use std::time::Duration;
+
+fn bench_event_create_fire(c: &mut Criterion) {
+    c.bench_function("notify_create_and_fire", |b| {
+        let sim = Sim::new(1);
+        let rt = Runtime::new_sim(sim, NodeId(0));
+        b.iter(|| {
+            let n = Notify::new(&rt);
+            n.set(Signal::Ok);
+            std::hint::black_box(n.handle().ready())
+        });
+    });
+}
+
+fn bench_quorum_resolution(c: &mut Criterion) {
+    for n in [3usize, 5, 9] {
+        c.bench_function(&format!("quorum_majority_of_{n}"), |b| {
+            let sim = Sim::new(1);
+            let rt = Runtime::new_sim(sim, NodeId(0));
+            b.iter(|| {
+                let q = QuorumEvent::majority(&rt);
+                let children: Vec<Notify> = (0..n).map(|_| Notify::new(&rt)).collect();
+                for ch in &children {
+                    q.add(ch);
+                }
+                for ch in children.iter().take(n / 2 + 1) {
+                    ch.set(Signal::Ok);
+                }
+                std::hint::black_box(q.ready())
+            });
+        });
+    }
+}
+
+fn bench_nested_compound(c: &mut Criterion) {
+    c.bench_function("and_of_3_majority_quorums", |b| {
+        let sim = Sim::new(1);
+        let rt = Runtime::new_sim(sim, NodeId(0));
+        b.iter(|| {
+            let and = depfast::AndEvent::new(&rt);
+            for _ in 0..3 {
+                let q = QuorumEvent::majority(&rt);
+                let children: Vec<Notify> = (0..3).map(|_| Notify::new(&rt)).collect();
+                for ch in &children {
+                    q.add(ch);
+                }
+                and.add(&q);
+                children[0].set(Signal::Ok);
+                children[1].set(Signal::Ok);
+            }
+            std::hint::black_box(and.ready())
+        });
+    });
+}
+
+fn bench_coroutine_spawn_switch(c: &mut Criterion) {
+    c.bench_function("coroutine_spawn_wait_fire", |b| {
+        b.iter(|| {
+            let sim = Sim::new(1);
+            let rt = Runtime::new_sim(sim.clone(), NodeId(0));
+            let n = Notify::new(&rt);
+            let n2 = n.clone();
+            Coroutine::create(&rt, "bench", async move {
+                n2.handle().wait().await;
+            });
+            let rt2 = rt.clone();
+            let n3 = n.clone();
+            Coroutine::create(&rt, "firer", async move {
+                rt2.sleep(Duration::from_micros(1)).await;
+                n3.set(Signal::Ok);
+            });
+            sim.run();
+        });
+    });
+}
+
+fn bench_scheduler_throughput(c: &mut Criterion) {
+    c.bench_function("scheduler_1000_sleeping_tasks", |b| {
+        b.iter(|| {
+            let sim = Sim::new(1);
+            for i in 0..1000u64 {
+                let s = sim.clone();
+                sim.spawn(async move {
+                    s.sleep(Duration::from_micros(i)).await;
+                });
+            }
+            sim.run();
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_create_fire,
+    bench_quorum_resolution,
+    bench_nested_compound,
+    bench_coroutine_spawn_switch,
+    bench_scheduler_throughput
+);
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! **Figure 1** — performance of three legacy-style RSM implementations
+//! with one fail-slow follower, 3-node deployments.
+//!
+//! Paper methodology (§2.1–2.2): YCSB update workload over 500 K records,
+//! high client concurrency, one follower afflicted with each of Table 1's
+//! six faults; report throughput, average latency and P99 *normalized to
+//! each system's own no-fault baseline*.
+//!
+//! Expected shape (paper §2.2): up to 17–41% throughput loss, 21–50%
+//! average-latency inflation, 1.6–3.46× P99 inflation across the three
+//! systems — and the RethinkDB-style system's leader *crashes* under CPU
+//! faults (reported as CRASH below).
+//!
+//! Environment knobs: `FIG1_MEASURE_SECS` (default 10),
+//! `FIG1_CLIENTS` (default 256).
+
+use std::time::Duration;
+
+use depfast_bench::{format_ms, run_experiment, ExperimentCfg, Table};
+use depfast_fault::FaultKind;
+use depfast_raft::cluster::RaftKind;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let measure = Duration::from_secs(env_u64("FIG1_MEASURE_SECS", 10));
+    let clients = env_u64("FIG1_CLIENTS", 256) as usize;
+    let systems = [RaftKind::Sync, RaftKind::Backlog, RaftKind::Callback];
+    let mem_limit = depfast_bench::experiment::mem_contention_limit();
+    let faults = FaultKind::table1(mem_limit);
+
+    let mut tput = Table::new(
+        "Figure 1a: normalized throughput (legacy RSMs, one fail-slow follower)",
+        &["System", "Condition", "Tput (req/s)", "Normalized"],
+    );
+    let mut avg = Table::new(
+        "Figure 1b: normalized average latency",
+        &["System", "Condition", "Avg (ms)", "Normalized"],
+    );
+    let mut p99 = Table::new(
+        "Figure 1c: normalized P99 latency",
+        &["System", "Condition", "P99 (ms)", "Normalized"],
+    );
+
+    for kind in systems {
+        let base_cfg = ExperimentCfg {
+            kind,
+            n_clients: clients,
+            measure,
+            ..ExperimentCfg::default()
+        };
+        eprintln!("[fig1] {} baseline...", kind.name());
+        let base = run_experiment(&base_cfg);
+        let rows = |t: &mut Table, cond: &str, value: String, norm: String| {
+            t.row(vec![kind.name().to_string(), cond.to_string(), value, norm]);
+        };
+        rows(
+            &mut tput,
+            "No Slowness",
+            format!("{:.0}", base.throughput),
+            "1.00".into(),
+        );
+        rows(
+            &mut avg,
+            "No Slowness",
+            format_ms(base.latency.mean),
+            "1.00".into(),
+        );
+        rows(
+            &mut p99,
+            "No Slowness",
+            format_ms(base.latency.p99),
+            "1.00".into(),
+        );
+        for fault in faults {
+            eprintln!("[fig1] {} + {}...", kind.name(), fault.name());
+            let stats = run_experiment(&ExperimentCfg {
+                fault: Some((ExperimentCfg::followers(1), fault)),
+                ..base_cfg.clone()
+            });
+            if stats.server_crashed {
+                for t in [&mut tput, &mut avg, &mut p99] {
+                    t.row(vec![
+                        kind.name().to_string(),
+                        fault.name().to_string(),
+                        "CRASH".into(),
+                        "CRASH".into(),
+                    ]);
+                }
+                continue;
+            }
+            rows(
+                &mut tput,
+                fault.name(),
+                format!("{:.0}", stats.throughput),
+                format!("{:.2}", stats.throughput / base.throughput),
+            );
+            rows(
+                &mut avg,
+                fault.name(),
+                format_ms(stats.latency.mean),
+                format!(
+                    "{:.2}",
+                    stats.latency.mean.as_secs_f64() / base.latency.mean.as_secs_f64()
+                ),
+            );
+            rows(
+                &mut p99,
+                fault.name(),
+                format_ms(stats.latency.p99),
+                format!(
+                    "{:.2}",
+                    stats.latency.p99.as_secs_f64() / base.latency.p99.as_secs_f64()
+                ),
+            );
+        }
+    }
+    tput.print();
+    avg.print();
+    p99.print();
+    for (t, name) in [
+        (&tput, "fig1a_throughput"),
+        (&avg, "fig1b_avg_latency"),
+        (&p99, "fig1c_p99_latency"),
+    ] {
+        if let Ok(p) = t.write_csv(name) {
+            println!("[csv] {}", p.display());
+        }
+    }
+    println!(
+        "\nPaper reference (Fig 1 / §2.2): throughput drops up to 17-41%, avg latency +21-50%, \
+         P99 x1.6-3.46; RethinkDB's leader crashed under CPU faults."
+    );
+}

@@ -1,0 +1,222 @@
+//! One fault-injection experiment, following the paper's methodology
+//! (§2.1): build a cluster, drive a YCSB update workload with enough
+//! concurrent clients to load the leader to ~75% CPU, inject one fault
+//! before the measurement window, report throughput / mean / P99.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use depfast_fault::FaultKind;
+use depfast_kv::KvCluster;
+use depfast_raft::cluster::RaftKind;
+use depfast_raft::core::RaftCfg;
+use depfast_storage::{LogStoreCfg, WalCfg};
+use depfast_ycsb::driver::{run_workload, DriverCfg, RunStats};
+use depfast_ycsb::workload::WorkloadSpec;
+use simkit::{MemCfg, NodeId, Sim, World, WorldCfg};
+
+/// Which node(s) receive the fault.
+#[derive(Debug, Clone)]
+pub enum FaultTarget {
+    /// No fault (baseline).
+    None,
+    /// Specific follower nodes (the leader is always node 0 here).
+    Followers(Vec<u32>),
+}
+
+/// Full experiment configuration.
+#[derive(Debug, Clone)]
+pub struct ExperimentCfg {
+    /// Raft driver under test.
+    pub kind: RaftKind,
+    /// Cluster size.
+    pub n_servers: usize,
+    /// Concurrent closed-loop clients.
+    pub n_clients: usize,
+    /// Determinism seed.
+    pub seed: u64,
+    /// Warm-up excluded from stats (fault injects at its midpoint).
+    pub warmup: Duration,
+    /// Measurement window.
+    pub measure: Duration,
+    /// YCSB keyspace size.
+    pub records: u64,
+    /// YCSB value bytes.
+    pub value_size: usize,
+    /// Fault to inject, if any.
+    pub fault: Option<(FaultTarget, FaultKind)>,
+}
+
+impl Default for ExperimentCfg {
+    fn default() -> Self {
+        ExperimentCfg {
+            kind: RaftKind::DepFast,
+            n_servers: 3,
+            n_clients: 256,
+            seed: 20210531, // HotOS '21 opening day.
+            warmup: Duration::from_secs(2),
+            measure: Duration::from_secs(10),
+            records: 500_000,
+            value_size: 1000,
+            fault: None,
+        }
+    }
+}
+
+impl ExperimentCfg {
+    /// The first `k` followers of a 0-led cluster.
+    pub fn followers(k: usize) -> FaultTarget {
+        FaultTarget::Followers((1..=k as u32).collect())
+    }
+}
+
+/// Raft tuning used by every experiment: calibrated so a healthy 3-node
+/// DepFastRaft cluster lands near the paper's ~5 K req/s base performance
+/// with the leader around 75% CPU.
+pub fn bench_raft_cfg() -> RaftCfg {
+    RaftCfg {
+        bootstrap_leader: Some(0),
+        batch_max: 64,
+        max_entries_per_append: 512,
+        propose_cpu: Duration::from_micros(30),
+        apply_cpu: Duration::from_micros(190),
+        append_cpu_base: Duration::from_micros(30),
+        append_cpu_per_entry: Duration::from_micros(120),
+        log: LogStoreCfg {
+            cache_bytes: 1024 * 1024,
+            wal: WalCfg::default(),
+        },
+        ..RaftCfg::default()
+    }
+}
+
+/// Per-request processing cost on the serving node (runs across cores);
+/// together with [`bench_raft_cfg`] it puts the leader near 75% CPU at the
+/// ~5 K req/s operating point.
+pub fn bench_serve_cpu() -> Duration {
+    Duration::from_micros(250)
+}
+
+/// World tuning shared by the experiments (Standard_D4s_v3-like nodes).
+pub fn bench_world_cfg(nodes: usize) -> WorldCfg {
+    WorldCfg {
+        nodes,
+        mem: MemCfg {
+            limit: 16 * 1024 * 1024 * 1024,
+            baseline: 2 * 1024 * 1024 * 1024,
+            swap_threshold: 0.80,
+            swap_max_slowdown: 10.0,
+        },
+        ..WorldCfg::default()
+    }
+}
+
+/// The Table 1 memory-contention limit used in experiments: squeezes the
+/// process to just above its baseline so paging pressure is real.
+pub fn mem_contention_limit() -> u64 {
+    2 * 1024 * 1024 * 1024 + 200 * 1024 * 1024
+}
+
+/// Runs one experiment end to end and returns its statistics.
+pub fn run_experiment(cfg: &ExperimentCfg) -> RunStats {
+    let sim = Sim::new(cfg.seed);
+    let world = World::new(sim.clone(), bench_world_cfg(cfg.n_servers + cfg.n_clients));
+    let cluster = Rc::new(KvCluster::build_tuned(
+        &sim,
+        &world,
+        cfg.kind,
+        cfg.n_servers,
+        cfg.n_clients,
+        bench_raft_cfg(),
+        bench_serve_cpu(),
+    ));
+    if let Some((target, kind)) = &cfg.fault {
+        let nodes: Vec<NodeId> = match target {
+            FaultTarget::None => vec![],
+            FaultTarget::Followers(ids) => ids.iter().copied().map(NodeId).collect(),
+        };
+        for node in nodes {
+            depfast_fault::inject_at(&sim, &world, node, *kind, cfg.warmup / 2, None);
+        }
+    }
+    let spec = WorkloadSpec::update_heavy()
+        .with_records(cfg.records)
+        .with_value_size(cfg.value_size);
+    run_workload(
+        &sim,
+        &world,
+        &cluster,
+        spec,
+        DriverCfg {
+            warmup: cfg.warmup,
+            measure: cfg.measure,
+            seed: cfg.seed ^ 0x5eed,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(kind: RaftKind, fault: Option<(FaultTarget, FaultKind)>) -> RunStats {
+        run_experiment(&ExperimentCfg {
+            kind,
+            n_clients: 64,
+            warmup: Duration::from_millis(600),
+            measure: Duration::from_secs(2),
+            records: 10_000,
+            fault,
+            ..ExperimentCfg::default()
+        })
+    }
+
+    #[test]
+    fn baseline_depfast_hits_healthy_throughput() {
+        let s = quick(RaftKind::DepFast, None);
+        assert!(s.throughput > 1000.0, "got {:.0}/s", s.throughput);
+        assert!(!s.server_crashed);
+    }
+
+    #[test]
+    fn depfast_tolerates_slow_follower() {
+        let base = quick(RaftKind::DepFast, None);
+        let slow = quick(
+            RaftKind::DepFast,
+            Some((
+                ExperimentCfg::followers(1),
+                FaultKind::CpuSlow { quota: 0.05 },
+            )),
+        );
+        let ratio = slow.throughput / base.throughput;
+        assert!(
+            ratio > 0.90,
+            "DepFastRaft throughput should hold: {:.2} ({:.0} vs {:.0})",
+            ratio,
+            slow.throughput,
+            base.throughput
+        );
+    }
+
+    #[test]
+    fn sync_raft_degrades_under_slow_follower() {
+        let base = quick(RaftKind::Sync, None);
+        let slow = quick(
+            RaftKind::Sync,
+            Some((
+                ExperimentCfg::followers(1),
+                FaultKind::NetSlow {
+                    delay: Duration::from_millis(400),
+                },
+            )),
+        );
+        let ratio = slow.throughput / base.throughput;
+        assert!(
+            ratio < 0.95,
+            "SyncRaft should lose throughput: {:.2} ({:.0} vs {:.0})",
+            ratio,
+            slow.throughput,
+            base.throughput
+        );
+    }
+}

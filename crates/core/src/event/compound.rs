@@ -1,0 +1,300 @@
+//! `AndEvent` and `OrEvent`: the remaining compound combinators.
+//!
+//! §3.2: *"An AndEvent is triggered when all its subevents are triggered;
+//! an OrEvent is triggered when one of its subevents is triggered. Note
+//! that Events can be nested, e.g., an AndEvent can contain many
+//! QuorumEvents as its subevents."*
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use super::core::{EventHandle, EventKind, Signal, Watchable};
+use crate::runtime::Runtime;
+use crate::trace::TraceRecord;
+
+struct CState {
+    n: usize,
+    ok: usize,
+    err: usize,
+}
+
+fn add_child(
+    handle: &EventHandle,
+    state: &Rc<RefCell<CState>>,
+    child: &impl Watchable,
+    on_child: impl Fn(Signal) + 'static,
+) {
+    state.borrow_mut().n += 1;
+    let rt = handle.runtime();
+    let t = rt.now();
+    rt.tracer().record(|| TraceRecord::ChildAdded {
+        t,
+        parent: handle.id(),
+        child: child.handle().id(),
+        parent_meta: None,
+    });
+    child.handle().on_fire(move |s| on_child(s));
+}
+
+/// Fires `Ok` when **all** children have fired `Ok`; fires `Err` as soon
+/// as any child fires `Err` (the conjunction can no longer hold).
+///
+/// The sharded-transaction layer nests one [`QuorumEvent`](super::QuorumEvent)
+/// per participant shard under a single `AndEvent`: "every shard's quorum
+/// prepared".
+#[derive(Clone)]
+pub struct AndEvent {
+    handle: EventHandle,
+    state: Rc<RefCell<CState>>,
+}
+
+impl AndEvent {
+    /// Creates an empty conjunction.
+    pub fn new(rt: &Runtime) -> Self {
+        Self::labeled(rt, "and")
+    }
+
+    /// Creates an empty conjunction with a report label.
+    pub fn labeled(rt: &Runtime, label: &'static str) -> Self {
+        AndEvent {
+            handle: EventHandle::new(rt, EventKind::And, label),
+            state: Rc::new(RefCell::new(CState { n: 0, ok: 0, err: 0 })),
+        }
+    }
+
+    /// Adds a child; all children must fire `Ok` for the `AndEvent` to.
+    pub fn add(&self, child: &impl Watchable) {
+        let me = self.clone();
+        add_child(&self.handle, &self.state, child, move |s| me.on_child(s));
+    }
+
+    fn on_child(&self, signal: Signal) {
+        let outcome = {
+            let mut st = self.state.borrow_mut();
+            match signal {
+                Signal::Ok => st.ok += 1,
+                Signal::Err => st.err += 1,
+            }
+            if st.err > 0 {
+                Some(Signal::Err)
+            } else if st.ok == st.n {
+                Some(Signal::Ok)
+            } else {
+                None
+            }
+        };
+        if let Some(s) = outcome {
+            self.handle.fire(s);
+        }
+    }
+
+    /// `true` once all children fired `Ok`.
+    pub fn ready(&self) -> bool {
+        self.handle.ready()
+    }
+}
+
+impl Watchable for AndEvent {
+    fn handle(&self) -> &EventHandle {
+        &self.handle
+    }
+}
+
+/// Fires `Ok` when **any** child fires `Ok`; fires `Err` only when every
+/// child has fired `Err`.
+///
+/// The paper's fast-path/slow-path example waits on
+/// `OrEvent(fast_ok, fast_reject)` and then inspects which branch fired.
+#[derive(Clone)]
+pub struct OrEvent {
+    handle: EventHandle,
+    state: Rc<RefCell<CState>>,
+}
+
+impl OrEvent {
+    /// Creates an empty disjunction.
+    pub fn new(rt: &Runtime) -> Self {
+        Self::labeled(rt, "or")
+    }
+
+    /// Creates an empty disjunction with a report label.
+    pub fn labeled(rt: &Runtime, label: &'static str) -> Self {
+        OrEvent {
+            handle: EventHandle::new(rt, EventKind::Or, label),
+            state: Rc::new(RefCell::new(CState { n: 0, ok: 0, err: 0 })),
+        }
+    }
+
+    /// Creates a disjunction of two events (the common binary case).
+    pub fn of2(rt: &Runtime, a: &impl Watchable, b: &impl Watchable) -> Self {
+        let e = Self::new(rt);
+        e.add(a);
+        e.add(b);
+        e
+    }
+
+    /// Adds a child; any child firing `Ok` fires the `OrEvent`.
+    pub fn add(&self, child: &impl Watchable) {
+        let me = self.clone();
+        add_child(&self.handle, &self.state, child, move |s| me.on_child(s));
+    }
+
+    fn on_child(&self, signal: Signal) {
+        let outcome = {
+            let mut st = self.state.borrow_mut();
+            match signal {
+                Signal::Ok => st.ok += 1,
+                Signal::Err => st.err += 1,
+            }
+            if st.ok > 0 {
+                Some(Signal::Ok)
+            } else if st.err == st.n {
+                Some(Signal::Err)
+            } else {
+                None
+            }
+        };
+        if let Some(s) = outcome {
+            self.handle.fire(s);
+        }
+    }
+
+    /// `true` once any child fired `Ok`.
+    pub fn ready(&self) -> bool {
+        self.handle.ready()
+    }
+}
+
+impl Watchable for OrEvent {
+    fn handle(&self) -> &EventHandle {
+        &self.handle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Notify, QuorumEvent, WaitResult};
+    use simkit::{NodeId, Sim};
+    use std::time::Duration;
+
+    fn rt() -> (Sim, Runtime) {
+        let sim = Sim::new(1);
+        let rt = Runtime::new_sim(sim.clone(), NodeId(0));
+        (sim, rt)
+    }
+
+    #[test]
+    fn and_requires_all_children() {
+        let (_s, rt) = rt();
+        let and = AndEvent::new(&rt);
+        let a = Notify::new(&rt);
+        let b = Notify::new(&rt);
+        and.add(&a);
+        and.add(&b);
+        a.set(Signal::Ok);
+        assert!(!and.ready());
+        b.set(Signal::Ok);
+        assert!(and.ready());
+    }
+
+    #[test]
+    fn and_fails_on_first_err() {
+        let (_s, rt) = rt();
+        let and = AndEvent::new(&rt);
+        let a = Notify::new(&rt);
+        let b = Notify::new(&rt);
+        and.add(&a);
+        and.add(&b);
+        a.set(Signal::Err);
+        assert_eq!(and.handle().fired(), Some(Signal::Err));
+    }
+
+    #[test]
+    fn or_fires_on_first_ok() {
+        let (_s, rt) = rt();
+        let or = OrEvent::new(&rt);
+        let a = Notify::new(&rt);
+        let b = Notify::new(&rt);
+        or.add(&a);
+        or.add(&b);
+        b.set(Signal::Ok);
+        assert!(or.ready());
+    }
+
+    #[test]
+    fn or_fails_only_when_all_fail() {
+        let (_s, rt) = rt();
+        let or = OrEvent::new(&rt);
+        let a = Notify::new(&rt);
+        let b = Notify::new(&rt);
+        or.add(&a);
+        or.add(&b);
+        a.set(Signal::Err);
+        assert!(or.handle().fired().is_none());
+        b.set(Signal::Err);
+        assert_eq!(or.handle().fired(), Some(Signal::Err));
+    }
+
+    #[test]
+    fn fast_path_slow_path_pattern() {
+        // The §3.2 example: OrEvent(fast_ok, fast_reject) with a timeout,
+        // then branch on which sub-event is ready.
+        let (sim, rt) = rt();
+        let fast_ok = QuorumEvent::count(&rt, 3);
+        let fast_reject = QuorumEvent::count(&rt, 2);
+        let replies: Vec<Notify> = (0..4).map(|_| Notify::new(&rt)).collect();
+        for r in &replies {
+            fast_ok.add(r);
+        }
+        let rejects: Vec<Notify> = (0..4).map(|_| Notify::new(&rt)).collect();
+        for r in &rejects {
+            fast_reject.add(r);
+        }
+        let fastpath = OrEvent::of2(&rt, &fast_ok, &fast_reject);
+        // Two rejects arrive: the fast path is rejected.
+        rejects[0].set(Signal::Ok);
+        rejects[1].set(Signal::Ok);
+        let fp = fastpath.clone();
+        let out = sim
+            .block_on(async move { fp.handle().wait_timeout(Duration::from_millis(1000)).await });
+        assert_eq!(out, WaitResult::Ready);
+        assert!(!fast_ok.ready());
+        assert!(fast_reject.ready());
+    }
+
+    #[test]
+    fn and_of_quorums_nests() {
+        let (_s, rt) = rt();
+        let and = AndEvent::new(&rt);
+        let q1 = QuorumEvent::majority(&rt);
+        let q2 = QuorumEvent::majority(&rt);
+        let g1: Vec<Notify> = (0..3).map(|_| Notify::new(&rt)).collect();
+        let g2: Vec<Notify> = (0..3).map(|_| Notify::new(&rt)).collect();
+        for c in &g1 {
+            q1.add(c);
+        }
+        for c in &g2 {
+            q2.add(c);
+        }
+        and.add(&q1);
+        and.add(&q2);
+        g1[0].set(Signal::Ok);
+        g1[1].set(Signal::Ok);
+        g2[0].set(Signal::Ok);
+        assert!(!and.ready());
+        g2[2].set(Signal::Ok);
+        assert!(and.ready());
+    }
+
+    #[test]
+    fn empty_and_never_fires_until_first_child() {
+        let (_s, rt) = rt();
+        let and = AndEvent::new(&rt);
+        assert!(and.handle().fired().is_none());
+        let a = Notify::new(&rt);
+        and.add(&a);
+        a.set(Signal::Ok);
+        assert!(and.ready());
+    }
+}

@@ -1,0 +1,457 @@
+//! The shared state every event is built from.
+
+use std::cell::RefCell;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+use std::time::Duration;
+
+use simkit::{NodeId, SimTime};
+
+use crate::runtime::{current_coro, current_coro_label, Runtime};
+use crate::trace::TraceRecord;
+
+/// Identifier of an event, unique within one [`Tracer`](crate::Tracer)
+/// (i.e. cluster-wide when runtimes share a tracer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub u64);
+
+/// Terminal outcome an event fires with.
+///
+/// Compound events count both: a [`QuorumEvent`](super::QuorumEvent)
+/// becomes ready on enough `Ok` children and *unreachable* once too many
+/// children signal `Err` — the "minority-plus-one-reject" conditions of
+/// §3.2 fall out of this distinction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Signal {
+    /// The awaited thing happened (reply arrived, write durable, ...).
+    Ok,
+    /// The awaited thing definitively failed (RPC error, vote rejected).
+    Err,
+}
+
+/// What a wait observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitResult {
+    /// The event fired with [`Signal::Ok`].
+    Ready,
+    /// The event fired with [`Signal::Err`].
+    Failed,
+    /// The wait's deadline passed before the event fired.
+    Timeout,
+}
+
+impl WaitResult {
+    /// `true` for [`WaitResult::Ready`].
+    pub fn is_ready(self) -> bool {
+        matches!(self, WaitResult::Ready)
+    }
+
+    /// `true` for [`WaitResult::Timeout`].
+    pub fn is_timeout(self) -> bool {
+        matches!(self, WaitResult::Timeout)
+    }
+}
+
+/// The structural kind of an event, used by tracing and SPG construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Manually-triggered condition.
+    Notify,
+    /// Watched variable threshold.
+    Value,
+    /// Virtual-time timer.
+    Timer,
+    /// Local disk I/O completion.
+    Io,
+    /// Remote procedure call completion; `target` is the callee node.
+    Rpc {
+        /// Node the call was sent to (where the slowness would come from).
+        target: NodeId,
+    },
+    /// k-of-n compound event.
+    Quorum,
+    /// All-of compound event.
+    And,
+    /// Any-of compound event.
+    Or,
+}
+
+impl EventKind {
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Notify => "notify",
+            EventKind::Value => "value",
+            EventKind::Timer => "timer",
+            EventKind::Io => "io",
+            EventKind::Rpc { .. } => "rpc",
+            EventKind::Quorum => "quorum",
+            EventKind::And => "and",
+            EventKind::Or => "or",
+        }
+    }
+}
+
+type Hook = Box<dyn FnOnce(Signal)>;
+
+struct Inner {
+    id: EventId,
+    label: &'static str,
+    kind: EventKind,
+    node: NodeId,
+    created_at: SimTime,
+    fired: Option<Signal>,
+    sample: bool,
+    wakers: Vec<Waker>,
+    hooks: Vec<Hook>,
+    /// `(k, n)` for quorum-like events, maintained by the owner.
+    quorum_meta: Option<(usize, usize)>,
+}
+
+/// The reference-counted core shared by all event types.
+///
+/// `EventHandle` provides firing, hook subscription (how compound events
+/// watch their children) and the [`Wait`] future. Concrete event types wrap
+/// a handle and add their own semantics.
+#[derive(Clone)]
+pub struct EventHandle {
+    rt: Runtime,
+    inner: Rc<RefCell<Inner>>,
+}
+
+/// Anything that exposes an [`EventHandle`] and can therefore be awaited or
+/// added to a compound event.
+pub trait Watchable {
+    /// The underlying event core.
+    fn handle(&self) -> &EventHandle;
+}
+
+impl Watchable for EventHandle {
+    fn handle(&self) -> &EventHandle {
+        self
+    }
+}
+
+impl EventHandle {
+    /// Creates a fresh, unfired event owned by `rt`'s node.
+    pub fn new(rt: &Runtime, kind: EventKind, label: &'static str) -> Self {
+        Self::with_sampling(rt, kind, label, true)
+    }
+
+    /// Like [`EventHandle::new`], but lets derived events (e.g. a
+    /// classified view over an RPC reply) opt out of RPC latency sampling
+    /// so the underlying completion is not double-counted.
+    pub fn with_sampling(rt: &Runtime, kind: EventKind, label: &'static str, sample: bool) -> Self {
+        let id = rt.tracer().next_event_id();
+        let node = rt.node();
+        let created_at = rt.now();
+        rt.tracer().record(|| TraceRecord::EventCreated {
+            t: created_at,
+            node,
+            coro: current_coro().map(|(_, c)| c),
+            event: id,
+            kind,
+            label,
+        });
+        EventHandle {
+            rt: rt.clone(),
+            inner: Rc::new(RefCell::new(Inner {
+                id,
+                label,
+                kind,
+                node,
+                created_at,
+                fired: None,
+                sample,
+                wakers: Vec::new(),
+                hooks: Vec::new(),
+                quorum_meta: None,
+            })),
+        }
+    }
+
+    /// This event's id.
+    pub fn id(&self) -> EventId {
+        self.inner.borrow().id
+    }
+
+    /// The label given at creation (names the waiting point in reports).
+    pub fn label(&self) -> &'static str {
+        self.inner.borrow().label
+    }
+
+    /// The structural kind.
+    pub fn kind(&self) -> EventKind {
+        self.inner.borrow().kind
+    }
+
+    /// Node that created the event.
+    pub fn node(&self) -> NodeId {
+        self.inner.borrow().node
+    }
+
+    /// The runtime this event belongs to.
+    pub fn runtime(&self) -> &Runtime {
+        &self.rt
+    }
+
+    /// `true` once the event has fired with [`Signal::Ok`].
+    pub fn ready(&self) -> bool {
+        self.inner.borrow().fired == Some(Signal::Ok)
+    }
+
+    /// The signal the event fired with, if any.
+    pub fn fired(&self) -> Option<Signal> {
+        self.inner.borrow().fired
+    }
+
+    /// Sets the `(k, n)` metadata traced for quorum-like events.
+    pub(crate) fn set_quorum_meta(&self, k: usize, n: usize) {
+        self.inner.borrow_mut().quorum_meta = Some((k, n));
+    }
+
+    /// Current `(k, n)` metadata, if this is a quorum-like event.
+    pub fn quorum_meta(&self) -> Option<(usize, usize)> {
+        self.inner.borrow().quorum_meta
+    }
+
+    /// Fires the event. Idempotent: only the first signal takes effect.
+    ///
+    /// Waiters are woken and subscribed hooks run immediately (still on the
+    /// scheduler thread), so compound parents observe the child in the same
+    /// instant.
+    pub fn fire(&self, signal: Signal) {
+        let (wakers, hooks, latency, kind, sample) = {
+            let mut inner = self.inner.borrow_mut();
+            if inner.fired.is_some() {
+                return;
+            }
+            inner.fired = Some(signal);
+            (
+                std::mem::take(&mut inner.wakers),
+                std::mem::take(&mut inner.hooks),
+                self.rt.now() - inner.created_at,
+                inner.kind,
+                inner.sample,
+            )
+        };
+        let t = self.rt.now();
+        self.rt.tracer().record(|| TraceRecord::EventFired {
+            t,
+            event: self.id(),
+            signal,
+        });
+        // RPC completion latency feeds the fail-slow detector's per-peer
+        // statistics.
+        if sample {
+            if let EventKind::Rpc { target } = kind {
+                self.rt
+                    .tracer()
+                    .sample_rpc(self.node(), target, self.label(), latency, signal);
+            }
+        }
+        for w in wakers {
+            w.wake();
+        }
+        for h in hooks {
+            h(signal);
+        }
+    }
+
+    /// Subscribes `hook` to run when the event fires (immediately if it
+    /// already has). Used by compound events to watch children.
+    pub fn on_fire(&self, hook: impl FnOnce(Signal) + 'static) {
+        let fired = self.inner.borrow().fired;
+        match fired {
+            Some(s) => hook(s),
+            None => self.inner.borrow_mut().hooks.push(Box::new(hook)),
+        }
+    }
+
+    /// Returns a future that resolves when the event fires.
+    pub fn wait(&self) -> Wait {
+        Wait {
+            handle: self.clone(),
+            deadline: None,
+            begun_at: None,
+            timer_armed: false,
+        }
+    }
+
+    /// Returns a future that resolves when the event fires or after `d`.
+    pub fn wait_timeout(&self, d: Duration) -> Wait {
+        Wait {
+            handle: self.clone(),
+            deadline: Some(self.rt.now() + d),
+            begun_at: None,
+            timer_armed: false,
+        }
+    }
+
+    fn register_waker(&self, waker: Waker) {
+        let mut inner = self.inner.borrow_mut();
+        // Deduplicate: a task re-polled by a spurious wake must not add a
+        // second registration (quadratic wake storms otherwise).
+        if !inner.wakers.iter().any(|w| w.will_wake(&waker)) {
+            inner.wakers.push(waker);
+        }
+    }
+}
+
+/// Future returned by [`EventHandle::wait`] / [`EventHandle::wait_timeout`].
+///
+/// Each `Wait` is one *waiting point*: its begin and end are trace records,
+/// which is what lets [`crate::verify`] classify the wait and
+/// [`crate::spg`] draw it as an edge.
+pub struct Wait {
+    handle: EventHandle,
+    deadline: Option<SimTime>,
+    begun_at: Option<SimTime>,
+    timer_armed: bool,
+}
+
+impl Wait {
+    fn finish(&self, result: WaitResult) {
+        let h = &self.handle;
+        let t = h.rt.now();
+        let begun = self.begun_at.unwrap_or(t);
+        h.rt.tracer().record(|| TraceRecord::WaitEnd {
+            t,
+            node: h.rt.node(),
+            coro: current_coro().map(|(_, c)| c),
+            event: h.id(),
+            result,
+            waited: t - begun,
+        });
+    }
+}
+
+impl Future for Wait {
+    type Output = WaitResult;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<WaitResult> {
+        let h = self.handle.clone();
+        if self.begun_at.is_none() {
+            let t = h.rt.now();
+            self.begun_at = Some(t);
+            h.rt.tracer().record(|| TraceRecord::WaitBegin {
+                t,
+                node: h.rt.node(),
+                coro: current_coro().map(|(_, c)| c),
+                coro_label: current_coro_label().unwrap_or("?"),
+                event: h.id(),
+                quorum: h.quorum_meta(),
+            });
+        }
+        if let Some(signal) = h.fired() {
+            let result = match signal {
+                Signal::Ok => WaitResult::Ready,
+                Signal::Err => WaitResult::Failed,
+            };
+            self.finish(result);
+            return Poll::Ready(result);
+        }
+        if let Some(deadline) = self.deadline {
+            if h.rt.now() >= deadline {
+                self.finish(WaitResult::Timeout);
+                return Poll::Ready(WaitResult::Timeout);
+            }
+            if !self.timer_armed {
+                self.timer_armed = true;
+                h.rt.schedule_wake(deadline, cx.waker().clone());
+            }
+        }
+        h.register_waker(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::Sim;
+
+    fn rt() -> (Sim, Runtime) {
+        let sim = Sim::new(1);
+        let rt = Runtime::new_sim(sim.clone(), NodeId(0));
+        (sim, rt)
+    }
+
+    #[test]
+    fn fire_is_idempotent() {
+        let (_sim, rt) = rt();
+        let h = EventHandle::new(&rt, EventKind::Notify, "t");
+        h.fire(Signal::Ok);
+        h.fire(Signal::Err);
+        assert_eq!(h.fired(), Some(Signal::Ok));
+        assert!(h.ready());
+    }
+
+    #[test]
+    fn wait_resolves_on_fire() {
+        let (sim, rt) = rt();
+        let h = EventHandle::new(&rt, EventKind::Notify, "t");
+        let h2 = h.clone();
+        let s = sim.clone();
+        let out = sim.block_on(async move {
+            s.spawn(async move {
+                h2.fire(Signal::Ok);
+            });
+            h.wait().await
+        });
+        assert_eq!(out, WaitResult::Ready);
+    }
+
+    #[test]
+    fn wait_observes_err_as_failed() {
+        let (sim, rt) = rt();
+        let h = EventHandle::new(&rt, EventKind::Notify, "t");
+        h.fire(Signal::Err);
+        let out = sim.block_on(async move { h.wait().await });
+        assert_eq!(out, WaitResult::Failed);
+    }
+
+    #[test]
+    fn wait_timeout_fires_at_deadline() {
+        let (sim, rt) = rt();
+        let h = EventHandle::new(&rt, EventKind::Notify, "t");
+        let out = sim.block_on(async move { h.wait_timeout(Duration::from_millis(10)).await });
+        assert_eq!(out, WaitResult::Timeout);
+        assert_eq!(sim.now(), SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn hook_runs_immediately_if_already_fired() {
+        let (_sim, rt) = rt();
+        let h = EventHandle::new(&rt, EventKind::Notify, "t");
+        h.fire(Signal::Ok);
+        let hit = Rc::new(RefCell::new(None));
+        let hit2 = hit.clone();
+        h.on_fire(move |s| *hit2.borrow_mut() = Some(s));
+        assert_eq!(*hit.borrow(), Some(Signal::Ok));
+    }
+
+    #[test]
+    fn multiple_waiters_all_wake() {
+        let (sim, rt) = rt();
+        let h = EventHandle::new(&rt, EventKind::Notify, "t");
+        let a = sim.spawn({
+            let h = h.clone();
+            async move { h.wait().await }
+        });
+        let b = sim.spawn({
+            let h = h.clone();
+            async move { h.wait().await }
+        });
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(Duration::from_millis(1)).await;
+            h.fire(Signal::Ok);
+        });
+        sim.run();
+        assert_eq!(a.try_take(), Some(WaitResult::Ready));
+        assert_eq!(b.try_take(), Some(WaitResult::Ready));
+    }
+}

@@ -1,0 +1,23 @@
+//! The event abstraction: every waiting point is an object.
+//!
+//! DepFast (§3.1–3.2) distinguishes **basic events** — network and disk
+//! completions, timers, "wait for a variable to reach a value" — from
+//! **compound events** that combine them: [`QuorumEvent`] (any k of n),
+//! [`AndEvent`] (all), [`OrEvent`] (any). Compound events nest, which is
+//! how the paper expresses conditions like *fast-quorum ok, or
+//! minority-plus-one reject, or timeout* without shredding the logic into
+//! callbacks.
+//!
+//! Every event carries a label and feeds the [`trace`](crate::trace) layer,
+//! so the same objects that structure the code also structure its runtime
+//! verification.
+
+mod basic;
+mod compound;
+mod core;
+mod quorum;
+
+pub use basic::{Notify, TimerEvent, TypedEvent, ValueEvent};
+pub use compound::{AndEvent, OrEvent};
+pub use core::{EventHandle, EventId, EventKind, Signal, Wait, WaitResult, Watchable};
+pub use quorum::{QuorumEvent, QuorumMode};

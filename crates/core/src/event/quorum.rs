@@ -1,0 +1,378 @@
+//! `QuorumEvent`: the key building block for fail-slow fault tolerance.
+//!
+//! §3.1: *"an QuorumEvent waits for a quorum or a collection of events
+//! (e.g., any majority). It allows the coroutine to tolerate fail-slow
+//! faults in any minority. [...] The principle of using the DepFast
+//! framework to write the logic code of a system is waiting on QuorumEvent
+//! as much as possible and avoid waiting on other types of singular-point
+//! events."*
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use super::core::{EventHandle, EventKind, Signal, Watchable};
+use crate::runtime::Runtime;
+use crate::trace::TraceRecord;
+
+/// How the threshold of a [`QuorumEvent`] is determined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuorumMode {
+    /// `⌊n/2⌋ + 1` of the children added so far (the paper's
+    /// `FLAG_MAJORITY`).
+    Majority,
+    /// A fixed count of `Ok` children.
+    Count(usize),
+    /// All children (equivalent to an [`AndEvent`](super::AndEvent) but
+    /// with quorum accounting).
+    All,
+}
+
+struct QState {
+    mode: QuorumMode,
+    n: usize,
+    ok: usize,
+    err: usize,
+    sealed: bool,
+}
+
+impl QState {
+    fn threshold(&self) -> usize {
+        match self.mode {
+            QuorumMode::Majority => self.n / 2 + 1,
+            QuorumMode::Count(k) => k,
+            QuorumMode::All => self.n,
+        }
+    }
+}
+
+/// A compound event that becomes ready when *k of n* children fire `Ok`.
+///
+/// It fires `Err` ("unreachable") as soon as so many children have failed
+/// that `k` successes can no longer happen — the precise
+/// "minority-plus-one-reject" condition §3.2 says traditional code
+/// approximates badly.
+///
+/// Add all children before the first child can fire (adds are synchronous,
+/// completions arrive via the scheduler, so ordinary straight-line code
+/// satisfies this automatically); with [`QuorumMode::Majority`] the
+/// threshold is evaluated against the current child count.
+///
+/// **Pitfall:** adding an *already-fired* child first under
+/// [`QuorumMode::Majority`] resolves the quorum immediately (majority of
+/// one). When seeding a quorum with a pre-fired local event (a self vote,
+/// a completed disk write), use [`QuorumMode::Count`] with the final
+/// threshold instead — see `depfast-raft`'s leadership-confirmation round
+/// for the bug this doc comment is written in memory of.
+///
+/// # Examples
+///
+/// ```
+/// use depfast::event::{Notify, QuorumEvent, Signal};
+/// use depfast::runtime::Runtime;
+/// use simkit::{NodeId, Sim};
+///
+/// let sim = Sim::new(0);
+/// let rt = Runtime::new_sim(sim.clone(), NodeId(0));
+/// let q = QuorumEvent::majority(&rt);
+/// let replies: Vec<Notify> = (0..5).map(|_| Notify::new(&rt)).collect();
+/// for r in &replies {
+///     q.add(r);
+/// }
+/// replies[0].set(Signal::Ok);
+/// replies[3].set(Signal::Ok);
+/// assert!(!q.ready());
+/// replies[4].set(Signal::Ok); // 3 of 5: majority reached
+/// assert!(q.ready());
+/// ```
+#[derive(Clone)]
+pub struct QuorumEvent {
+    handle: EventHandle,
+    state: Rc<RefCell<QState>>,
+}
+
+impl QuorumEvent {
+    /// Creates a quorum event with the given mode and label.
+    pub fn labeled(rt: &Runtime, mode: QuorumMode, label: &'static str) -> Self {
+        QuorumEvent {
+            handle: EventHandle::new(rt, EventKind::Quorum, label),
+            state: Rc::new(RefCell::new(QState {
+                mode,
+                n: 0,
+                ok: 0,
+                err: 0,
+                sealed: false,
+            })),
+        }
+    }
+
+    /// Creates a majority quorum event (`FLAG_MAJORITY`).
+    pub fn majority(rt: &Runtime) -> Self {
+        Self::labeled(rt, QuorumMode::Majority, "quorum")
+    }
+
+    /// Creates a fixed-threshold quorum event.
+    pub fn count(rt: &Runtime, k: usize) -> Self {
+        Self::labeled(rt, QuorumMode::Count(k), "quorum")
+    }
+
+    /// Adds a child event; its outcome counts toward the quorum.
+    pub fn add(&self, child: &impl Watchable) {
+        let child_handle = child.handle();
+        let meta = {
+            let mut st = self.state.borrow_mut();
+            st.n += 1;
+            let (k, n) = (st.threshold(), st.n);
+            self.handle.set_quorum_meta(k, n);
+            (k, n)
+        };
+        let rt = self.handle.runtime();
+        let t = rt.now();
+        rt.tracer().record(|| TraceRecord::ChildAdded {
+            t,
+            parent: self.handle.id(),
+            child: child_handle.id(),
+            parent_meta: Some(meta),
+        });
+        let me = self.clone();
+        child_handle.on_fire(move |s| me.on_child(s));
+        self.maybe_fire();
+    }
+
+    fn on_child(&self, signal: Signal) {
+        {
+            let mut st = self.state.borrow_mut();
+            match signal {
+                Signal::Ok => st.ok += 1,
+                Signal::Err => st.err += 1,
+            }
+        }
+        self.maybe_fire();
+    }
+
+    fn maybe_fire(&self) {
+        let outcome = {
+            let st = self.state.borrow();
+            let k = st.threshold();
+            self.handle.set_quorum_meta(k, st.n);
+            if st.ok >= k {
+                Some(Signal::Ok)
+            } else if st.sealed && st.n - st.err < k {
+                // Unreachability is only decidable once the child set is
+                // complete; sealing happens on the first wait (or an
+                // explicit `seal()`).
+                Some(Signal::Err)
+            } else {
+                None
+            }
+        };
+        if let Some(s) = outcome {
+            self.handle.fire(s);
+        }
+    }
+
+    /// Declares the child set complete, enabling the "quorum unreachable"
+    /// (`Err`) outcome. Waiting via [`QuorumEvent::wait`] seals implicitly.
+    pub fn seal(&self) {
+        self.state.borrow_mut().sealed = true;
+        self.maybe_fire();
+    }
+
+    /// Seals the child set and waits for the quorum outcome.
+    pub fn wait(&self) -> super::core::Wait {
+        self.seal();
+        self.handle.wait()
+    }
+
+    /// Seals the child set and waits with a deadline.
+    pub fn wait_timeout(&self, d: std::time::Duration) -> super::core::Wait {
+        self.seal();
+        self.handle.wait_timeout(d)
+    }
+
+    /// `true` once the quorum has been reached.
+    pub fn ready(&self) -> bool {
+        self.handle.ready()
+    }
+
+    /// Number of children that fired `Ok` so far.
+    pub fn ok_count(&self) -> usize {
+        self.state.borrow().ok
+    }
+
+    /// Number of children that fired `Err` so far.
+    pub fn err_count(&self) -> usize {
+        self.state.borrow().err
+    }
+
+    /// Number of children added.
+    pub fn n(&self) -> usize {
+        self.state.borrow().n
+    }
+
+    /// The current success threshold `k`.
+    pub fn threshold(&self) -> usize {
+        self.state.borrow().threshold()
+    }
+}
+
+impl Watchable for QuorumEvent {
+    fn handle(&self) -> &EventHandle {
+        &self.handle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Notify, WaitResult};
+    use simkit::{NodeId, Sim};
+    use std::time::Duration;
+
+    fn setup(n: usize) -> (Sim, Runtime, QuorumEvent, Vec<Notify>) {
+        let sim = Sim::new(1);
+        let rt = Runtime::new_sim(sim.clone(), NodeId(0));
+        let q = QuorumEvent::majority(&rt);
+        let children: Vec<Notify> = (0..n).map(|_| Notify::new(&rt)).collect();
+        for c in &children {
+            q.add(c);
+        }
+        (sim, rt, q, children)
+    }
+
+    #[test]
+    fn majority_of_three_is_two() {
+        let (_s, _rt, q, c) = setup(3);
+        assert_eq!(q.threshold(), 2);
+        c[0].set(Signal::Ok);
+        assert!(!q.ready());
+        c[2].set(Signal::Ok);
+        assert!(q.ready());
+    }
+
+    #[test]
+    fn slowest_child_never_blocks_quorum() {
+        let (sim, _rt, q, c) = setup(3);
+        c[0].set(Signal::Ok);
+        c[1].set(Signal::Ok);
+        // c[2] is fail-slow and never fires; the wait still completes now.
+        let out = sim.block_on(async move { q.wait().await });
+        assert_eq!(out, WaitResult::Ready);
+        assert_eq!(sim.now().as_nanos(), 0);
+    }
+
+    #[test]
+    fn unreachable_quorum_fails_fast() {
+        let (sim, _rt, q, c) = setup(5);
+        // Threshold 3; three rejections make it unreachable.
+        c[0].set(Signal::Err);
+        c[1].set(Signal::Err);
+        assert!(q.handle().fired().is_none());
+        c[2].set(Signal::Err);
+        let out = sim.block_on(async move { q.wait().await });
+        assert_eq!(out, WaitResult::Failed);
+    }
+
+    #[test]
+    fn counts_are_exposed() {
+        let (_s, _rt, q, c) = setup(5);
+        c[0].set(Signal::Ok);
+        c[1].set(Signal::Err);
+        assert_eq!(q.ok_count(), 1);
+        assert_eq!(q.err_count(), 1);
+        assert_eq!(q.n(), 5);
+    }
+
+    #[test]
+    fn fixed_count_mode() {
+        let sim = Sim::new(1);
+        let rt = Runtime::new_sim(sim.clone(), NodeId(0));
+        let q = QuorumEvent::count(&rt, 1);
+        let a = Notify::new(&rt);
+        let b = Notify::new(&rt);
+        q.add(&a);
+        q.add(&b);
+        a.set(Signal::Ok);
+        assert!(q.ready());
+    }
+
+    #[test]
+    fn all_mode_requires_every_child() {
+        let sim = Sim::new(1);
+        let rt = Runtime::new_sim(sim.clone(), NodeId(0));
+        let q = QuorumEvent::labeled(&rt, QuorumMode::All, "all");
+        let a = Notify::new(&rt);
+        let b = Notify::new(&rt);
+        q.add(&a);
+        q.add(&b);
+        a.set(Signal::Ok);
+        assert!(!q.ready());
+        b.set(Signal::Ok);
+        assert!(q.ready());
+    }
+
+    #[test]
+    fn already_fired_children_count_on_add() {
+        let sim = Sim::new(1);
+        let rt = Runtime::new_sim(sim.clone(), NodeId(0));
+        let a = Notify::new(&rt);
+        let b = Notify::new(&rt);
+        a.set(Signal::Ok);
+        b.set(Signal::Ok);
+        let q = QuorumEvent::count(&rt, 2);
+        q.add(&a);
+        q.add(&b);
+        assert!(q.ready());
+    }
+
+    #[test]
+    fn prefired_child_under_dynamic_majority_resolves_early() {
+        // The documented pitfall: a fired child added first under
+        // Majority resolves the quorum at n = 1. Count is the safe mode
+        // for pre-fired seeds.
+        let sim = Sim::new(1);
+        let rt = Runtime::new_sim(sim.clone(), NodeId(0));
+        let fired = Notify::new(&rt);
+        fired.set(Signal::Ok);
+        let dynamic = QuorumEvent::majority(&rt);
+        dynamic.add(&fired);
+        assert!(dynamic.ready(), "dynamic majority resolves at n=1");
+        let fixed = QuorumEvent::count(&rt, 2);
+        fixed.add(&fired);
+        fixed.add(&Notify::new(&rt));
+        assert!(!fixed.ready(), "fixed threshold waits for the real quorum");
+    }
+
+    #[test]
+    fn wait_timeout_when_quorum_never_reached() {
+        let (sim, _rt, q, c) = setup(3);
+        c[0].set(Signal::Ok);
+        let out = sim.block_on(async move { q.wait_timeout(Duration::from_millis(50)).await });
+        assert_eq!(out, WaitResult::Timeout);
+    }
+
+    #[test]
+    fn nested_quorum_of_quorums() {
+        // An outer majority over two inner majorities: fires only when two
+        // of the inner groups reach their own quorums.
+        let sim = Sim::new(1);
+        let rt = Runtime::new_sim(sim.clone(), NodeId(0));
+        let outer = QuorumEvent::labeled(&rt, QuorumMode::All, "outer");
+        let mut groups = Vec::new();
+        for _ in 0..2 {
+            let inner = QuorumEvent::majority(&rt);
+            let children: Vec<Notify> = (0..3).map(|_| Notify::new(&rt)).collect();
+            for c in &children {
+                inner.add(c);
+            }
+            outer.add(&inner);
+            groups.push((inner, children));
+        }
+        groups[0].1[0].set(Signal::Ok);
+        groups[0].1[1].set(Signal::Ok);
+        assert!(groups[0].0.ready());
+        assert!(!outer.ready());
+        groups[1].1[1].set(Signal::Ok);
+        groups[1].1[2].set(Signal::Ok);
+        assert!(outer.ready());
+    }
+}

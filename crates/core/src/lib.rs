@@ -1,0 +1,62 @@
+//! **DepFast** — the Dependably Fast Library.
+//!
+//! A Rust reproduction of the programming framework from *"Fail-slow fault
+//! tolerance needs programming support"* (HotOS '21). DepFast's thesis:
+//! distributed systems fail to tolerate fail-slow faults not because their
+//! protocols are wrong but because their *implementations* wait in the
+//! wrong places. The library therefore makes waiting points first-class:
+//!
+//! * [`Coroutine`](runtime::Coroutine)s give logic code a synchronous shape
+//!   (no shredded callbacks) on a lightweight cooperative scheduler;
+//! * [`event`]s wrap every waiting point. Basic events cover network/disk
+//!   completions and simple conditions; compound events —
+//!   [`QuorumEvent`](event::QuorumEvent), [`AndEvent`](event::AndEvent),
+//!   [`OrEvent`](event::OrEvent) — compose them, and can be nested to
+//!   express conditions like "fast-quorum ok, or minority-plus-one reject";
+//! * waiting on a [`QuorumEvent`](event::QuorumEvent) instead of individual
+//!   completions is what makes code *fail-slow fault-tolerant by
+//!   construction*: no single slow component sits on the critical path;
+//! * every event doubles as a trace point. The [`trace`] module records
+//!   waiting-for relationships, [`spg`] builds slowness propagation graphs
+//!   from them, and [`verify`] checks — at runtime, from real executions —
+//!   that a code path has no singular remote waits and predicts how far a
+//!   slow node's impact would propagate.
+//!
+//! # Quick example
+//!
+//! The paper's motivating snippet — broadcast `AppendEntries`, proceed on a
+//! majority — looks like this (with the RPC layer from `depfast-rpc`
+//! supplying the per-peer events):
+//!
+//! ```
+//! use depfast::event::{Notify, QuorumEvent, Signal, WaitResult};
+//! use depfast::runtime::Runtime;
+//! use simkit::{NodeId, Sim};
+//!
+//! let sim = Sim::new(1);
+//! let rt = Runtime::new_sim(sim.clone(), NodeId(0));
+//! let quorum = QuorumEvent::majority(&rt);
+//! let peers: Vec<Notify> = (0..3).map(|_| Notify::new(&rt)).collect();
+//! for p in &peers {
+//!     quorum.add(p);
+//! }
+//! // Two of three replies arrive; the third (fail-slow) never does.
+//! peers[0].set(Signal::Ok);
+//! peers[1].set(Signal::Ok);
+//! let q = quorum.clone();
+//! let done = sim.block_on(async move { q.wait().await });
+//! assert_eq!(done, WaitResult::Ready);
+//! ```
+
+pub mod event;
+pub mod runtime;
+pub mod spg;
+pub mod trace;
+pub mod verify;
+
+pub use event::{
+    AndEvent, EventHandle, EventId, EventKind, Notify, OrEvent, QuorumEvent, Signal, TimerEvent,
+    TypedEvent, ValueEvent, WaitResult, Watchable,
+};
+pub use runtime::{CoroId, Coroutine, Runtime};
+pub use trace::{TraceRecord, Tracer};

@@ -1,0 +1,357 @@
+//! The DepFast runtime: coroutines on a cooperative scheduler.
+//!
+//! §3.3: *"A DepFast runtime instance consists of four major components:
+//! coroutines, events, a scheduler, and I/O helper threads."* One
+//! [`Runtime`] is created per server node; its scheduler is supplied by a
+//! [`TimeDriver`] (in this repository, the deterministic `simkit`
+//! executor), and "I/O helper threads" are asynchronous completions with
+//! modelled latency from the same substrate.
+//!
+//! Multiple runtime instances share one [`Tracer`](crate::Tracer), which is
+//! how cross-node waiting-for relationships are stitched together for the
+//! slowness propagation graph (§3.3, "multiple DepFast runtime instances
+//! will work together for the tracing").
+
+use std::cell::Cell;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+use std::time::Duration;
+
+use simkit::{LocalBoxFuture, NodeId, Sim, SimTime};
+
+use crate::trace::{TraceRecord, Tracer};
+
+/// Identifier of a coroutine, unique within one [`Tracer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoroId(pub u64);
+
+/// The scheduling substrate a [`Runtime`] runs on.
+///
+/// The simulation driver wraps [`simkit::Sim`]. The abstraction keeps the
+/// DepFast programming model independent of the substrate, as the paper's
+/// framework/logic separation demands.
+pub trait TimeDriver {
+    /// Current (virtual) time.
+    fn now(&self) -> SimTime;
+    /// Wakes `waker` at instant `at`.
+    fn schedule_wake(&self, at: SimTime, waker: Waker);
+    /// Runs `f` on the scheduler thread at instant `at`.
+    fn schedule_call(&self, at: SimTime, f: Box<dyn FnOnce()>);
+    /// Spawns a task.
+    fn spawn(&self, fut: LocalBoxFuture<()>);
+    /// Draws from the substrate's seeded random stream.
+    fn rand_u64(&self) -> u64;
+}
+
+struct SimDriver(Sim);
+
+impl TimeDriver for SimDriver {
+    fn now(&self) -> SimTime {
+        self.0.now()
+    }
+    fn schedule_wake(&self, at: SimTime, waker: Waker) {
+        self.0.schedule_wake(at, waker);
+    }
+    fn schedule_call(&self, at: SimTime, f: Box<dyn FnOnce()>) {
+        self.0.schedule_call(at, f);
+    }
+    fn spawn(&self, fut: LocalBoxFuture<()>) {
+        self.0.spawn(fut);
+    }
+    fn rand_u64(&self) -> u64 {
+        self.0.rand_u64()
+    }
+}
+
+struct RtInner {
+    node: NodeId,
+    driver: Box<dyn TimeDriver>,
+    tracer: Tracer,
+}
+
+/// One DepFast runtime instance, scoped to a node.
+///
+/// Cheap to clone. Everything an event or coroutine needs — time, timers,
+/// spawning, tracing, node identity — flows through here.
+#[derive(Clone)]
+pub struct Runtime {
+    inner: Rc<RtInner>,
+}
+
+impl Runtime {
+    /// Creates a runtime on the simulation substrate with a private tracer.
+    pub fn new_sim(sim: Sim, node: NodeId) -> Self {
+        Self::with_tracer(sim, node, Tracer::new())
+    }
+
+    /// Creates a runtime sharing `tracer` with other runtime instances
+    /// (required for cluster-wide SPGs).
+    pub fn with_tracer(sim: Sim, node: NodeId, tracer: Tracer) -> Self {
+        Runtime {
+            inner: Rc::new(RtInner {
+                node,
+                driver: Box::new(SimDriver(sim)),
+                tracer,
+            }),
+        }
+    }
+
+    /// Creates a runtime over a custom [`TimeDriver`].
+    pub fn with_driver(driver: Box<dyn TimeDriver>, node: NodeId, tracer: Tracer) -> Self {
+        Runtime {
+            inner: Rc::new(RtInner {
+                node,
+                driver,
+                tracer,
+            }),
+        }
+    }
+
+    /// The node this runtime instance belongs to.
+    pub fn node(&self) -> NodeId {
+        self.inner.node
+    }
+
+    /// The shared tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.inner.tracer
+    }
+
+    /// Current (virtual) time.
+    pub fn now(&self) -> SimTime {
+        self.inner.driver.now()
+    }
+
+    /// Wakes `waker` at instant `at`.
+    pub fn schedule_wake(&self, at: SimTime, waker: Waker) {
+        self.inner.driver.schedule_wake(at, waker);
+    }
+
+    /// Runs `f` on the scheduler thread at instant `at`.
+    pub fn schedule_call(&self, at: SimTime, f: impl FnOnce() + 'static) {
+        self.inner.driver.schedule_call(at, Box::new(f));
+    }
+
+    /// Sleeps for virtual duration `d`.
+    pub async fn sleep(&self, d: Duration) {
+        let deadline = self.now() + d;
+        DriverSleep {
+            rt: self.clone(),
+            deadline,
+            armed: false,
+        }
+        .await
+    }
+
+    /// Draws a uniformly random `u64` from the substrate's seeded stream.
+    pub fn rand_u64(&self) -> u64 {
+        self.inner.driver.rand_u64()
+    }
+
+    /// Draws a random value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn rand_range(&self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "rand_range requires lo < hi");
+        lo + self.rand_u64() % (hi - lo)
+    }
+
+    /// Spawns a bare task (without coroutine identity). Prefer
+    /// [`Coroutine::create`] for logic code so waits are attributed.
+    pub fn spawn(&self, fut: impl Future<Output = ()> + 'static) {
+        self.inner.driver.spawn(Box::pin(fut));
+    }
+}
+
+struct DriverSleep {
+    rt: Runtime,
+    deadline: SimTime,
+    armed: bool,
+}
+
+impl Future for DriverSleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.rt.now() >= self.deadline {
+            Poll::Ready(())
+        } else {
+            if !self.armed {
+                self.armed = true;
+                self.rt.schedule_wake(self.deadline, cx.waker().clone());
+            }
+            Poll::Pending
+        }
+    }
+}
+
+thread_local! {
+    static CURRENT_CORO: Cell<Option<(NodeId, CoroId, &'static str)>> = const { Cell::new(None) };
+}
+
+/// The coroutine currently being polled, if any (node, coroutine id).
+pub(crate) fn current_coro() -> Option<(NodeId, CoroId)> {
+    CURRENT_CORO.with(|c| c.get()).map(|(n, id, _)| (n, id))
+}
+
+/// The label of the coroutine currently being polled, if any.
+pub(crate) fn current_coro_label() -> Option<&'static str> {
+    CURRENT_CORO.with(|c| c.get()).map(|(_, _, l)| l)
+}
+
+/// The coroutine interface (§3.1): launch logic tasks with identity.
+///
+/// `Coroutine::create` mirrors the paper's `Coroutine::Create(...)`. The
+/// label names the task in traces, SPGs and verification reports.
+pub struct Coroutine;
+
+impl Coroutine {
+    /// Spawns `fut` as a labelled coroutine on `rt` and returns its id.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use depfast::runtime::{Coroutine, Runtime};
+    /// use simkit::{NodeId, Sim};
+    ///
+    /// let sim = Sim::new(0);
+    /// let rt = Runtime::new_sim(sim.clone(), NodeId(0));
+    /// Coroutine::create(&rt, "hello", async move {
+    ///     // logic code, written synchronously
+    /// });
+    /// sim.run();
+    /// ```
+    pub fn create(
+        rt: &Runtime,
+        label: &'static str,
+        fut: impl Future<Output = ()> + 'static,
+    ) -> CoroId {
+        let id = rt.tracer().next_coro_id();
+        let node = rt.node();
+        let t = rt.now();
+        rt.tracer().record(|| TraceRecord::CoroutineStart {
+            t,
+            node,
+            coro: id,
+            label,
+        });
+        rt.spawn(Scoped {
+            ctx: (node, id, label),
+            fut,
+        });
+        id
+    }
+}
+
+/// Wrapper future that exposes coroutine identity during polls.
+struct Scoped<F> {
+    ctx: (NodeId, CoroId, &'static str),
+    fut: F,
+}
+
+impl<F: Future> Future for Scoped<F> {
+    type Output = F::Output;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<F::Output> {
+        // SAFETY: we never move `fut` out of the pinned wrapper; this is
+        // standard structural pinning of the only non-`Unpin` field.
+        let (ctx, fut) = unsafe {
+            let this = self.get_unchecked_mut();
+            (this.ctx, Pin::new_unchecked(&mut this.fut))
+        };
+        let prev = CURRENT_CORO.with(|c| c.replace(Some(ctx)));
+        let out = fut.poll(cx);
+        CURRENT_CORO.with(|c| c.set(prev));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    #[test]
+    fn coroutine_identity_visible_during_poll() {
+        let sim = Sim::new(1);
+        let rt = Runtime::new_sim(sim.clone(), NodeId(3));
+        let seen = Rc::new(RefCell::new(None));
+        let seen2 = seen.clone();
+        let id = Coroutine::create(&rt, "probe", async move {
+            *seen2.borrow_mut() = current_coro();
+        });
+        sim.run();
+        assert_eq!(*seen.borrow(), Some((NodeId(3), id)));
+        // Outside any poll there is no current coroutine.
+        assert_eq!(current_coro(), None);
+    }
+
+    #[test]
+    fn nested_spawn_restores_outer_identity() {
+        let sim = Sim::new(1);
+        let rt = Runtime::new_sim(sim.clone(), NodeId(0));
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l = log.clone();
+        let rt2 = rt.clone();
+        Coroutine::create(&rt, "outer", async move {
+            l.borrow_mut().push(current_coro().unwrap().1);
+            let l2 = l.clone();
+            Coroutine::create(&rt2, "inner", async move {
+                l2.borrow_mut().push(current_coro().unwrap().1);
+            });
+            rt2.sleep(Duration::from_millis(1)).await;
+            l.borrow_mut().push(current_coro().unwrap().1);
+        });
+        sim.run();
+        let log = log.borrow();
+        assert_eq!(log.len(), 3);
+        assert_eq!(log[0], log[2]);
+        assert_ne!(log[0], log[1]);
+    }
+
+    #[test]
+    fn runtime_sleep_uses_virtual_time() {
+        let sim = Sim::new(1);
+        let rt = Runtime::new_sim(sim.clone(), NodeId(0));
+        let rt2 = rt.clone();
+        sim.block_on(async move {
+            rt2.sleep(Duration::from_millis(250)).await;
+        });
+        assert_eq!(sim.now(), SimTime::from_millis(250));
+    }
+
+    #[test]
+    fn rand_range_within_bounds() {
+        let sim = Sim::new(7);
+        let rt = Runtime::new_sim(sim, NodeId(0));
+        for _ in 0..100 {
+            let v = rt.rand_range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shared_tracer_spans_runtimes() {
+        let sim = Sim::new(1);
+        let tracer = Tracer::new();
+        tracer.set_record_full(true);
+        let a = Runtime::with_tracer(sim.clone(), NodeId(0), tracer.clone());
+        let b = Runtime::with_tracer(sim.clone(), NodeId(1), tracer.clone());
+        Coroutine::create(&a, "on-a", async {});
+        Coroutine::create(&b, "on-b", async {});
+        sim.run();
+        let recs = tracer.records();
+        let nodes: Vec<NodeId> = recs
+            .iter()
+            .filter_map(|r| match r {
+                TraceRecord::CoroutineStart { node, .. } => Some(*node),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nodes, vec![NodeId(0), NodeId(1)]);
+    }
+}

@@ -1,0 +1,328 @@
+//! Event trace points: the raw material for runtime verification.
+//!
+//! §3.3: *"Having events as trace points, DepFast supports runtime
+//! verification and trace analysis for fail-slow fault tolerance."* Every
+//! event creation, fire, wait-begin and wait-end can be recorded; RPC
+//! completions additionally feed per-peer latency aggregates that the
+//! fail-slow detector (`depfast-detect`) consumes online.
+//!
+//! Full recording is opt-in ([`Tracer::set_record_full`]) because a
+//! saturated benchmark produces millions of records; aggregates are cheap
+//! and always on.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Duration;
+
+use simkit::{NodeId, SimTime};
+
+use crate::event::{EventId, EventKind, Signal, WaitResult};
+use crate::runtime::CoroId;
+
+/// One trace record. Records are self-contained: analysis never needs the
+/// live event objects.
+#[derive(Debug, Clone)]
+pub enum TraceRecord {
+    /// A coroutine was launched.
+    CoroutineStart {
+        /// Virtual time.
+        t: SimTime,
+        /// Node the coroutine runs on.
+        node: NodeId,
+        /// Coroutine id.
+        coro: CoroId,
+        /// Label given to [`Coroutine::create`](crate::Coroutine::create).
+        label: &'static str,
+    },
+    /// An event was created.
+    EventCreated {
+        /// Virtual time.
+        t: SimTime,
+        /// Owning node.
+        node: NodeId,
+        /// Creating coroutine, if created inside one.
+        coro: Option<CoroId>,
+        /// Event id.
+        event: EventId,
+        /// Structural kind.
+        kind: EventKind,
+        /// Waiting-point label.
+        label: &'static str,
+    },
+    /// A child was added to a compound event.
+    ChildAdded {
+        /// Virtual time.
+        t: SimTime,
+        /// The compound event.
+        parent: EventId,
+        /// The added child.
+        child: EventId,
+        /// `(k, n)` snapshot of the parent after this add, for quorum-like
+        /// parents (lets analysis recover thresholds of nested quorums).
+        parent_meta: Option<(usize, usize)>,
+    },
+    /// An event fired.
+    EventFired {
+        /// Virtual time.
+        t: SimTime,
+        /// Event id.
+        event: EventId,
+        /// Outcome.
+        signal: Signal,
+    },
+    /// A coroutine began waiting on an event.
+    WaitBegin {
+        /// Virtual time.
+        t: SimTime,
+        /// Waiting node.
+        node: NodeId,
+        /// Waiting coroutine, if inside one.
+        coro: Option<CoroId>,
+        /// Event being waited on.
+        event: EventId,
+        /// Label of the waiting coroutine (`"?"` outside any coroutine).
+        coro_label: &'static str,
+        /// `(k, n)` snapshot for quorum-like events.
+        quorum: Option<(usize, usize)>,
+    },
+    /// A wait finished.
+    WaitEnd {
+        /// Virtual time.
+        t: SimTime,
+        /// Waiting node.
+        node: NodeId,
+        /// Waiting coroutine, if inside one.
+        coro: Option<CoroId>,
+        /// Event that was waited on.
+        event: EventId,
+        /// What the wait observed.
+        result: WaitResult,
+        /// How long the wait blocked.
+        waited: Duration,
+    },
+}
+
+/// Aggregate of RPC completion latencies for one (caller, callee, label).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RpcSample {
+    /// Completions observed.
+    pub count: u64,
+    /// Completions that fired [`Signal::Err`].
+    pub errors: u64,
+    /// Sum of latencies.
+    pub total: Duration,
+    /// Maximum latency.
+    pub max: Duration,
+}
+
+impl RpcSample {
+    /// Mean completion latency (zero if no samples).
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.count as u32
+        }
+    }
+}
+
+/// Key of an RPC latency aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RpcSampleKey {
+    /// Calling node.
+    pub caller: NodeId,
+    /// Called node (the one whose slowness the latency reflects).
+    pub callee: NodeId,
+    /// RPC label.
+    pub label: &'static str,
+}
+
+struct TraceInner {
+    record_full: bool,
+    records: Vec<TraceRecord>,
+    samples: HashMap<RpcSampleKey, RpcSample>,
+    next_event: u64,
+    next_coro: u64,
+}
+
+/// The cluster-shared trace sink and id allocator. Cheap to clone.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Rc<RefCell<TraceInner>>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracer {
+    /// Creates a tracer with full recording disabled.
+    pub fn new() -> Self {
+        Tracer {
+            inner: Rc::new(RefCell::new(TraceInner {
+                record_full: false,
+                records: Vec::new(),
+                samples: HashMap::new(),
+                next_event: 0,
+                next_coro: 0,
+            })),
+        }
+    }
+
+    /// Enables or disables full record collection.
+    pub fn set_record_full(&self, on: bool) {
+        self.inner.borrow_mut().record_full = on;
+    }
+
+    /// `true` if full records are being collected.
+    pub fn record_full(&self) -> bool {
+        self.inner.borrow().record_full
+    }
+
+    /// Allocates a cluster-unique event id.
+    pub fn next_event_id(&self) -> EventId {
+        let mut inner = self.inner.borrow_mut();
+        let id = inner.next_event;
+        inner.next_event += 1;
+        EventId(id)
+    }
+
+    /// Allocates a cluster-unique coroutine id.
+    pub fn next_coro_id(&self) -> CoroId {
+        let mut inner = self.inner.borrow_mut();
+        let id = inner.next_coro;
+        inner.next_coro += 1;
+        CoroId(id)
+    }
+
+    /// Records `make()` if full recording is on. The closure keeps the
+    /// disabled path allocation-free.
+    pub fn record(&self, make: impl FnOnce() -> TraceRecord) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.record_full {
+            let rec = make();
+            inner.records.push(rec);
+        }
+    }
+
+    /// Feeds one RPC completion into the per-peer aggregates.
+    pub fn sample_rpc(
+        &self,
+        caller: NodeId,
+        callee: NodeId,
+        label: &'static str,
+        latency: Duration,
+        signal: Signal,
+    ) {
+        let mut inner = self.inner.borrow_mut();
+        let agg = inner
+            .samples
+            .entry(RpcSampleKey {
+                caller,
+                callee,
+                label,
+            })
+            .or_default();
+        agg.count += 1;
+        if signal == Signal::Err {
+            agg.errors += 1;
+        }
+        agg.total += latency;
+        agg.max = agg.max.max(latency);
+    }
+
+    /// Snapshot of all full records collected so far.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.inner.borrow().records.clone()
+    }
+
+    /// Number of full records collected so far.
+    pub fn record_count(&self) -> usize {
+        self.inner.borrow().records.len()
+    }
+
+    /// Drains and returns the RPC latency aggregates accumulated since the
+    /// last drain. The fail-slow detector calls this periodically.
+    pub fn drain_rpc_samples(&self) -> Vec<(RpcSampleKey, RpcSample)> {
+        let mut out: Vec<_> = self
+            .inner
+            .borrow_mut()
+            .samples
+            .drain()
+            .collect();
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// Clears all full records (aggregates are untouched).
+    pub fn clear_records(&self) {
+        self.inner.borrow_mut().records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_sequential() {
+        let t = Tracer::new();
+        assert_eq!(t.next_event_id(), EventId(0));
+        assert_eq!(t.next_event_id(), EventId(1));
+        assert_eq!(t.next_coro_id(), CoroId(0));
+        assert_eq!(t.next_coro_id(), CoroId(1));
+    }
+
+    #[test]
+    fn recording_is_gated() {
+        let t = Tracer::new();
+        t.record(|| panic!("must not be built when disabled"));
+        assert_eq!(t.record_count(), 0);
+        t.set_record_full(true);
+        t.record(|| TraceRecord::EventFired {
+            t: SimTime::ZERO,
+            event: EventId(0),
+            signal: Signal::Ok,
+        });
+        assert_eq!(t.record_count(), 1);
+        t.clear_records();
+        assert_eq!(t.record_count(), 0);
+    }
+
+    #[test]
+    fn rpc_samples_aggregate_and_drain() {
+        let t = Tracer::new();
+        let key = RpcSampleKey {
+            caller: NodeId(0),
+            callee: NodeId(1),
+            label: "append",
+        };
+        t.sample_rpc(
+            key.caller,
+            key.callee,
+            key.label,
+            Duration::from_millis(2),
+            Signal::Ok,
+        );
+        t.sample_rpc(
+            key.caller,
+            key.callee,
+            key.label,
+            Duration::from_millis(4),
+            Signal::Err,
+        );
+        let drained = t.drain_rpc_samples();
+        assert_eq!(drained.len(), 1);
+        let (k, agg) = drained[0];
+        assert_eq!(k, key);
+        assert_eq!(agg.count, 2);
+        assert_eq!(agg.errors, 1);
+        assert_eq!(agg.mean(), Duration::from_millis(3));
+        assert_eq!(agg.max, Duration::from_millis(4));
+        // Second drain is empty.
+        assert!(t.drain_rpc_samples().is_empty());
+    }
+}

@@ -1,0 +1,332 @@
+//! The trace-point-based fail-slow detector.
+//!
+//! Every RPC event fire feeds a per-(caller, callee, label) latency
+//! aggregate into the tracer (see [`depfast::Tracer::sample_rpc`]); the
+//! detector polls those aggregates on a period and maintains, per
+//! (label, callee), a slow EWMA baseline of the mean completion latency.
+//! A window whose mean exceeds `factor ×` the baseline (and an absolute
+//! floor, to ignore micro-noise) raises a [`Suspicion`]; dropping back
+//! under `clear_factor ×` clears it.
+//!
+//! Baselines freeze while a node is suspected, so a long-lived fail-slow
+//! fault cannot talk the detector out of its own detection.
+
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap};
+use std::rc::Rc;
+use std::time::Duration;
+
+use depfast::trace::RpcSampleKey;
+use depfast::Tracer;
+use simkit::{NodeId, Sim, SimTime};
+
+/// Detector tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct DetectorCfg {
+    /// Aggregate-polling period.
+    pub poll: Duration,
+    /// Windows needed to establish a baseline before judging.
+    pub warmup_windows: u32,
+    /// Minimum completions in a window for it to be judged.
+    pub min_samples: u64,
+    /// Suspect when `window_mean > factor × baseline`.
+    pub factor: f64,
+    /// ... and `window_mean > floor` (absolute guard).
+    pub floor: Duration,
+    /// Clear when `window_mean < clear_factor × baseline`.
+    pub clear_factor: f64,
+    /// Baseline EWMA weight per window.
+    pub alpha: f64,
+}
+
+impl Default for DetectorCfg {
+    fn default() -> Self {
+        DetectorCfg {
+            poll: Duration::from_millis(200),
+            warmup_windows: 5,
+            min_samples: 10,
+            factor: 3.0,
+            floor: Duration::from_millis(2),
+            clear_factor: 1.5,
+            alpha: 0.2,
+        }
+    }
+}
+
+/// One detection verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suspicion {
+    /// The node suspected of failing slow.
+    pub node: NodeId,
+    /// RPC label whose latency deviated.
+    pub label: &'static str,
+    /// Window mean that triggered the suspicion.
+    pub observed: Duration,
+    /// The frozen baseline it was compared against.
+    pub baseline: Duration,
+    /// When the suspicion was raised.
+    pub at: SimTime,
+}
+
+#[derive(Default)]
+struct Track {
+    baseline_nanos: f64,
+    windows: u32,
+}
+
+struct DetectorState {
+    tracks: HashMap<(NodeId, &'static str), Track>,
+    suspects: BTreeSet<NodeId>,
+    history: Vec<Suspicion>,
+}
+
+type SuspectHook = Box<dyn Fn(&Suspicion)>;
+
+/// Handle to a running detector.
+#[derive(Clone)]
+pub struct FailSlowDetector {
+    state: Rc<RefCell<DetectorState>>,
+    hooks: Rc<RefCell<Vec<SuspectHook>>>,
+}
+
+impl FailSlowDetector {
+    /// Starts a detector polling `tracer`'s RPC aggregates.
+    pub fn spawn(sim: &Sim, tracer: &Tracer, cfg: DetectorCfg) -> Self {
+        let detector = FailSlowDetector {
+            state: Rc::new(RefCell::new(DetectorState {
+                tracks: HashMap::new(),
+                suspects: BTreeSet::new(),
+                history: Vec::new(),
+            })),
+            hooks: Rc::new(RefCell::new(Vec::new())),
+        };
+        let d = detector.clone();
+        let tracer = tracer.clone();
+        let sim2 = sim.clone();
+        sim.spawn(async move {
+            loop {
+                sim2.sleep(cfg.poll).await;
+                d.ingest(&sim2, &tracer, cfg);
+            }
+        });
+        detector
+    }
+
+    /// Registers a callback invoked on every new suspicion.
+    pub fn on_suspect(&self, f: impl Fn(&Suspicion) + 'static) {
+        self.hooks.borrow_mut().push(Box::new(f));
+    }
+
+    /// Nodes currently under suspicion.
+    pub fn suspects(&self) -> BTreeSet<NodeId> {
+        self.state.borrow().suspects.clone()
+    }
+
+    /// All suspicions raised so far.
+    pub fn history(&self) -> Vec<Suspicion> {
+        self.state.borrow().history.clone()
+    }
+
+    /// Debug snapshot of (node, label, baseline, windows).
+    pub fn debug_tracks(&self) -> Vec<(NodeId, &'static str, Duration, u32)> {
+        self.state
+            .borrow()
+            .tracks
+            .iter()
+            .map(|((n, l), t)| (*n, *l, Duration::from_nanos(t.baseline_nanos as u64), t.windows))
+            .collect()
+    }
+
+    fn ingest(&self, sim: &Sim, tracer: &Tracer, cfg: DetectorCfg) {
+        let samples = tracer.drain_rpc_samples();
+        // Merge per (callee, label) across callers.
+        let mut windows: HashMap<(NodeId, &'static str), (u64, f64)> = HashMap::new();
+        for (RpcSampleKey { callee, label, .. }, agg) in samples {
+            let w = windows.entry((callee, label)).or_insert((0, 0.0));
+            w.0 += agg.count;
+            w.1 += agg.total.as_nanos() as f64;
+        }
+        let mut fired = Vec::new();
+        {
+            let mut st = self.state.borrow_mut();
+            for ((callee, label), (count, total)) in windows {
+                if count < cfg.min_samples {
+                    continue;
+                }
+                let mean = total / count as f64;
+                let track = st.tracks.entry((callee, label)).or_default();
+                if track.windows < cfg.warmup_windows {
+                    // Establish the baseline.
+                    track.baseline_nanos = if track.windows == 0 {
+                        mean
+                    } else {
+                        (1.0 - cfg.alpha) * track.baseline_nanos + cfg.alpha * mean
+                    };
+                    track.windows += 1;
+                    continue;
+                }
+                let baseline = track.baseline_nanos;
+                let suspected = st.suspects.contains(&callee);
+                if !suspected
+                    && mean > baseline * cfg.factor
+                    && mean > cfg.floor.as_nanos() as f64
+                {
+                    st.suspects.insert(callee);
+                    let s = Suspicion {
+                        node: callee,
+                        label,
+                        observed: Duration::from_nanos(mean as u64),
+                        baseline: Duration::from_nanos(baseline as u64),
+                        at: sim.now(),
+                    };
+                    st.history.push(s.clone());
+                    fired.push(s);
+                } else if suspected && mean < baseline * cfg.clear_factor {
+                    st.suspects.remove(&callee);
+                } else if !suspected {
+                    // Healthy: keep tracking the baseline.
+                    let track = st.tracks.get_mut(&(callee, label)).expect("present");
+                    track.baseline_nanos =
+                        (1.0 - cfg.alpha) * track.baseline_nanos + cfg.alpha * mean;
+                }
+            }
+        }
+        for s in &fired {
+            for hook in self.hooks.borrow().iter() {
+                hook(s);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depfast::event::Signal;
+
+    fn feed(tracer: &Tracer, callee: u32, mean_ms: u64, count: u64) {
+        for _ in 0..count {
+            tracer.sample_rpc(
+                NodeId(0),
+                NodeId(callee),
+                "append_entries",
+                Duration::from_millis(mean_ms),
+                Signal::Ok,
+            );
+        }
+    }
+
+    fn step(sim: &Sim, d: Duration) {
+        sim.run_until_time(sim.now() + d);
+    }
+
+    fn setup() -> (Sim, Tracer, FailSlowDetector, DetectorCfg) {
+        let sim = Sim::new(1);
+        let tracer = Tracer::new();
+        let cfg = DetectorCfg::default();
+        let det = FailSlowDetector::spawn(&sim, &tracer, cfg);
+        (sim, tracer, det, cfg)
+    }
+
+    #[test]
+    fn healthy_latencies_raise_no_suspicion() {
+        let (sim, tracer, det, cfg) = setup();
+        for _ in 0..20 {
+            feed(&tracer, 1, 1, 50);
+            step(&sim, cfg.poll);
+        }
+        assert!(det.suspects().is_empty());
+    }
+
+    #[test]
+    fn sudden_slowness_is_detected() {
+        let (sim, tracer, det, cfg) = setup();
+        for _ in 0..8 {
+            feed(&tracer, 1, 1, 50);
+            step(&sim, cfg.poll);
+        }
+        // Node 1 goes fail-slow: 40 ms means.
+        for _ in 0..3 {
+            feed(&tracer, 1, 40, 50);
+            step(&sim, cfg.poll);
+        }
+        assert!(det.suspects().contains(&NodeId(1)));
+        let h = det.history();
+        assert_eq!(h.len(), 1);
+        assert!(h[0].observed > h[0].baseline * 3);
+    }
+
+    #[test]
+    fn recovery_clears_suspicion() {
+        let (sim, tracer, det, cfg) = setup();
+        for _ in 0..8 {
+            feed(&tracer, 1, 1, 50);
+            step(&sim, cfg.poll);
+        }
+        feed(&tracer, 1, 40, 50);
+        step(&sim, cfg.poll);
+        assert!(det.suspects().contains(&NodeId(1)));
+        for _ in 0..3 {
+            feed(&tracer, 1, 1, 50);
+            step(&sim, cfg.poll);
+        }
+        assert!(det.suspects().is_empty());
+    }
+
+    #[test]
+    fn small_windows_are_ignored() {
+        let (sim, tracer, det, cfg) = setup();
+        for _ in 0..8 {
+            feed(&tracer, 1, 1, 50);
+            step(&sim, cfg.poll);
+        }
+        // Too few samples to judge.
+        feed(&tracer, 1, 100, 3);
+        step(&sim, cfg.poll);
+        assert!(det.suspects().is_empty());
+    }
+
+    #[test]
+    fn absolute_floor_suppresses_micro_noise() {
+        let (sim, tracer, det, cfg) = setup();
+        // Baseline 100 µs; "slow" 500 µs is 5× but under the 2 ms floor.
+        for _ in 0..8 {
+            for _ in 0..50 {
+                tracer.sample_rpc(
+                    NodeId(0),
+                    NodeId(1),
+                    "append_entries",
+                    Duration::from_micros(100),
+                    Signal::Ok,
+                );
+            }
+            step(&sim, cfg.poll);
+        }
+        for _ in 0..50 {
+            tracer.sample_rpc(
+                NodeId(0),
+                NodeId(1),
+                "append_entries",
+                Duration::from_micros(500),
+                Signal::Ok,
+            );
+        }
+        step(&sim, cfg.poll);
+        assert!(det.suspects().is_empty());
+    }
+
+    #[test]
+    fn hooks_fire_on_new_suspicion() {
+        let (sim, tracer, det, cfg) = setup();
+        let hits = Rc::new(RefCell::new(Vec::new()));
+        let h = hits.clone();
+        det.on_suspect(move |s| h.borrow_mut().push(s.node));
+        for _ in 0..8 {
+            feed(&tracer, 2, 1, 50);
+            step(&sim, cfg.poll);
+        }
+        feed(&tracer, 2, 50, 50);
+        step(&sim, cfg.poll);
+        assert_eq!(*hits.borrow(), vec![NodeId(2)]);
+    }
+}

@@ -1,0 +1,22 @@
+//! Fail-slow failure detection and mitigation — the paper's §5 future
+//! work, implemented:
+//!
+//! > *"We realize that the events in principle provide trace points needed
+//! > by existing monitoring techniques ... Therefore, we plan to implement
+//! > failure detectors based on those trace points. Lastly, we will
+//! > develop mitigation procedures specific to the detected failure modes.
+//! > For instance, in DepFastRaft, if the leader is detected to fail-slow,
+//! > a leader re-election can be triggered to turn the fail-slow leader
+//! > into a fail-slow follower, which is well tolerated by DepFastRaft."*
+//!
+//! [`detect`] consumes the RPC-latency aggregates every event fire feeds
+//! into the shared [`Tracer`](depfast::Tracer) and flags nodes whose
+//! completion latencies deviate from their own baseline; [`mitigate`]
+//! implements the named mitigation: demote a suspected fail-slow leader
+//! and penalize its next candidacy so a healthy follower takes over.
+
+pub mod detect;
+pub mod mitigate;
+
+pub use detect::{DetectorCfg, FailSlowDetector, Suspicion};
+pub use mitigate::spawn_leader_mitigation;

@@ -1,0 +1,188 @@
+//! Mitigation: demote a detected fail-slow leader.
+//!
+//! §5 names the procedure exactly: *"if the leader is detected to
+//! fail-slow, a leader re-election can be triggered to turn the fail-slow
+//! leader into a fail-slow follower, which is well tolerated by
+//! DepFastRaft."*
+//!
+//! On suspicion of the current leader, the mitigation (playing the role of
+//! the cluster's control plane) steps that node down and penalizes its
+//! next candidacies, so a healthy follower's election timer fires first
+//! and the cluster re-forms around a fast leader.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use depfast_raft::core::RaftCore;
+use depfast_raft::depfast_driver::DepFastRaft;
+use simkit::{NodeId, Sim};
+
+use crate::detect::FailSlowDetector;
+
+/// Wires `detector` suspicions to leadership transfer across `cores`.
+///
+/// On suspicion of the current leader, the mitigation penalizes the
+/// suspect's future candidacies, waits for its healthiest follower to be
+/// caught up (the suspect keeps leading — and replicating — meanwhile),
+/// and then triggers that follower to campaign. The higher-term election
+/// demotes the fail-slow leader into a fail-slow follower, which
+/// DepFastRaft tolerates by construction.
+pub fn spawn_leader_mitigation(
+    sim: &Sim,
+    detector: &FailSlowDetector,
+    cores: Vec<Rc<RaftCore>>,
+    penalty: Duration,
+) {
+    let sim = sim.clone();
+    detector.on_suspect(move |suspicion| {
+        let node = suspicion.node;
+        let Some(suspect) = cores.iter().find(|c| c.id == node && c.is_leader()) else {
+            return;
+        };
+        suspect.election_penalty.set(penalty);
+        // Healthiest follower = highest replicated index from the
+        // suspect's view.
+        let Some(target_id) = suspect
+            .peers
+            .iter()
+            .copied()
+            .max_by_key(|p| suspect.match_index(*p))
+        else {
+            return;
+        };
+        let Some(target) = cores.iter().find(|c| c.id == target_id).cloned() else {
+            return;
+        };
+        let suspect = suspect.clone();
+        let s = sim.clone();
+        sim.spawn(async move {
+            // Leadership transfer: wait for the target to be (nearly)
+            // caught up, then have it campaign at a higher term.
+            for _ in 0..100 {
+                if !suspect.is_leader() {
+                    return; // Someone already took over.
+                }
+                let caught_up =
+                    suspect.match_index(target.id) + 8 >= suspect.log.last_index();
+                if caught_up {
+                    DepFastRaft::force_campaign(&target);
+                    s.sleep(Duration::from_millis(400)).await;
+                    if !suspect.is_leader() {
+                        return;
+                    }
+                } else {
+                    s.sleep(Duration::from_millis(20)).await;
+                }
+            }
+        });
+    });
+}
+
+/// Returns the first node currently acting as leader among `cores`.
+pub fn current_leader(cores: &[Rc<RaftCore>]) -> Option<NodeId> {
+    cores.iter().find(|c| c.is_leader()).map(|c| c.id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::DetectorCfg;
+    use bytes::Bytes;
+    use depfast_kv::KvCluster;
+    use depfast_raft::cluster::RaftKind;
+    use depfast_raft::core::RaftCfg;
+    use simkit::{Sim, World, WorldCfg};
+
+    /// End-to-end §5 scenario: leader goes fail-slow → detector flags it →
+    /// mitigation demotes it → healthy node leads → commits stay fast.
+    #[test]
+    fn fail_slow_leader_is_demoted_and_cluster_recovers() {
+        let sim = Sim::new(3);
+        let world = World::new(
+            sim.clone(),
+            WorldCfg {
+                nodes: 19, // 3 servers + 16 client hosts
+                ..WorldCfg::default()
+            },
+        );
+        let cl = std::rc::Rc::new(KvCluster::build(
+            &sim,
+            &world,
+            RaftKind::DepFast,
+            3,
+            16,
+            RaftCfg {
+                bootstrap_leader: Some(0),
+                ..RaftCfg::default()
+            },
+        ));
+        let cores: Vec<Rc<RaftCore>> =
+            cl.raft.servers.iter().map(|s| s.core().clone()).collect();
+        let detector = FailSlowDetector::spawn(
+            &sim,
+            &cl.raft.tracer,
+            DetectorCfg {
+                floor: Duration::from_millis(2),
+                ..DetectorCfg::default()
+            },
+        );
+        spawn_leader_mitigation(&sim, &detector, cores.clone(), Duration::from_secs(2));
+
+        // Concurrent closed-loop clients over real RPC (their kv_request
+        // completions are the detector's per-leader samples).
+        let drive = |ops_per_client: u32| -> u32 {
+            let handles: Vec<_> = (0..cl.clients.len())
+                .map(|c| {
+                    let cl2 = cl.clone();
+                    sim.spawn(async move {
+                        let mut ok = 0u32;
+                        for round in 0..ops_per_client {
+                            let key = Bytes::from(format!("k{c}-{round}"));
+                            if cl2.clients[c]
+                                .put(key, Bytes::from(vec![0u8; 64]))
+                                .await
+                                .is_ok()
+                            {
+                                ok += 1;
+                            }
+                        }
+                        ok
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| sim.run_until(h)).sum()
+        };
+
+        // Healthy traffic builds the baseline (long enough to span the
+        // detector's warm-up windows).
+        let healthy_ok = drive(700);
+        assert!(healthy_ok >= 11_000, "healthy commits: {healthy_ok}");
+        assert_eq!(current_leader(&cores), Some(NodeId(0)));
+
+        // The leader fails slow (CPU quota 5%).
+        world.set_cpu_quota(NodeId(0), 0.05);
+        drive(120); // Slow traffic the detector can observe.
+        sim.run_until_time(sim.now() + Duration::from_secs(3));
+
+        assert!(
+            detector.history().iter().any(|s| s.node == NodeId(0)),
+            "detector must flag the slow leader; history: {:?}; tracks: {:?}",
+            detector.history(),
+            detector.debug_tracks()
+        );
+        let new_leader = current_leader(&cores);
+        assert!(
+            new_leader.is_some() && new_leader != Some(NodeId(0)),
+            "a healthy node must take over, got {new_leader:?}"
+        );
+        // And the cluster commits briskly again (slow node is a follower).
+        let t0 = sim.now();
+        let done = drive(50);
+        assert!(done >= 50 * 16 - 16, "recovered commits: {done}");
+        let per_op = (sim.now() - t0) / done;
+        assert!(
+            per_op < Duration::from_millis(20),
+            "recovered throughput too slow: {per_op:?} per op"
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! A slow leader must visibly inflate client-observed latency — the signal
+//! the fail-slow detector keys on.
+
+use bytes::Bytes;
+use depfast_kv::KvCluster;
+use depfast_raft::cluster::RaftKind;
+use depfast_raft::core::RaftCfg;
+use simkit::{NodeId, Sim, World, WorldCfg};
+use std::rc::Rc;
+
+#[test]
+fn slow_leader_inflates_client_latency() {
+    let sim = Sim::new(3);
+    let world = World::new(
+        sim.clone(),
+        WorldCfg {
+            nodes: 7,
+            ..WorldCfg::default()
+        },
+    );
+    let cl = Rc::new(KvCluster::build(
+        &sim,
+        &world,
+        RaftKind::DepFast,
+        3,
+        4,
+        RaftCfg {
+            bootstrap_leader: Some(0),
+            ..RaftCfg::default()
+        },
+    ));
+    let drive = |n: u32| -> std::time::Duration {
+        let t0 = sim.now();
+        let handles: Vec<_> = (0..cl.clients.len())
+            .map(|c| {
+                let cl2 = cl.clone();
+                sim.spawn(async move {
+                    for r in 0..n {
+                        let key = Bytes::from(format!("k{c}-{r}"));
+                        let _ = cl2.clients[c].put(key, Bytes::from(vec![0u8; 64])).await;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            sim.run_until(h);
+        }
+        (sim.now() - t0) / (n * cl.clients.len() as u32)
+    };
+    let healthy = drive(100);
+    world.set_cpu_quota(NodeId(0), 0.05);
+    let slow = drive(100);
+    assert!(
+        slow > healthy * 2,
+        "slow leader should at least double client latency: {healthy:?} -> {slow:?}"
+    );
+}

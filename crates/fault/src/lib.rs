@@ -1,0 +1,359 @@
+//! Fail-slow fault injection: Table 1 of the paper, as code.
+//!
+//! > *"We build a fail-slow fault injection tool. It injects different
+//! > types of fail-slow faults (related to CPU, memory, SSD, and NIC) into
+//! > the target systems and measures their impact on system performance."*
+//!
+//! Each variant of [`FaultKind`] maps one row of Table 1 onto the
+//! simulator's resource models:
+//!
+//! | Table 1 row | Injection there | Injection here |
+//! |---|---|---|
+//! | CPU (slow) | cgroup quota: 5% CPU | CPU rate ×0.05 |
+//! | CPU (contention) | contender with 16× CPU share | victim share 1/17 while the contender burst is active |
+//! | Disk (slow) | cgroup blkio bandwidth limit | disk bandwidth factor |
+//! | Disk (contention) | contending heavy writer | background write+fsync task through the same disk queue |
+//! | Memory (contention) | cgroup max user memory | lowered memory limit → swap penalty / OOM on new allocations |
+//! | Network (slow) | `tc` +400 ms on the interface | +400 ms egress delay |
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use simkit::disk::DiskOp;
+use simkit::{NodeId, Sim, World};
+
+/// One fail-slow fault, parameterized; defaults reproduce Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// cgroup-style CPU quota (Table 1: 5%).
+    CpuSlow {
+        /// Fraction of CPU the process may use.
+        quota: f64,
+    },
+    /// A contending program with a higher CPU share, bursty.
+    CpuContention {
+        /// Victim's share while the contender runs (1/(1+16) for 16×).
+        share: f64,
+        /// Contender burst length.
+        on: Duration,
+        /// Gap between bursts.
+        off: Duration,
+    },
+    /// cgroup-style disk bandwidth limit.
+    DiskSlow {
+        /// Remaining fraction of disk bandwidth.
+        bw_factor: f64,
+    },
+    /// A contending program writing heavily to the shared disk.
+    DiskContention {
+        /// Bytes written (and fsynced) per burst.
+        write_bytes: u64,
+        /// Burst period.
+        period: Duration,
+    },
+    /// cgroup-style maximum user memory.
+    MemContention {
+        /// New, lower memory limit in bytes.
+        limit: u64,
+    },
+    /// `tc`-style egress delay on the node's interface.
+    NetSlow {
+        /// Added one-way delay.
+        delay: Duration,
+    },
+}
+
+impl FaultKind {
+    /// The six faults of Table 1 with the paper's parameters (where the
+    /// paper gives them) or calibrated defaults (where it does not).
+    pub fn table1(mem_limit_for_contention: u64) -> [FaultKind; 6] {
+        [
+            FaultKind::CpuSlow { quota: 0.05 },
+            FaultKind::CpuContention {
+                share: 1.0 / 17.0,
+                on: Duration::from_millis(150),
+                off: Duration::from_millis(50),
+            },
+            FaultKind::DiskSlow { bw_factor: 0.008 },
+            FaultKind::DiskContention {
+                write_bytes: 2200 * 1024,
+                period: Duration::from_millis(10),
+            },
+            FaultKind::MemContention {
+                limit: mem_limit_for_contention,
+            },
+            FaultKind::NetSlow {
+                delay: Duration::from_millis(400),
+            },
+        ]
+    }
+
+    /// Display name matching the paper's legend.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::CpuSlow { .. } => "CPU Slowness",
+            FaultKind::CpuContention { .. } => "CPU Contention",
+            FaultKind::DiskSlow { .. } => "Disk Slowness",
+            FaultKind::DiskContention { .. } => "Disk Contention",
+            FaultKind::MemContention { .. } => "Memory Contention",
+            FaultKind::NetSlow { .. } => "Network Slowness",
+        }
+    }
+}
+
+/// Handle to an injected fault; revert it with [`FaultGuard::revert`].
+pub struct FaultGuard {
+    world: World,
+    node: NodeId,
+    kind: FaultKind,
+    stop: Rc<Cell<bool>>,
+}
+
+impl FaultGuard {
+    /// The afflicted node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The injected fault.
+    pub fn kind(&self) -> FaultKind {
+        self.kind
+    }
+
+    /// Removes the fault (background contenders stop at their next tick).
+    pub fn revert(self) {
+        self.stop.set(true);
+        match self.kind {
+            FaultKind::CpuSlow { .. } => self.world.set_cpu_quota(self.node, 1.0),
+            FaultKind::CpuContention { .. } => self.world.set_cpu_contention(self.node, None),
+            FaultKind::DiskSlow { .. } => self.world.set_disk_bw_factor(self.node, 1.0),
+            FaultKind::DiskContention { .. } => {}
+            FaultKind::MemContention { .. } => self.world.reset_mem_limit(self.node),
+            FaultKind::NetSlow { .. } => {
+                self.world.set_egress_delay(self.node, Duration::ZERO)
+            }
+        }
+    }
+}
+
+/// Injects `kind` into `node` immediately.
+pub fn inject(sim: &Sim, world: &World, node: NodeId, kind: FaultKind) -> FaultGuard {
+    let stop = Rc::new(Cell::new(false));
+    match kind {
+        FaultKind::CpuSlow { quota } => world.set_cpu_quota(node, quota),
+        FaultKind::CpuContention { share, on, off } => {
+            let w = world.clone();
+            let s = sim.clone();
+            let stop2 = stop.clone();
+            sim.spawn(async move {
+                // The contending program: bursts of activity that squeeze
+                // the victim's share, with gaps in between.
+                loop {
+                    if stop2.get() || w.is_crashed(node) {
+                        w.set_cpu_contention(node, None);
+                        break;
+                    }
+                    w.set_cpu_contention(node, Some(share));
+                    s.sleep(on).await;
+                    w.set_cpu_contention(node, None);
+                    s.sleep(off).await;
+                }
+            });
+        }
+        FaultKind::DiskSlow { bw_factor } => world.set_disk_bw_factor(node, bw_factor),
+        FaultKind::DiskContention { write_bytes, period } => {
+            let w = world.clone();
+            let s = sim.clone();
+            let stop2 = stop.clone();
+            sim.spawn(async move {
+                // The contending program: a heavy writer submitting bursts
+                // on a fixed schedule, regardless of completion — it can
+                // oversubscribe the shared disk queue, exactly how a
+                // misbehaving neighbour starves foreground fsyncs.
+                loop {
+                    if stop2.get() || w.is_crashed(node) {
+                        break;
+                    }
+                    let w2 = w.clone();
+                    s.spawn(async move {
+                        let _ = w2.disk(node, DiskOp::Fsync { bytes: write_bytes }).await;
+                    });
+                    s.sleep(period).await;
+                }
+            });
+        }
+        FaultKind::MemContention { limit } => world.set_mem_limit(node, limit),
+        FaultKind::NetSlow { delay } => world.set_egress_delay(node, delay),
+    }
+    FaultGuard {
+        world: world.clone(),
+        node,
+        kind,
+        stop,
+    }
+}
+
+/// Schedules `kind` on `node` at virtual offset `at`, with an optional
+/// automatic revert after `duration`.
+pub fn inject_at(
+    sim: &Sim,
+    world: &World,
+    node: NodeId,
+    kind: FaultKind,
+    at: Duration,
+    duration: Option<Duration>,
+) {
+    let sim2 = sim.clone();
+    let world2 = world.clone();
+    let when = sim.now() + at;
+    sim.schedule_call(when, move || {
+        let guard = inject(&sim2, &world2, node, kind);
+        if let Some(d) = duration {
+            let until = sim2.now() + d;
+            sim2.schedule_call(until, move || guard.revert());
+        } else {
+            std::mem::forget(guard);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::{SimTime, WorldCfg};
+
+    fn setup() -> (Sim, World) {
+        let sim = Sim::new(1);
+        let world = World::new(sim.clone(), WorldCfg::default());
+        (sim, world)
+    }
+
+    #[test]
+    fn cpu_slow_inflates_service_time_and_reverts() {
+        let (sim, w) = setup();
+        let g = inject(&sim, &w, NodeId(0), FaultKind::CpuSlow { quota: 0.05 });
+        assert!((w.cpu_rate(NodeId(0)) - 0.05).abs() < 1e-12);
+        g.revert();
+        assert!((w.cpu_rate(NodeId(0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cpu_contention_toggles_share() {
+        let (sim, w) = setup();
+        inject(
+            &sim,
+            &w,
+            NodeId(1),
+            FaultKind::CpuContention {
+                share: 1.0 / 17.0,
+                on: Duration::from_millis(10),
+                off: Duration::from_millis(10),
+            },
+        );
+        sim.run_until_time(SimTime::from_millis(5));
+        assert!(w.cpu_rate(NodeId(1)) < 0.1, "contender active");
+        sim.run_until_time(SimTime::from_millis(15));
+        assert!((w.cpu_rate(NodeId(1)) - 1.0).abs() < 1e-12, "gap");
+    }
+
+    #[test]
+    fn disk_contention_delays_foreground_io() {
+        let (sim, w) = setup();
+        // Measure a foreground fsync with and without the contender.
+        let w2 = w.clone();
+        let t_healthy = {
+            let s2 = sim.clone();
+            sim.block_on(async move {
+                let t0 = s2.now();
+                w2.disk(NodeId(0), DiskOp::Fsync { bytes: 4096 }).await.unwrap();
+                s2.now() - t0
+            })
+        };
+        inject(
+            &sim,
+            &w,
+            NodeId(0),
+            FaultKind::DiskContention {
+                write_bytes: 8 * 1024 * 1024,
+                period: Duration::from_millis(1),
+            },
+        );
+        sim.run_until_time(sim.now() + Duration::from_millis(50));
+        let w3 = w.clone();
+        let s3 = sim.clone();
+        let t_contended = sim.block_on(async move {
+            let t0 = s3.now();
+            w3.disk(NodeId(0), DiskOp::Fsync { bytes: 4096 }).await.unwrap();
+            s3.now() - t0
+        });
+        assert!(
+            t_contended > t_healthy * 3,
+            "contended {t_contended:?} vs healthy {t_healthy:?}"
+        );
+    }
+
+    #[test]
+    fn mem_contention_induces_swap_slowdown() {
+        let (sim, w) = setup();
+        let used = w.mem_used(NodeId(2));
+        inject(
+            &sim,
+            &w,
+            NodeId(2),
+            FaultKind::MemContention {
+                limit: (used as f64 * 1.05) as u64,
+            },
+        );
+        assert!(w.mem_slowdown(NodeId(2)) > 1.0);
+        let _ = sim;
+    }
+
+    #[test]
+    fn net_slow_delays_egress_only() {
+        let (sim, w) = setup();
+        inject(
+            &sim,
+            &w,
+            NodeId(1),
+            FaultKind::NetSlow {
+                delay: Duration::from_millis(400),
+            },
+        );
+        let stamps: Rc<std::cell::RefCell<Vec<SimTime>>> = Rc::default();
+        let st = stamps.clone();
+        let s2 = sim.clone();
+        w.register_handler(NodeId(0), move |_| st.borrow_mut().push(s2.now()));
+        w.send(NodeId(1), NodeId(0), bytes::Bytes::from_static(b"x"));
+        sim.run();
+        assert!(stamps.borrow()[0] >= SimTime::from_millis(400));
+    }
+
+    #[test]
+    fn inject_at_applies_and_reverts_on_schedule() {
+        let (sim, w) = setup();
+        inject_at(
+            &sim,
+            &w,
+            NodeId(0),
+            FaultKind::CpuSlow { quota: 0.05 },
+            Duration::from_millis(100),
+            Some(Duration::from_millis(100)),
+        );
+        sim.run_until_time(SimTime::from_millis(50));
+        assert!((w.cpu_rate(NodeId(0)) - 1.0).abs() < 1e-12);
+        sim.run_until_time(SimTime::from_millis(150));
+        assert!((w.cpu_rate(NodeId(0)) - 0.05).abs() < 1e-12);
+        sim.run_until_time(SimTime::from_millis(250));
+        assert!((w.cpu_rate(NodeId(0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table1_has_six_faults_with_names() {
+        let faults = FaultKind::table1(1 << 30);
+        assert_eq!(faults.len(), 6);
+        let names: Vec<&str> = faults.iter().map(|f| f.name()).collect();
+        assert!(names.contains(&"CPU Slowness"));
+        assert!(names.contains(&"Network Slowness"));
+    }
+}

@@ -1,0 +1,150 @@
+//! KV client: leader discovery, retries and session sequencing.
+//!
+//! The client's wait on the leader's reply is a singular remote wait —
+//! Figure 2's red `c → s` edge. The paper accepts this: a fail-slow
+//! *leader* is out of scope for follower-tolerance (§2) and is instead
+//! handled by detection + re-election (§5, implemented in
+//! `depfast-detect`).
+
+use std::cell::Cell;
+use std::time::Duration;
+
+use bytes::Bytes;
+use depfast::event::Watchable;
+use depfast_raft::types::CLIENT_PROPOSE;
+use depfast_rpc::wire::{WireRead, WireWrite};
+use depfast_rpc::Endpoint;
+use simkit::NodeId;
+
+use crate::command::{KvOp, KvRequest, KvResponse, KvStatus};
+
+/// Client-side failure after exhausting retries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvError {
+    /// No attempt got a successful reply in time.
+    Timeout,
+    /// The cluster reported a persistent error.
+    Failed,
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::Timeout => write!(f, "request timed out"),
+            KvError::Failed => write!(f, "request failed"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+/// A KV client session bound to one client host node.
+pub struct KvClient {
+    ep: Endpoint,
+    servers: Vec<NodeId>,
+    client_id: u64,
+    seq: Cell<u64>,
+    leader: Cell<Option<NodeId>>,
+    /// Per-attempt reply deadline.
+    pub attempt_timeout: Duration,
+    /// Maximum attempts per operation.
+    pub max_attempts: usize,
+}
+
+impl KvClient {
+    /// Creates a client talking to `servers` from `ep`'s node.
+    pub fn new(ep: Endpoint, servers: Vec<NodeId>, client_id: u64) -> Self {
+        KvClient {
+            ep,
+            servers,
+            client_id,
+            seq: Cell::new(0),
+            leader: Cell::new(None),
+            attempt_timeout: Duration::from_millis(1500),
+            max_attempts: 6,
+        }
+    }
+
+    /// The session id.
+    pub fn id(&self) -> u64 {
+        self.client_id
+    }
+
+    /// Last known leader.
+    pub fn known_leader(&self) -> Option<NodeId> {
+        self.leader.get()
+    }
+
+    /// Inserts or overwrites `key`.
+    pub async fn put(&self, key: Bytes, value: Bytes) -> Result<(), KvError> {
+        self.run(KvOp::Put, key, value).await.map(|_| ())
+    }
+
+    /// Linearizable read of `key`.
+    pub async fn get(&self, key: Bytes) -> Result<Option<Bytes>, KvError> {
+        self.run(KvOp::Get, key, Bytes::new()).await
+    }
+
+    /// Removes `key`.
+    pub async fn delete(&self, key: Bytes) -> Result<(), KvError> {
+        self.run(KvOp::Delete, key, Bytes::new()).await.map(|_| ())
+    }
+
+    async fn run(&self, op: KvOp, key: Bytes, value: Bytes) -> Result<Option<Bytes>, KvError> {
+        let seq = self.seq.get() + 1;
+        self.seq.set(seq);
+        let req = KvRequest {
+            client: self.client_id,
+            seq,
+            op,
+            key,
+            value,
+        };
+        let payload = req.to_bytes();
+        let mut target = self
+            .leader
+            .get()
+            .unwrap_or_else(|| self.servers[(self.client_id as usize) % self.servers.len()]);
+        let mut rotate = 0usize;
+        for _ in 0..self.max_attempts {
+            let ev = self
+                .ep
+                .proxy(target)
+                .call(CLIENT_PROPOSE, "kv_request", payload.clone());
+            let out = ev.handle().wait_timeout(self.attempt_timeout).await;
+            if out.is_ready() {
+                if let Some(resp) = ev.take().and_then(|b| KvResponse::from_bytes(&b)) {
+                    match resp.status {
+                        KvStatus::Ok => {
+                            self.leader.set(Some(target));
+                            return Ok(resp.value);
+                        }
+                        KvStatus::NotLeader => {
+                            target = match resp.leader_hint {
+                                Some(h) if NodeId(h) != target => NodeId(h),
+                                _ => {
+                                    rotate += 1;
+                                    self.servers[rotate % self.servers.len()]
+                                }
+                            };
+                            self.leader.set(None);
+                            continue;
+                        }
+                        KvStatus::Error => {
+                            // Leadership churn mid-commit: retry (the
+                            // session dedup makes this safe).
+                            rotate += 1;
+                            target = self.servers[rotate % self.servers.len()];
+                            continue;
+                        }
+                    }
+                }
+            }
+            // Timeout: try another server.
+            self.leader.set(None);
+            rotate += 1;
+            target = self.servers[rotate % self.servers.len()];
+        }
+        Err(KvError::Timeout)
+    }
+}

@@ -1,0 +1,212 @@
+//! One-call construction of a complete replicated KV deployment: world
+//! nodes `0..n` host servers, nodes `n..n+c` host clients.
+
+use std::time::Duration;
+
+use depfast::runtime::Runtime;
+use depfast_raft::cluster::{build_cluster, rpc_cfg_for, RaftCluster, RaftKind};
+use depfast_raft::core::RaftCfg;
+use depfast_rpc::Endpoint;
+use simkit::{NodeId, Sim, World};
+
+use crate::client::KvClient;
+use crate::server::KvServer;
+
+/// A running KV cluster plus client sessions.
+pub struct KvCluster {
+    /// The underlying Raft cluster.
+    pub raft: RaftCluster,
+    /// One KV server per cluster node.
+    pub servers: Vec<KvServer>,
+    /// Client sessions (one per client host node).
+    pub clients: Vec<KvClient>,
+    /// Client host node ids.
+    pub client_nodes: Vec<NodeId>,
+}
+
+impl KvCluster {
+    /// Builds `n_servers` KV servers of the given driver and `n_clients`
+    /// clients on one `world` (which must have at least
+    /// `n_servers + n_clients` nodes).
+    pub fn build(
+        sim: &Sim,
+        world: &World,
+        kind: RaftKind,
+        n_servers: usize,
+        n_clients: usize,
+        cfg: RaftCfg,
+    ) -> Self {
+        Self::build_tuned(sim, world, kind, n_servers, n_clients, cfg, Duration::from_micros(30))
+    }
+
+    /// [`KvCluster::build`] with an explicit per-request serve CPU cost
+    /// (used by the benchmark harness to calibrate leader utilization).
+    pub fn build_tuned(
+        sim: &Sim,
+        world: &World,
+        kind: RaftKind,
+        n_servers: usize,
+        n_clients: usize,
+        cfg: RaftCfg,
+        serve_cpu: Duration,
+    ) -> Self {
+        assert!(
+            world.node_count() >= n_servers + n_clients,
+            "world too small: {} nodes for {} servers + {} clients",
+            world.node_count(),
+            n_servers,
+            n_clients
+        );
+        let raft = build_cluster(sim, world, kind, n_servers, cfg);
+        let servers: Vec<KvServer> = raft
+            .servers
+            .iter()
+            .map(|s| KvServer::install_tuned(s.clone(), serve_cpu))
+            .collect();
+        let server_nodes: Vec<NodeId> = (0..n_servers as u32).map(NodeId).collect();
+        let mut clients = Vec::with_capacity(n_clients);
+        let mut client_nodes = Vec::with_capacity(n_clients);
+        for i in 0..n_clients {
+            let node = NodeId((n_servers + i) as u32);
+            let rt = Runtime::with_tracer(sim.clone(), node, raft.tracer.clone());
+            let ep = Endpoint::new(&rt, world, &raft.registry, rpc_cfg_for(kind));
+            clients.push(KvClient::new(ep, server_nodes.clone(), i as u64 + 1));
+            client_nodes.push(node);
+        }
+        KvCluster {
+            raft,
+            servers,
+            clients,
+            client_nodes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use simkit::WorldCfg;
+    use std::rc::Rc;
+
+    fn world(n: usize) -> (Sim, World) {
+        let sim = Sim::new(31);
+        let world = World::new(
+            sim.clone(),
+            WorldCfg {
+                nodes: n,
+                ..WorldCfg::default()
+            },
+        );
+        (sim, world)
+    }
+
+    #[test]
+    fn put_then_get_round_trips() {
+        let (sim, w) = world(4);
+        let cl = KvCluster::build(
+            &sim,
+            &w,
+            RaftKind::DepFast,
+            3,
+            1,
+            RaftCfg {
+                bootstrap_leader: Some(0),
+                ..RaftCfg::default()
+            },
+        );
+        let cl = Rc::new(cl);
+        let cl2 = cl.clone();
+        let out = sim.block_on(async move {
+            let c = &cl2.clients[0];
+            c.put(Bytes::from_static(b"k"), Bytes::from_static(b"v"))
+                .await
+                .unwrap();
+            c.get(Bytes::from_static(b"k")).await.unwrap()
+        });
+        assert_eq!(out, Some(Bytes::from_static(b"v")));
+    }
+
+    #[test]
+    fn client_discovers_leader_via_redirect() {
+        let (sim, w) = world(4);
+        let cl = Rc::new(KvCluster::build(
+            &sim,
+            &w,
+            RaftKind::DepFast,
+            3,
+            1,
+            RaftCfg {
+                bootstrap_leader: Some(2),
+                ..RaftCfg::default()
+            },
+        ));
+        let cl2 = cl.clone();
+        sim.block_on(async move {
+            cl2.clients[0]
+                .put(Bytes::from_static(b"a"), Bytes::from_static(b"1"))
+                .await
+                .unwrap();
+        });
+        assert_eq!(cl.clients[0].known_leader(), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn all_replicas_converge_on_applied_state() {
+        let (sim, w) = world(4);
+        let cl = Rc::new(KvCluster::build(
+            &sim,
+            &w,
+            RaftKind::DepFast,
+            3,
+            1,
+            RaftCfg {
+                bootstrap_leader: Some(0),
+                ..RaftCfg::default()
+            },
+        ));
+        let cl2 = cl.clone();
+        sim.block_on(async move {
+            for i in 0..10u8 {
+                cl2.clients[0]
+                    .put(
+                        Bytes::from(vec![b'k', i]),
+                        Bytes::from(vec![b'v', i]),
+                    )
+                    .await
+                    .unwrap();
+            }
+        });
+        // Let follower apply loops drain.
+        sim.run_until_time(sim.now() + std::time::Duration::from_secs(1));
+        for s in &cl.servers {
+            assert_eq!(s.keys(), 10, "replica state must converge");
+        }
+    }
+
+    #[test]
+    fn retried_put_is_applied_once() {
+        let (sim, w) = world(4);
+        let cl = Rc::new(KvCluster::build(
+            &sim,
+            &w,
+            RaftKind::DepFast,
+            3,
+            1,
+            RaftCfg {
+                bootstrap_leader: Some(0),
+                ..RaftCfg::default()
+            },
+        ));
+        let cl2 = cl.clone();
+        sim.block_on(async move {
+            cl2.clients[0]
+                .put(Bytes::from_static(b"k"), Bytes::from_static(b"v"))
+                .await
+                .unwrap();
+        });
+        sim.run_until_time(sim.now() + std::time::Duration::from_millis(500));
+        let applied_leader = cl.servers[0].applied();
+        assert_eq!(applied_leader, 1);
+    }
+}

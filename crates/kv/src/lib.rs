@@ -1,0 +1,22 @@
+//! The replicated key-value store: §3.4's "Raft-based replicated key-value
+//! store" over any of the four Raft drivers.
+//!
+//! * [`command`] — the client command/response wire format and session ids;
+//! * [`server`] — installs the KV state machine (with exactly-once session
+//!   dedup) on a Raft server and serves client proposals;
+//! * [`client`] — closed-loop clients with leader discovery and retry.
+//!   A client's wait on the leader is a deliberate singular (red) edge —
+//!   exactly what Figure 2 of the paper shows: "the clients wait for
+//!   leader nodes — if a leader fails slow, the corresponding client will
+//!   be affected."
+//! * [`harness`] — one-call construction of a full cluster + clients.
+
+pub mod client;
+pub mod command;
+pub mod harness;
+pub mod server;
+
+pub use client::{KvClient, KvError};
+pub use command::{KvOp, KvRequest, KvResponse, KvStatus};
+pub use harness::KvCluster;
+pub use server::KvServer;

@@ -1,0 +1,155 @@
+//! KV server: state machine installation and the client-proposal service.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use depfast::event::Watchable;
+use depfast::runtime::Coroutine;
+use depfast_raft::cluster::RaftKind;
+use depfast_raft::core::RaftServer;
+use depfast_raft::depfast_driver::DepFastRaft;
+use depfast_raft::types::CLIENT_PROPOSE;
+use depfast_rpc::wire::{WireRead, WireWrite};
+use depfast_storage::MemKv;
+
+use crate::command::{KvOp, KvRequest, KvResponse};
+
+/// How long the server shepherds one proposal before reporting an error.
+const PROPOSAL_DEADLINE: Duration = Duration::from_secs(5);
+
+/// A replicated KV server on one node.
+#[derive(Clone)]
+pub struct KvServer {
+    raft: RaftServer,
+    state: Rc<RefCell<MemKv>>,
+    /// Serve `Get`s via the ReadIndex protocol instead of the log.
+    read_index: Rc<Cell<bool>>,
+}
+
+impl KvServer {
+    /// Installs the KV state machine and client service on `raft` with
+    /// default request-processing cost.
+    pub fn install(raft: RaftServer) -> Self {
+        Self::install_tuned(raft, Duration::from_micros(30))
+    }
+
+    /// Installs with an explicit per-request CPU cost (`serve_cpu` models
+    /// request parsing/validation; it runs concurrently across cores).
+    pub fn install_tuned(raft: RaftServer, serve_cpu: Duration) -> Self {
+        let read_index = Rc::new(Cell::new(false));
+        let state = Rc::new(RefCell::new(MemKv::new()));
+        let st = state.clone();
+        raft.core().set_apply(move |entry| {
+            let Some(req) = KvRequest::from_bytes(&entry.payload) else {
+                return KvResponse::error().to_bytes();
+            };
+            let mut kv = st.borrow_mut();
+            kv.apply_dedup(req.client, req.seq, |kv| {
+                let resp = match req.op {
+                    crate::command::KvOp::Put => {
+                        kv.put(req.key.clone(), req.value.clone());
+                        KvResponse::ok(None)
+                    }
+                    crate::command::KvOp::Get => {
+                        KvResponse::ok(kv.get(&req.key).cloned())
+                    }
+                    crate::command::KvOp::Delete => {
+                        kv.delete(&req.key);
+                        KvResponse::ok(None)
+                    }
+                };
+                resp.to_bytes()
+            })
+        });
+
+        let server = KvServer {
+            raft: raft.clone(),
+            state: state.clone(),
+            read_index: read_index.clone(),
+        };
+        let r = raft.clone();
+        raft.core().ep.register(
+            CLIENT_PROPOSE,
+            "kv:serve",
+            move |_from, payload, responder| {
+                let r = r.clone();
+                let ri = read_index.clone();
+                let st = state.clone();
+                Coroutine::create(&r.core().rt.clone(), "kv:serve", async move {
+                    if r.core().world.cpu(r.core().id, serve_cpu).await.is_err() {
+                        return;
+                    }
+                    if !r.is_leader() {
+                        let hint = r.leader_hint().map(|n| n.0);
+                        responder.reply_t(&KvResponse::not_leader(hint));
+                        return;
+                    }
+                    // ReadIndex fast path: serve linearizable reads from
+                    // local state after a majority leadership confirmation
+                    // — no log append, no disk write, still no singular
+                    // wait on any one follower.
+                    if ri.get() && r.kind() == RaftKind::DepFast {
+                        if let Some(req) = KvRequest::from_bytes(&payload) {
+                            if req.op == KvOp::Get {
+                                let core = r.core();
+                                let observed_commit = core.commit.get();
+                                if !DepFastRaft::confirm_leadership(core).await {
+                                    let hint = r.leader_hint().map(|n| n.0);
+                                    responder.reply_t(&KvResponse::not_leader(hint));
+                                    return;
+                                }
+                                let gate = core.wait_applied(observed_commit);
+                                if !gate.wait_timeout(PROPOSAL_DEADLINE).await.is_ready() {
+                                    responder.reply_t(&KvResponse::error());
+                                    return;
+                                }
+                                let value = st.borrow().get(&req.key).cloned();
+                                responder.reply_t(&KvResponse::ok(value));
+                                return;
+                            }
+                        }
+                    }
+                    let ev = r.propose(payload);
+                    let out = ev.handle().wait_timeout(PROPOSAL_DEADLINE).await;
+                    if out.is_ready() {
+                        // The apply function produced an encoded response.
+                        let reply = ev.take().unwrap_or_else(|| KvResponse::error().to_bytes());
+                        responder.reply(reply);
+                    } else {
+                        responder.reply_t(&KvResponse::error());
+                    }
+                });
+            },
+        );
+        server
+    }
+
+    /// The underlying Raft server.
+    pub fn raft(&self) -> &RaftServer {
+        &self.raft
+    }
+
+    /// Enables or disables ReadIndex serving of `Get`s (DepFastRaft only;
+    /// other drivers always read through the log).
+    pub fn set_read_index(&self, on: bool) {
+        self.read_index.set(on);
+    }
+
+    /// Number of live keys in the local replica.
+    pub fn keys(&self) -> usize {
+        self.state.borrow().len()
+    }
+
+    /// Commands applied by the local replica (excluding dedup replays).
+    pub fn applied(&self) -> u64 {
+        self.state.borrow().applied()
+    }
+
+    /// Reads a key directly from the local replica (test/diagnostic use;
+    /// not linearizable).
+    pub fn local_get(&self, key: &Bytes) -> Option<Bytes> {
+        self.state.borrow().get(key).cloned()
+    }
+}

@@ -1,0 +1,292 @@
+//! **ChainRaft** — chain replication over the same substrate, for the
+//! paper's design-tradeoff analysis.
+//!
+//! §2.1 turns chained replication *off* in the measured systems because it
+//! "by design could propagate fail-slow faults", and §3.3 names exactly
+//! this tradeoff — fail-slow fault tolerance versus load balancing in
+//! chained replication — as something SPG analysis can reason about. This
+//! driver exists to make that analysis runnable: writes flow
+//! head → middle… → tail, each hop waits *singularly* on its successor's
+//! ack, so the SPG is a chain of red edges and
+//! [`verify::propagation_impact`](depfast::verify::propagation_impact)
+//! predicts that slowness anywhere in the chain impacts everyone — the
+//! opposite of the quorum structure, in exchange for chain replication's
+//! lower leader load (the head ships each entry once, not `n-1` times).
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use depfast::event::Watchable;
+use depfast::runtime::Coroutine;
+use depfast_rpc::wire::WireRead;
+use depfast_storage::Entry;
+use simkit::NodeId;
+
+use crate::core::{classified_reply, RaftCore, Role};
+use crate::types::{to_wire, AppendReq, AppendResp, CHAIN_FORWARD};
+
+/// ChainRaft options.
+#[derive(Debug, Clone, Copy)]
+pub struct ChainOpts {
+    /// Per-hop ack deadline.
+    pub hop_timeout: Duration,
+}
+
+impl Default for ChainOpts {
+    fn default() -> Self {
+        ChainOpts {
+            hop_timeout: Duration::from_millis(1500),
+        }
+    }
+}
+
+/// The chain replication driver (head = `bootstrap_leader`; chain order =
+/// member order).
+pub struct ChainRaft;
+
+impl ChainRaft {
+    fn successor(core: &RaftCore) -> Option<NodeId> {
+        let pos = core.members.iter().position(|m| *m == core.id)?;
+        core.members.get(pos + 1).copied()
+    }
+
+    /// Starts ChainRaft coroutines on `core`.
+    pub fn start(core: &Rc<RaftCore>, opts: ChainOpts) {
+        Self::install_forward_service(core, opts);
+        core.spawn_apply_loop();
+        if core.is_leader() {
+            Self::spawn_head_loop(core, opts);
+        }
+    }
+
+    /// Handles a forwarded batch: append durably, relay down-chain, and
+    /// only then acknowledge up-chain (so the head's ack implies the tail
+    /// has the data).
+    fn install_forward_service(core: &Rc<RaftCore>, opts: ChainOpts) {
+        let c = core.clone();
+        core.ep.register(
+            CHAIN_FORWARD,
+            "chain:forward",
+            move |_from, payload, responder| {
+                let c = c.clone();
+                let Some(req) = AppendReq::from_bytes(&payload) else {
+                    return;
+                };
+                Coroutine::create(&c.rt.clone(), "chain:forward", async move {
+                    let entry_count = req.entries.len();
+                    let cpu = c.cfg.append_cpu_base
+                        + c.cfg.append_cpu_per_entry * entry_count as u32;
+                    if c.world.cpu(c.id, cpu).await.is_err() {
+                        return;
+                    }
+                    // Append (idempotently) and wait for durability.
+                    let entries = crate::types::from_wire(req.entries.clone());
+                    let mut new = Vec::new();
+                    for e in entries {
+                        if e.index > c.log.last_index() {
+                            new.push(e);
+                        }
+                    }
+                    let match_to = req.prev_index + entry_count as u64;
+                    if !new.is_empty() {
+                        c.log.append(&new);
+                    }
+                    if match_to > 0 && c.log.durable_index() < match_to {
+                        let gate = c.log.wait_durable(match_to.min(c.log.last_index()));
+                        if !gate.wait().await.is_ready() {
+                            return;
+                        }
+                    }
+                    c.set_commit(req.commit.min(match_to));
+                    // Relay to the successor and wait for its ack — the
+                    // chain's singular dependence, by design.
+                    if let Some(next) = Self::successor(&c) {
+                        let ev = c.ep.proxy(next).call_t(CHAIN_FORWARD, "chain_forward", &req);
+                        let ok = classified_reply::<AppendResp>(
+                            &c.rt,
+                            &ev,
+                            next,
+                            "chain_forward",
+                            |resp| resp.is_some_and(|r| r.success),
+                        );
+                        if !ok.wait_timeout(opts.hop_timeout).await.is_ready() {
+                            responder.reply_t(&AppendResp {
+                                term: c.log.current_term(),
+                                success: false,
+                                match_index: match_to,
+                            });
+                            return;
+                        }
+                    }
+                    responder.reply_t(&AppendResp {
+                        term: c.log.current_term(),
+                        success: true,
+                        match_index: match_to,
+                    });
+                });
+            },
+        );
+    }
+
+    /// The head's loop: batch, append locally, forward once down the
+    /// chain, wait for the (tail-implied) ack, commit.
+    fn spawn_head_loop(core: &Rc<RaftCore>, opts: ChainOpts) {
+        let core = core.clone();
+        Coroutine::create(&core.rt.clone(), "chain:head", async move {
+            loop {
+                if core.st.borrow().role != Role::Leader || core.world.is_crashed(core.id) {
+                    break;
+                }
+                let batch = core
+                    .proposals
+                    .pop_batch(&core.rt, core.cfg.batch_max, None)
+                    .await;
+                let cpu = core.cfg.propose_cpu * batch.len().max(1) as u32;
+                if core.world.cpu(core.id, cpu).await.is_err() {
+                    break;
+                }
+                let term = core.log.current_term();
+                let start = core.log.last_index() + 1;
+                let mut entries = Vec::with_capacity(batch.len());
+                for (i, (payload, ev)) in batch.into_iter().enumerate() {
+                    let index = start + i as u64;
+                    entries.push(Entry { term, index, payload });
+                    core.pending.borrow_mut().insert(index, ev);
+                }
+                let hi = start + entries.len() as u64 - 1;
+                let io = core.log.append(&entries);
+                if !io.handle().wait().await.is_ready() {
+                    break;
+                }
+                let Some(next) = Self::successor(&core) else {
+                    core.set_commit(hi); // Single-node chain.
+                    continue;
+                };
+                let req = AppendReq {
+                    term,
+                    leader: core.id.0,
+                    prev_index: start - 1,
+                    prev_term: core.log.term_at(start - 1),
+                    entries: to_wire(&entries),
+                    commit: core.commit.get(),
+                };
+                let ev = core.ep.proxy(next).call_t(CHAIN_FORWARD, "chain_forward", &req);
+                let ok = classified_reply::<AppendResp>(
+                    &core.rt,
+                    &ev,
+                    next,
+                    "chain_forward",
+                    |resp| resp.is_some_and(|r| r.success),
+                );
+                // The head waits on ONE successor — a red SPG edge. (The
+                // successor is itself waiting on its own successor: the
+                // whole chain is on the critical path.)
+                if ok.wait_timeout(opts.hop_timeout).await.is_ready() {
+                    core.set_commit(hi);
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{build_cluster, RaftKind};
+    use crate::core::RaftCfg;
+    use bytes::Bytes;
+    use simkit::{Sim, World, WorldCfg};
+
+    fn cluster() -> (Sim, World, crate::cluster::RaftCluster) {
+        let sim = Sim::new(19);
+        let world = World::new(
+            sim.clone(),
+            WorldCfg {
+                nodes: 3,
+                ..WorldCfg::default()
+            },
+        );
+        let cl = build_cluster(
+            &sim,
+            &world,
+            RaftKind::Chain,
+            3,
+            RaftCfg {
+                bootstrap_leader: Some(0),
+                ..RaftCfg::default()
+            },
+        );
+        (sim, world, cl)
+    }
+
+    fn drive(sim: &Sim, cl: &crate::cluster::RaftCluster, n: u32) -> (u32, Duration) {
+        let t0 = sim.now();
+        let mut ok = 0;
+        for i in 0..n {
+            let ev = cl.servers[0].propose(Bytes::from(vec![(i % 251) as u8; 64]));
+            let out = sim.block_on({
+                let ev = ev.clone();
+                async move { ev.handle().wait_timeout(Duration::from_secs(3)).await }
+            });
+            if out.is_ready() {
+                ok += 1;
+            }
+        }
+        (ok, sim.now() - t0)
+    }
+
+    #[test]
+    fn healthy_chain_commits_and_replicates_to_tail() {
+        let (sim, _world, cl) = cluster();
+        let (ok, _) = drive(&sim, &cl, 30);
+        assert_eq!(ok, 30);
+        sim.run_until_time(sim.now() + Duration::from_secs(1));
+        for s in &cl.servers {
+            assert_eq!(s.core().log.last_index(), 30, "chain fully replicated");
+        }
+    }
+
+    #[test]
+    fn slow_tail_slows_the_entire_chain() {
+        let (sim, world, cl) = cluster();
+        let (_, healthy) = drive(&sim, &cl, 30);
+        // The TAIL fails slow — in a quorum system this is harmless.
+        world.set_egress_delay(NodeId(2), Duration::from_millis(400));
+        let (ok, slowed) = drive(&sim, &cl, 30);
+        assert_eq!(ok, 30, "chain still commits, just slowly");
+        assert!(
+            slowed > healthy * 20,
+            "every write now pays the tail's delay: {healthy:?} -> {slowed:?}"
+        );
+    }
+
+    #[test]
+    fn verifier_flags_every_chain_hop() {
+        let (sim, _world, cl) = cluster();
+        cl.tracer.set_record_full(true);
+        drive(&sim, &cl, 10);
+        cl.tracer.set_record_full(false);
+        let spg = depfast::spg::build(&cl.tracer.records());
+        let violations =
+            depfast::verify::check_fail_slow_tolerance(&spg, |l| l.starts_with("chain:"));
+        // Head waits on middle, middle waits on tail: two singular hops.
+        let pairs: Vec<(u32, u32)> = violations.iter().map(|v| (v.waiter.0, v.target.0)).collect();
+        assert!(pairs.contains(&(0, 1)), "head->middle hop flagged: {pairs:?}");
+        assert!(pairs.contains(&(1, 2)), "middle->tail hop flagged: {pairs:?}");
+    }
+
+    #[test]
+    fn propagation_analysis_shows_chain_wide_impact() {
+        let (sim, _world, cl) = cluster();
+        cl.tracer.set_record_full(true);
+        drive(&sim, &cl, 10);
+        cl.tracer.set_record_full(false);
+        let spg = depfast::spg::build(&cl.tracer.records());
+        // Slow TAIL impacts every chain member — the §3.3 tradeoff,
+        // quantified from a real trace.
+        let impacted =
+            depfast::verify::propagation_impact(&spg, &[NodeId(2)].into());
+        assert!(impacted.contains(&NodeId(0)), "head impacted: {impacted:?}");
+        assert!(impacted.contains(&NodeId(1)), "middle impacted: {impacted:?}");
+    }
+}

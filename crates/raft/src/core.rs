@@ -1,0 +1,904 @@
+//! Shared Raft machinery: configuration, per-node state, the proposal
+//! queue, follower services, the apply loop and commit accounting.
+//!
+//! Everything protocol-correct lives here so the four drivers differ only
+//! in their *waiting structure* — the paper's variable of interest.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+use std::time::Duration;
+
+use bytes::Bytes;
+use depfast::event::{EventHandle, EventKind, Signal, ValueEvent};
+use depfast::runtime::{Coroutine, Runtime};
+use depfast::TypedEvent;
+use depfast_rpc::proxy::RpcEvent;
+use depfast_rpc::wire::WireRead;
+use depfast_rpc::Endpoint;
+use depfast_storage::{Entry, LogStore, LogStoreCfg};
+use simkit::{NodeId, SimTime, World};
+
+use crate::types::{
+    from_wire, AppendReq, AppendResp, VoteReq, VoteResp, APPEND_ENTRIES, PRE_VOTE, REQUEST_VOTE,
+};
+
+/// Raft timing, batching and cost configuration (shared by all drivers).
+#[derive(Debug, Clone, Copy)]
+pub struct RaftCfg {
+    /// Leader heartbeat interval.
+    pub heartbeat: Duration,
+    /// Election timeout range `[lo, hi)`.
+    pub election_timeout: (Duration, Duration),
+    /// Maximum proposals folded into one replication round.
+    pub batch_max: usize,
+    /// Maximum entries shipped in one `AppendEntries`.
+    pub max_entries_per_append: usize,
+    /// Quorum-wait deadline per replication round.
+    pub replicate_timeout: Duration,
+    /// Follower CPU cost: fixed part of handling an `AppendEntries`.
+    pub append_cpu_base: Duration,
+    /// Follower CPU cost per entry appended.
+    pub append_cpu_per_entry: Duration,
+    /// Leader CPU cost per proposal (request parsing, batching).
+    pub propose_cpu: Duration,
+    /// CPU cost of applying one entry to the state machine.
+    pub apply_cpu: Duration,
+    /// Log store (EntryCache, WAL) configuration.
+    pub log: LogStoreCfg,
+    /// If set, this node starts as leader of term 1 and elections are
+    /// pre-seeded (used for steady-state benchmarks; `None` = elect).
+    pub bootstrap_leader: Option<u32>,
+}
+
+impl Default for RaftCfg {
+    fn default() -> Self {
+        RaftCfg {
+            heartbeat: Duration::from_millis(30),
+            election_timeout: (Duration::from_millis(150), Duration::from_millis(300)),
+            batch_max: 64,
+            max_entries_per_append: 256,
+            replicate_timeout: Duration::from_millis(1000),
+            append_cpu_base: Duration::from_micros(20),
+            append_cpu_per_entry: Duration::from_micros(15),
+            propose_cpu: Duration::from_micros(25),
+            apply_cpu: Duration::from_micros(20),
+            log: LogStoreCfg::default(),
+            bootstrap_leader: None,
+        }
+    }
+}
+
+/// A node's current protocol role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Accepting entries from a leader.
+    Follower,
+    /// Running an election.
+    Candidate,
+    /// Coordinating replication.
+    Leader,
+}
+
+/// One queued client proposal: payload plus the event fired with the apply
+/// result once committed.
+pub type Proposal = (Bytes, TypedEvent<Bytes>);
+
+struct Pq {
+    q: std::collections::VecDeque<Proposal>,
+    waker: Option<Waker>,
+}
+
+/// The leader's incoming-proposal queue.
+#[derive(Clone)]
+pub struct ProposalQueue {
+    inner: Rc<RefCell<Pq>>,
+}
+
+impl Default for ProposalQueue {
+    fn default() -> Self {
+        ProposalQueue {
+            inner: Rc::new(RefCell::new(Pq {
+                q: std::collections::VecDeque::new(),
+                waker: None,
+            })),
+        }
+    }
+}
+
+impl ProposalQueue {
+    /// Enqueues a proposal and wakes the driver loop.
+    pub fn push(&self, p: Proposal) {
+        let mut inner = self.inner.borrow_mut();
+        inner.q.push_back(p);
+        if let Some(w) = inner.waker.take() {
+            w.wake();
+        }
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().q.len()
+    }
+
+    /// `true` if no proposals are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fails and drains every queued proposal (leadership lost).
+    pub fn fail_all(&self) {
+        let drained: Vec<Proposal> = self.inner.borrow_mut().q.drain(..).collect();
+        for (_, ev) in drained {
+            ev.fire_err();
+        }
+    }
+
+    /// Waits for proposals and takes up to `max`; with a deadline, may
+    /// resolve to an empty batch (used as a combined heartbeat timer).
+    pub fn pop_batch(&self, rt: &Runtime, max: usize, deadline: Option<SimTime>) -> PopBatch {
+        PopBatch {
+            rt: rt.clone(),
+            q: self.inner.clone(),
+            max,
+            deadline,
+            armed: false,
+        }
+    }
+}
+
+/// Future returned by [`ProposalQueue::pop_batch`].
+pub struct PopBatch {
+    rt: Runtime,
+    q: Rc<RefCell<Pq>>,
+    max: usize,
+    deadline: Option<SimTime>,
+    armed: bool,
+}
+
+impl Future for PopBatch {
+    type Output = Vec<Proposal>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Vec<Proposal>> {
+        {
+            let mut inner = self.q.borrow_mut();
+            if !inner.q.is_empty() {
+                let take = inner.q.len().min(self.max);
+                return Poll::Ready(inner.q.drain(..take).collect());
+            }
+            inner.waker = Some(cx.waker().clone());
+        }
+        if let Some(dl) = self.deadline {
+            if self.rt.now() >= dl {
+                return Poll::Ready(Vec::new());
+            }
+            if !self.armed {
+                self.armed = true;
+                self.rt.schedule_wake(dl, cx.waker().clone());
+            }
+        }
+        Poll::Pending
+    }
+}
+
+/// Mutable protocol state of one node.
+pub struct CoreState {
+    /// Current role.
+    pub role: Role,
+    /// Last known leader.
+    pub leader_hint: Option<NodeId>,
+    /// When the last valid leader contact arrived.
+    pub last_heartbeat: SimTime,
+    /// Per-peer next index to send.
+    pub next_index: HashMap<u32, u64>,
+    /// Per-peer highest replicated index.
+    pub match_index: HashMap<u32, u64>,
+    /// Bumped each time this node becomes leader (wakes the driver loop).
+    pub leader_epoch: u64,
+}
+
+type ApplyFn = Box<dyn FnMut(&Entry) -> Bytes>;
+
+/// The shared per-node Raft core all four drivers build on.
+pub struct RaftCore {
+    /// DepFast runtime of this node.
+    pub rt: Runtime,
+    /// Simulated cluster.
+    pub world: World,
+    /// RPC endpoint of this node.
+    pub ep: Endpoint,
+    /// This node's id.
+    pub id: NodeId,
+    /// Every cluster member (including this node).
+    pub members: Vec<NodeId>,
+    /// Every other member.
+    pub peers: Vec<NodeId>,
+    /// The replicated log.
+    pub log: LogStore,
+    /// Commit index as a watchable variable (the apply loop waits on it).
+    pub commit: ValueEvent<u64>,
+    /// Applied index as a watchable variable (ReadIndex reads wait on it).
+    pub applied_idx: ValueEvent<u64>,
+    /// Leadership epoch as a watchable variable (driver loops wait on it).
+    pub leader_gen: ValueEvent<u64>,
+    /// Configuration.
+    pub cfg: RaftCfg,
+    /// Mutable protocol state.
+    pub st: RefCell<CoreState>,
+    /// Client proposals awaiting commit+apply, by log index.
+    pub pending: RefCell<HashMap<u64, TypedEvent<Bytes>>>,
+    /// Incoming proposals.
+    pub proposals: ProposalQueue,
+    apply_fn: RefCell<Option<ApplyFn>>,
+    applied: Cell<u64>,
+    /// Committed-entry counter (throughput accounting).
+    pub committed_count: Cell<u64>,
+    /// Extra delay added to this node's election timeout draws — the
+    /// fail-slow mitigation (§5) uses it to keep a demoted fail-slow
+    /// leader from immediately winning re-election.
+    pub election_penalty: Cell<Duration>,
+}
+
+impl RaftCore {
+    /// Creates the core for `rt`'s node in a cluster of `members`.
+    pub fn new(
+        rt: &Runtime,
+        world: &World,
+        ep: &Endpoint,
+        members: Vec<NodeId>,
+        cfg: RaftCfg,
+    ) -> Rc<Self> {
+        let id = rt.node();
+        let peers: Vec<NodeId> = members.iter().copied().filter(|m| *m != id).collect();
+        let log = LogStore::new(rt, world, cfg.log);
+        let bootstrap_role = match cfg.bootstrap_leader {
+            Some(l) if l == id.0 => Role::Leader,
+            Some(_) => Role::Follower,
+            None => Role::Follower,
+        };
+        let core = Rc::new(RaftCore {
+            rt: rt.clone(),
+            world: world.clone(),
+            ep: ep.clone(),
+            id,
+            peers: peers.clone(),
+            members,
+            log,
+            commit: ValueEvent::labeled(rt, 0, "commit_index"),
+            applied_idx: ValueEvent::labeled(rt, 0, "applied_index"),
+            leader_gen: ValueEvent::labeled(rt, 0, "leader_gen"),
+            cfg,
+            st: RefCell::new(CoreState {
+                role: bootstrap_role,
+                leader_hint: cfg.bootstrap_leader.map(NodeId),
+                last_heartbeat: rt.now(),
+                next_index: peers.iter().map(|p| (p.0, 1)).collect(),
+                match_index: peers.iter().map(|p| (p.0, 0)).collect(),
+                leader_epoch: 0,
+            }),
+            pending: RefCell::new(HashMap::new()),
+            proposals: ProposalQueue::default(),
+            apply_fn: RefCell::new(None),
+            applied: Cell::new(0),
+            committed_count: Cell::new(0),
+            election_penalty: Cell::new(Duration::ZERO),
+        });
+        if cfg.bootstrap_leader.is_some() {
+            // Pre-seed term 1 so bootstrap leadership is term-consistent.
+            core.log.set_term_vote(1, cfg.bootstrap_leader);
+            if bootstrap_role == Role::Leader {
+                core.note_became_leader();
+            }
+        }
+        core
+    }
+
+    /// Installs the state-machine apply function.
+    pub fn set_apply(&self, f: impl FnMut(&Entry) -> Bytes + 'static) {
+        *self.apply_fn.borrow_mut() = Some(Box::new(f));
+    }
+
+    /// Majority size of the cluster.
+    pub fn majority(&self) -> usize {
+        self.members.len() / 2 + 1
+    }
+
+    /// `true` if this node currently believes it is leader.
+    pub fn is_leader(&self) -> bool {
+        self.st.borrow().role == Role::Leader
+    }
+
+    /// Last known leader, if any.
+    pub fn leader_hint(&self) -> Option<NodeId> {
+        self.st.borrow().leader_hint
+    }
+
+    /// Entries applied to the state machine so far.
+    pub fn applied(&self) -> u64 {
+        self.applied.get()
+    }
+
+    /// An event that fires once the state machine has applied everything
+    /// up to `index` (immediately if it already has).
+    pub fn wait_applied(&self, index: u64) -> EventHandle {
+        self.applied_idx.when_at_least(index)
+    }
+
+    /// Submits a client command. The returned event fires `Ok(reply)` once
+    /// the command is committed and applied, or `Err` immediately if this
+    /// node is not the leader.
+    pub fn propose(&self, payload: Bytes) -> TypedEvent<Bytes> {
+        let ev: TypedEvent<Bytes> = TypedEvent::new(&self.rt, EventKind::Notify, "proposal");
+        if !self.is_leader() {
+            ev.fire_err();
+            return ev;
+        }
+        self.proposals.push((payload, ev.clone()));
+        ev
+    }
+
+    /// Marks this node leader: bumps the epoch and resets peer indices.
+    pub fn note_became_leader(&self) {
+        let epoch = {
+            let mut st = self.st.borrow_mut();
+            st.role = Role::Leader;
+            st.leader_hint = Some(self.id);
+            let last = self.log.last_index();
+            for p in &self.peers {
+                st.next_index.insert(p.0, last + 1);
+                st.match_index.insert(p.0, 0);
+            }
+            st.leader_epoch += 1;
+            st.leader_epoch
+        };
+        self.leader_gen.set(epoch);
+    }
+
+    /// Steps down to follower in `term` (observed a higher term).
+    pub fn step_down(&self, term: u64, leader: Option<NodeId>) {
+        if term > self.log.current_term() {
+            self.log.set_term_vote(term, None);
+        }
+        let was_leader = {
+            let mut st = self.st.borrow_mut();
+            let was = st.role == Role::Leader;
+            st.role = Role::Follower;
+            if leader.is_some() {
+                st.leader_hint = leader;
+            }
+            was
+        };
+        if was_leader {
+            self.proposals.fail_all();
+            let drained: Vec<_> = self.pending.borrow_mut().drain().collect();
+            for (_, ev) in drained {
+                ev.fire_err();
+            }
+        }
+    }
+
+    /// Advances the commit index from the match indices (plus own log).
+    ///
+    /// Only entries of the current term commit by counting, per the Raft
+    /// safety rule.
+    pub fn advance_commit_from_matches(&self) {
+        let mut matches: Vec<u64> = {
+            let st = self.st.borrow();
+            st.match_index.values().copied().collect()
+        };
+        matches.push(self.log.last_index());
+        matches.sort_unstable_by(|a, b| b.cmp(a));
+        let m = matches[self.majority() - 1];
+        if m > self.commit.get() && self.log.term_at(m) == self.log.current_term() {
+            self.set_commit(m);
+        }
+    }
+
+    /// Sets the commit index (monotonic) and counts newly committed
+    /// entries.
+    pub fn set_commit(&self, index: u64) {
+        let old = self.commit.get();
+        if index > old {
+            self.committed_count
+                .set(self.committed_count.get() + (index - old));
+            self.commit.set(index);
+        }
+    }
+
+    /// Starts the apply loop: waits for the commit index to pass the last
+    /// applied entry, reads, charges apply CPU, applies, and completes any
+    /// pending client proposal at that index.
+    pub fn spawn_apply_loop(self: &Rc<Self>) {
+        let core = self.clone();
+        Coroutine::create(&self.rt, "raft:apply", async move {
+            loop {
+                let target = core.applied.get() + 1;
+                let gate = core.commit.when_at_least(target);
+                gate.wait().await;
+                let hi = core.commit.get();
+                let Ok(entries) = core.log.read(target, hi + 1).await else {
+                    break; // Crashed.
+                };
+                for e in entries {
+                    if core.world.cpu(core.id, core.cfg.apply_cpu).await.is_err() {
+                        return;
+                    }
+                    let reply = {
+                        let mut f = core.apply_fn.borrow_mut();
+                        match f.as_mut() {
+                            Some(f) => f(&e),
+                            None => Bytes::new(),
+                        }
+                    };
+                    core.applied.set(e.index);
+                    core.applied_idx.set(e.index);
+                    let pending = core.pending.borrow_mut().remove(&e.index);
+                    if let Some(ev) = pending {
+                        ev.fire_ok(reply);
+                    }
+                }
+            }
+        });
+    }
+
+    /// Applies every committed-but-unapplied entry *in the calling
+    /// coroutine*, charging apply CPU there. Legacy drivers run this on
+    /// their single region/message thread — faithful to the architectures
+    /// whose blocking the paper documents — whereas DepFastRaft uses the
+    /// detached [`RaftCore::spawn_apply_loop`].
+    pub async fn apply_committed_inline(self: &Rc<Self>) -> Result<(), simkit::Crashed> {
+        let hi = self.commit.get();
+        let lo = self.applied.get() + 1;
+        if lo > hi {
+            return Ok(());
+        }
+        let entries = self.log.read(lo, hi + 1).await.map_err(|_| simkit::Crashed)?;
+        for e in entries {
+            self.world.cpu(self.id, self.cfg.apply_cpu).await?;
+            let reply = {
+                let mut f = self.apply_fn.borrow_mut();
+                match f.as_mut() {
+                    Some(f) => f(&e),
+                    None => Bytes::new(),
+                }
+            };
+            self.applied.set(e.index);
+            self.applied_idx.set(e.index);
+            let pending = self.pending.borrow_mut().remove(&e.index);
+            if let Some(ev) = pending {
+                ev.fire_ok(reply);
+            }
+        }
+        Ok(())
+    }
+
+    /// Registers the follower-side `AppendEntries` and `RequestVote`
+    /// services (identical across drivers).
+    pub fn install_follower_services(self: &Rc<Self>) {
+        let core = self.clone();
+        self.ep.register(
+            APPEND_ENTRIES,
+            "raft:handle_append",
+            move |from, payload, responder| {
+                let core = core.clone();
+                let Some(req) = AppendReq::from_bytes(&payload) else {
+                    return;
+                };
+                Coroutine::create(&core.rt.clone(), "raft:handle_append", async move {
+                    if let Some(resp) = handle_append(&core, from, req).await {
+                        responder.reply_t(&resp);
+                    }
+                });
+            },
+        );
+        let core = self.clone();
+        self.ep.register(
+            REQUEST_VOTE,
+            "raft:handle_vote",
+            move |_from, payload, responder| {
+                let core = core.clone();
+                let Some(req) = VoteReq::from_bytes(&payload) else {
+                    return;
+                };
+                Coroutine::create(&core.rt.clone(), "raft:handle_vote", async move {
+                    if let Some(resp) = handle_vote(&core, req).await {
+                        responder.reply_t(&resp);
+                    }
+                });
+            },
+        );
+        let core = self.clone();
+        self.ep.register(
+            PRE_VOTE,
+            "raft:handle_prevote",
+            move |_from, payload, responder| {
+                let core = core.clone();
+                let Some(req) = VoteReq::from_bytes(&payload) else {
+                    return;
+                };
+                Coroutine::create(&core.rt.clone(), "raft:handle_prevote", async move {
+                    if let Some(resp) = handle_prevote(&core, req).await {
+                        responder.reply_t(&resp);
+                    }
+                });
+            },
+        );
+    }
+
+    /// Records a successful replication ack from `peer`.
+    pub fn note_match(&self, peer: NodeId, match_index: u64) {
+        let mut st = self.st.borrow_mut();
+        let m = st.match_index.entry(peer.0).or_insert(0);
+        if match_index > *m {
+            *m = match_index;
+        }
+        let n = st.next_index.entry(peer.0).or_insert(1);
+        if match_index + 1 > *n {
+            *n = match_index + 1;
+        }
+    }
+
+    /// Records a rejection hint from `peer`: back `next_index` up.
+    ///
+    /// Guarded against *stale* rejections (a reply computed long ago, when
+    /// the peer was further behind, arriving after newer successes): the
+    /// index never regresses below `match_index + 1`.
+    pub fn note_reject(&self, peer: NodeId, hint: u64) {
+        let mut st = self.st.borrow_mut();
+        let floor = st.match_index.get(&peer.0).copied().unwrap_or(0) + 1;
+        let n = st.next_index.entry(peer.0).or_insert(1);
+        *n = (hint + 1).max(floor).min(self.log.last_index() + 1);
+    }
+
+    /// Snapshot of `next_index` for `peer`.
+    pub fn next_index(&self, peer: NodeId) -> u64 {
+        *self.st.borrow().next_index.get(&peer.0).unwrap_or(&1)
+    }
+
+    /// Snapshot of `match_index` for `peer`.
+    pub fn match_index(&self, peer: NodeId) -> u64 {
+        *self.st.borrow().match_index.get(&peer.0).unwrap_or(&0)
+    }
+}
+
+/// Follower-side `AppendEntries` (returns `None` if the node crashed).
+pub async fn handle_append(
+    core: &Rc<RaftCore>,
+    _from: NodeId,
+    req: AppendReq,
+) -> Option<AppendResp> {
+    let entry_count = req.entries.len();
+    let cpu = core.cfg.append_cpu_base + core.cfg.append_cpu_per_entry * entry_count as u32;
+    core.world.cpu(core.id, cpu).await.ok()?;
+
+    let current = core.log.current_term();
+    if req.term < current {
+        return Some(AppendResp {
+            term: current,
+            success: false,
+            match_index: 0,
+        });
+    }
+    if req.term > current {
+        core.step_down(req.term, Some(NodeId(req.leader)));
+    } else if core.st.borrow().role != Role::Leader {
+        let mut st = core.st.borrow_mut();
+        st.role = Role::Follower;
+        st.leader_hint = Some(NodeId(req.leader));
+    }
+    core.st.borrow_mut().last_heartbeat = core.rt.now();
+
+    // Log-matching check.
+    if req.prev_index > core.log.last_index() {
+        return Some(AppendResp {
+            term: core.log.current_term(),
+            success: false,
+            match_index: core.log.last_index(),
+        });
+    }
+    if req.prev_index > 0 && core.log.term_at(req.prev_index) != req.prev_term {
+        core.log.truncate_from(req.prev_index);
+        return Some(AppendResp {
+            term: core.log.current_term(),
+            success: false,
+            match_index: req.prev_index.saturating_sub(1),
+        });
+    }
+
+    // Append entries we do not already have (handling retries and
+    // conflicts).
+    let entries = from_wire(req.entries);
+    let mut new = Vec::new();
+    for e in entries {
+        if e.index <= core.log.last_index() {
+            if core.log.term_at(e.index) != e.term {
+                core.log.truncate_from(e.index);
+                new.push(e);
+            }
+        } else {
+            new.push(e);
+        }
+    }
+    let match_to = req.prev_index + entry_count as u64;
+    if !new.is_empty() {
+        core.log.append(&new);
+    }
+    // Durability before acknowledging — including for retransmitted
+    // entries whose original fsync is still queued. This wait is on the
+    // node's own disk: a local wait, legitimate under the fail-slow
+    // definition.
+    if match_to > 0 && core.log.durable_index() < match_to {
+        let gate = core.log.wait_durable(match_to.min(core.log.last_index()));
+        if !gate.wait().await.is_ready() {
+            return None;
+        }
+    }
+    core.set_commit(req.commit.min(match_to));
+    Some(AppendResp {
+        term: core.log.current_term(),
+        success: true,
+        match_index: match_to,
+    })
+}
+
+/// Follower-side `PreVote`: a non-binding probe that grants only if this
+/// node has *not* heard from a live leader recently and the candidate's
+/// log is up to date. PreVote keeps a starved or partitioned node's
+/// ever-firing election timer from disrupting a healthy cluster — without
+/// it, a fail-slow follower that cannot process heartbeats campaigns at
+/// ever-higher terms and repeatedly deposes the working leader.
+pub async fn handle_prevote(core: &Rc<RaftCore>, req: VoteReq) -> Option<VoteResp> {
+    core.world.cpu(core.id, core.cfg.append_cpu_base).await.ok()?;
+    let current = core.log.current_term();
+    let fresh = {
+        let st = core.st.borrow();
+        st.role == Role::Leader
+            || core.rt.now() - st.last_heartbeat < core.cfg.election_timeout.0
+    };
+    let up_to_date = {
+        let my_last = core.log.last_index();
+        let my_term = core.log.term_at(my_last);
+        req.last_term > my_term || (req.last_term == my_term && req.last_index >= my_last)
+    };
+    Some(VoteResp {
+        term: current,
+        granted: !fresh && up_to_date && req.term > current,
+    })
+}
+
+/// Follower-side `RequestVote` (returns `None` if the node crashed).
+pub async fn handle_vote(core: &Rc<RaftCore>, req: VoteReq) -> Option<VoteResp> {
+    core.world.cpu(core.id, core.cfg.append_cpu_base).await.ok()?;
+    let current = core.log.current_term();
+    if req.term < current {
+        return Some(VoteResp {
+            term: current,
+            granted: false,
+        });
+    }
+    if req.term > current {
+        core.step_down(req.term, None);
+    }
+    let up_to_date = {
+        let my_last = core.log.last_index();
+        let my_term = core.log.term_at(my_last);
+        req.last_term > my_term || (req.last_term == my_term && req.last_index >= my_last)
+    };
+    let grant = up_to_date
+        && match core.log.voted_for() {
+            None => true,
+            Some(v) => v == req.candidate,
+        };
+    if grant {
+        use depfast::event::Watchable;
+        let io = core.log.set_term_vote(req.term, Some(req.candidate));
+        if !io.handle().wait().await.is_ready() {
+            return None;
+        }
+        core.st.borrow_mut().last_heartbeat = core.rt.now();
+    }
+    Some(VoteResp {
+        term: core.log.current_term(),
+        granted: grant,
+    })
+}
+
+/// Creates a classified view over an RPC reply: an event with RPC identity
+/// (for the SPG) that fires `Ok`/`Err` according to `judge`, letting a
+/// [`QuorumEvent`](depfast::QuorumEvent) count protocol-level outcomes
+/// rather than mere reply arrival.
+pub fn classified_reply<R: WireRead + 'static>(
+    rt: &Runtime,
+    ev: &RpcEvent,
+    target: NodeId,
+    label: &'static str,
+    judge: impl FnOnce(Option<R>) -> bool + 'static,
+) -> EventHandle {
+    use depfast::event::Watchable;
+    let derived = EventHandle::with_sampling(rt, EventKind::Rpc { target }, label, false);
+    let d = derived.clone();
+    let ev2 = ev.clone();
+    ev.handle().on_fire(move |s| {
+        let decoded: Option<R> = if s == Signal::Ok {
+            ev2.take().and_then(|b| R::from_bytes(&b))
+        } else {
+            None
+        };
+        let ok = judge(decoded);
+        d.fire(if ok { Signal::Ok } else { Signal::Err });
+    });
+    derived
+}
+
+/// The public, driver-agnostic server handle the KV layer talks to.
+#[derive(Clone)]
+pub struct RaftServer {
+    core: Rc<RaftCore>,
+    kind: crate::cluster::RaftKind,
+}
+
+impl RaftServer {
+    /// Wraps a started core.
+    pub fn new(core: Rc<RaftCore>, kind: crate::cluster::RaftKind) -> Self {
+        RaftServer { core, kind }
+    }
+
+    /// The underlying core.
+    pub fn core(&self) -> &Rc<RaftCore> {
+        &self.core
+    }
+
+    /// Which driver runs this server.
+    pub fn kind(&self) -> crate::cluster::RaftKind {
+        self.kind
+    }
+
+    /// Submits a client command (see [`RaftCore::propose`]).
+    pub fn propose(&self, payload: Bytes) -> TypedEvent<Bytes> {
+        self.core.propose(payload)
+    }
+
+    /// `true` if this node believes it is leader.
+    pub fn is_leader(&self) -> bool {
+        self.core.is_leader()
+    }
+
+    /// This node's id.
+    pub fn node(&self) -> NodeId {
+        self.core.id
+    }
+
+    /// Last known leader.
+    pub fn leader_hint(&self) -> Option<NodeId> {
+        self.core.leader_hint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depfast::event::Watchable;
+    use depfast::Tracer;
+    use depfast_rpc::endpoint::{Registry, RpcCfg};
+    use simkit::{Sim, WorldCfg};
+
+    fn one_node() -> (Sim, World, Rc<RaftCore>) {
+        let sim = Sim::new(1);
+        let world = World::new(sim.clone(), WorldCfg::default());
+        let rt = Runtime::with_tracer(sim.clone(), NodeId(0), Tracer::new());
+        let registry = Registry::new();
+        let ep = Endpoint::new(&rt, &world, &registry, RpcCfg::default());
+        let core = RaftCore::new(
+            &rt,
+            &world,
+            &ep,
+            vec![NodeId(0), NodeId(1), NodeId(2)],
+            RaftCfg {
+                bootstrap_leader: Some(0),
+                ..RaftCfg::default()
+            },
+        );
+        (sim, world, core)
+    }
+
+    #[test]
+    fn majority_math() {
+        let (_s, _w, core) = one_node();
+        assert_eq!(core.majority(), 2);
+    }
+
+    #[test]
+    fn propose_on_non_leader_fails_fast() {
+        let (_s, _w, core) = one_node();
+        core.step_down(2, None);
+        let ev = core.propose(Bytes::from_static(b"x"));
+        assert_eq!(ev.handle().fired(), Some(Signal::Err));
+    }
+
+    #[test]
+    fn commit_advance_uses_median_match() {
+        let (sim, _w, core) = one_node();
+        core.log.append(&[
+            Entry { term: 1, index: 1, payload: Bytes::new() },
+            Entry { term: 1, index: 2, payload: Bytes::new() },
+        ]);
+        sim.run();
+        core.note_match(NodeId(1), 1);
+        core.advance_commit_from_matches();
+        // self(2) + peer1(1) + peer2(0): median-of-majority = 1.
+        assert_eq!(core.commit.get(), 1);
+        core.note_match(NodeId(2), 2);
+        core.advance_commit_from_matches();
+        assert_eq!(core.commit.get(), 2);
+    }
+
+    #[test]
+    fn commit_only_counts_current_term_entries() {
+        let (sim, _w, core) = one_node();
+        // Entry from an older term (term 0 < current term 1).
+        core.log.append(&[Entry { term: 0, index: 1, payload: Bytes::new() }]);
+        sim.run();
+        core.note_match(NodeId(1), 1);
+        core.note_match(NodeId(2), 1);
+        core.advance_commit_from_matches();
+        assert_eq!(core.commit.get(), 0, "old-term entry must not commit by counting");
+    }
+
+    #[test]
+    fn step_down_fails_pending_and_queued() {
+        let (_s, _w, core) = one_node();
+        let ev1 = core.propose(Bytes::from_static(b"a"));
+        let ev2: TypedEvent<Bytes> = TypedEvent::new(&core.rt, EventKind::Notify, "p");
+        core.pending.borrow_mut().insert(5, ev2.clone());
+        core.step_down(9, Some(NodeId(1)));
+        assert_eq!(ev1.handle().fired(), Some(Signal::Err));
+        assert_eq!(ev2.handle().fired(), Some(Signal::Err));
+        assert_eq!(core.leader_hint(), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn note_reject_backs_up_next_index() {
+        let (sim, _w, core) = one_node();
+        for i in 1..=10 {
+            core.log.append(&[Entry { term: 1, index: i, payload: Bytes::new() }]);
+        }
+        sim.run();
+        core.note_became_leader();
+        assert_eq!(core.next_index(NodeId(1)), 11);
+        core.note_reject(NodeId(1), 3);
+        assert_eq!(core.next_index(NodeId(1)), 4);
+    }
+
+    #[test]
+    fn pop_batch_times_out_empty() {
+        let (sim, _w, core) = one_node();
+        let q = core.proposals.clone();
+        let rt = core.rt.clone();
+        let deadline = sim.now() + Duration::from_millis(10);
+        let batch = sim.block_on(async move { q.pop_batch(&rt, 8, Some(deadline)).await });
+        assert!(batch.is_empty());
+        assert_eq!(sim.now().as_nanos(), 10_000_000);
+    }
+
+    #[test]
+    fn pop_batch_wakes_on_push() {
+        let (sim, _w, core) = one_node();
+        let q = core.proposals.clone();
+        let rt = core.rt.clone();
+        let core2 = core.clone();
+        let s = sim.clone();
+        let out = sim.block_on(async move {
+            s.spawn(async move {
+                core2.proposals.push((
+                    Bytes::from_static(b"x"),
+                    TypedEvent::new(&core2.rt, EventKind::Notify, "p"),
+                ));
+            });
+            q.pop_batch(&rt, 8, None).await
+        });
+        assert_eq!(out.len(), 1);
+    }
+}

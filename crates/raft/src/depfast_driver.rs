@@ -1,0 +1,540 @@
+//! **DepFastRaft** — the paper's fail-slow fault-tolerant implementation
+//! (§3.4).
+//!
+//! The leader's replication loop waits on exactly one thing per round: a
+//! [`QuorumEvent`] whose children are the leader's own WAL-durability
+//! event plus one classified reply event per follower. No individual RPC
+//! is ever awaited on the critical path; laggard followers are caught up
+//! by fire-and-forget sends driven from reply hooks and heartbeats, and
+//! (with [`DepFastOpts::discard_on_quorum`]) their still-buffered traffic
+//! is discarded once the quorum no longer needs it.
+//!
+//! Leader election uses the §3.2 nested-event pattern verbatim: an
+//! [`OrEvent`] over a majority-granted quorum and a
+//! minority-plus-one-rejected quorum, waited with a timeout.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use depfast::event::{OrEvent, QuorumEvent, QuorumMode, Signal, Watchable};
+use depfast::runtime::Coroutine;
+use depfast_rpc::conn::CancelToken;
+use depfast_storage::Entry;
+use simkit::NodeId;
+
+use crate::core::{classified_reply, RaftCore, Role};
+use crate::types::{
+    to_wire, AppendReq, AppendResp, VoteReq, VoteResp, APPEND_ENTRIES, PRE_VOTE, REQUEST_VOTE,
+};
+
+/// DepFastRaft options.
+#[derive(Debug, Clone, Copy)]
+pub struct DepFastOpts {
+    /// Cancel still-queued `AppendEntries` to slow peers once the round's
+    /// quorum is reached (the §2.3 framework-awareness optimization).
+    pub discard_on_quorum: bool,
+}
+
+impl Default for DepFastOpts {
+    fn default() -> Self {
+        DepFastOpts {
+            discard_on_quorum: true,
+        }
+    }
+}
+
+/// The DepFastRaft driver.
+pub struct DepFastRaft;
+
+impl DepFastRaft {
+    /// Starts all DepFastRaft coroutines on `core`.
+    pub fn start(core: &Rc<RaftCore>, opts: DepFastOpts) {
+        core.install_follower_services();
+        core.spawn_apply_loop();
+        Self::spawn_leader_loop(core, opts);
+        Self::spawn_heartbeats(core);
+        Self::spawn_election_daemon(core);
+    }
+
+    /// One fire-and-forget replication send to `peer`, reporting protocol
+    /// outcome for `target_index` into `done` (a quorum child). Reads of
+    /// cold entries cost disk time *in this coroutine only*.
+    fn send_append(
+        core: &Rc<RaftCore>,
+        peer: NodeId,
+        target_index: u64,
+        done: Option<depfast::EventHandle>,
+        cancel: Option<CancelToken>,
+    ) {
+        let core = core.clone();
+        // Framework-aware backpressure: if this peer's outgoing buffer is
+        // already deep (a laggard that is not absorbing catch-up traffic),
+        // do not stack more entries onto it — report Err to the quorum
+        // (which tolerates it) and let the next heartbeat retry.
+        if core.ep.conn(peer).queue_len() > 64 {
+            if let Some(d) = done {
+                d.fire(Signal::Err);
+            }
+            return;
+        }
+        Coroutine::create(&core.rt.clone(), "raft:send_append", async move {
+            let term = core.log.current_term();
+            let next = core.next_index(peer);
+            let lo = next;
+            let hi = (target_index + 1).min(lo + core.cfg.max_entries_per_append as u64);
+            let Ok(entries) = core.log.read(lo, hi).await else {
+                if let Some(d) = done {
+                    d.fire(Signal::Err);
+                }
+                return;
+            };
+            let req = AppendReq {
+                term,
+                leader: core.id.0,
+                prev_index: lo - 1,
+                prev_term: core.log.term_at(lo - 1),
+                entries: to_wire(&entries),
+                commit: core.commit.get(),
+            };
+            let proxy = core.ep.proxy(peer);
+            let ev = match cancel {
+                Some(c) => proxy.call_cancellable(
+                    APPEND_ENTRIES,
+                    "append_entries",
+                    depfast_rpc::wire::WireWrite::to_bytes(&req),
+                    c,
+                ),
+                None => proxy.call_t(APPEND_ENTRIES, "append_entries", &req),
+            };
+            let c2 = core.clone();
+            let derived = classified_reply::<AppendResp>(
+                &core.rt,
+                &ev,
+                peer,
+                "append_entries",
+                move |resp| {
+                    let Some(resp) = resp else { return false };
+                    if resp.term > c2.log.current_term() {
+                        c2.step_down(resp.term, None);
+                        return false;
+                    }
+                    if resp.success {
+                        c2.note_match(peer, resp.match_index);
+                        c2.advance_commit_from_matches();
+                        resp.match_index >= target_index
+                    } else {
+                        c2.note_reject(peer, resp.match_index);
+                        false
+                    }
+                },
+            );
+            if let Some(d) = done {
+                // Forward the classified outcome into the round's quorum.
+                let d2 = d.clone();
+                derived.on_fire(move |s| d2.fire(s));
+            }
+        });
+    }
+
+    fn spawn_leader_loop(core: &Rc<RaftCore>, opts: DepFastOpts) {
+        let core = core.clone();
+        Coroutine::create(&core.rt.clone(), "raft:replicate", async move {
+            loop {
+                if core.st.borrow().role != Role::Leader {
+                    // Wait (on a local value event) until elected.
+                    let epoch = core.st.borrow().leader_epoch;
+                    core.leader_gen.when_at_least(epoch + 1).wait().await;
+                    continue;
+                }
+                let batch = core
+                    .proposals
+                    .pop_batch(&core.rt, core.cfg.batch_max, None)
+                    .await;
+                if core.st.borrow().role != Role::Leader {
+                    for (_, ev) in batch {
+                        ev.fire_err();
+                    }
+                    continue;
+                }
+                // Charge leader-side proposal processing.
+                let cpu = core.cfg.propose_cpu * batch.len() as u32;
+                if core.world.cpu(core.id, cpu).await.is_err() {
+                    break;
+                }
+                let term = core.log.current_term();
+                let start = core.log.last_index() + 1;
+                let mut entries = Vec::with_capacity(batch.len());
+                for (i, (payload, ev)) in batch.into_iter().enumerate() {
+                    let index = start + i as u64;
+                    entries.push(Entry {
+                        term,
+                        index,
+                        payload,
+                    });
+                    core.pending.borrow_mut().insert(index, ev);
+                }
+                let hi = start + entries.len() as u64 - 1;
+                let local_io = core.log.append(&entries);
+
+                // The round's single waiting point: majority of {own disk}
+                // ∪ {classified peer acks}.
+                let quorum = QuorumEvent::labeled(&core.rt, QuorumMode::Majority, "replicate");
+                quorum.add(&local_io);
+                let cancel = CancelToken::new();
+                for peer in core.peers.clone() {
+                    let child = depfast::EventHandle::with_sampling(
+                        &core.rt,
+                        depfast::EventKind::Rpc { target: peer },
+                        "append_entries",
+                        false,
+                    );
+                    quorum.add(&child);
+                    Self::send_append(&core, peer, hi, Some(child), Some(cancel.clone()));
+                }
+                if opts.discard_on_quorum {
+                    let c = cancel.clone();
+                    quorum.handle().on_fire(move |_| c.cancel());
+                }
+                let outcome = quorum.wait_timeout(core.cfg.replicate_timeout).await;
+                if outcome.is_ready() {
+                    core.set_commit(hi);
+                } else if core.st.borrow().role != Role::Leader {
+                    continue;
+                }
+                // On timeout while still leader: entries stay in the log;
+                // heartbeat catch-up and later rounds re-drive them.
+            }
+        });
+    }
+
+    fn spawn_heartbeats(core: &Rc<RaftCore>) {
+        let core = core.clone();
+        Coroutine::create(&core.rt.clone(), "raft:heartbeat", async move {
+            loop {
+                core.rt.sleep(core.cfg.heartbeat).await;
+                if core.world.is_crashed(core.id) {
+                    break;
+                }
+                if core.st.borrow().role != Role::Leader {
+                    continue;
+                }
+                let last = core.log.last_index();
+                for peer in core.peers.clone() {
+                    // Heartbeats double as laggard catch-up: they send from
+                    // next_index, fire-and-forget.
+                    Self::send_append(&core, peer, last, None, None);
+                }
+            }
+        });
+    }
+
+    fn spawn_election_daemon(core: &Rc<RaftCore>) {
+        let core = core.clone();
+        Coroutine::create(&core.rt.clone(), "raft:election", async move {
+            loop {
+                let (lo, hi) = core.cfg.election_timeout;
+                let span = (hi - lo).as_nanos() as u64;
+                let timeout = lo
+                    + Duration::from_nanos(core.rt.rand_range(0, span.max(1)))
+                    + core.election_penalty.get();
+                core.rt.sleep(timeout).await;
+                if core.world.is_crashed(core.id) {
+                    break;
+                }
+                {
+                    let st = core.st.borrow();
+                    if st.role == Role::Leader {
+                        continue;
+                    }
+                    if core.rt.now() - st.last_heartbeat < timeout {
+                        continue;
+                    }
+                }
+                // PreVote: only disturb the cluster if a majority agrees
+                // that there is no live leader.
+                if Self::run_prevote(&core).await {
+                    Self::run_election(&core).await;
+                }
+            }
+        });
+    }
+
+    /// Forces this node to campaign immediately (leadership transfer:
+    /// the mitigation layer calls this on a caught-up healthy follower
+    /// after demoting a fail-slow leader).
+    pub fn force_campaign(core: &Rc<RaftCore>) {
+        let core = core.clone();
+        Coroutine::create(&core.rt.clone(), "raft:election", async move {
+            Self::run_election(&core).await;
+        });
+    }
+
+    /// Confirms this node's leadership with a majority round (the
+    /// ReadIndex protocol's heartbeat exchange): returns `true` if a
+    /// majority acknowledged the current term, so every commit index the
+    /// caller observed is safe to serve linearizable reads from. Another
+    /// quorum-event wait — no single slow follower delays a read.
+    pub async fn confirm_leadership(core: &Rc<RaftCore>) -> bool {
+        if core.st.borrow().role != Role::Leader {
+            return false;
+        }
+        let term = core.log.current_term();
+        // A fixed Count threshold, not Majority-of-current-children: the
+        // self ack below is already fired, and a dynamic majority would
+        // resolve at n = 1 the moment it is added.
+        let quorum = QuorumEvent::labeled(&core.rt, QuorumMode::Count(core.majority()), "read_index");
+        let self_ack = depfast::Notify::labeled(&core.rt, "self_ack");
+        self_ack.set(Signal::Ok);
+        quorum.add(&self_ack);
+        for peer in core.peers.clone() {
+            let next = core.next_index(peer);
+            let req = AppendReq {
+                term,
+                leader: core.id.0,
+                prev_index: next - 1,
+                prev_term: core.log.term_at(next - 1),
+                entries: vec![],
+                commit: core.commit.get(),
+            };
+            let ev = core
+                .ep
+                .proxy(peer)
+                .call_t(APPEND_ENTRIES, "read_index", &req);
+            let c2 = core.clone();
+            let ok = classified_reply::<AppendResp>(&core.rt, &ev, peer, "read_index", move |r| {
+                match r {
+                    Some(r) if r.term > c2.log.current_term() => {
+                        c2.step_down(r.term, None);
+                        false
+                    }
+                    Some(r) => r.term == term,
+                    None => false,
+                }
+            });
+            quorum.add(&ok);
+        }
+        let out = quorum
+            .wait_timeout(core.cfg.replicate_timeout)
+            .await;
+        out.is_ready() && core.log.current_term() == term && core.st.borrow().role == Role::Leader
+    }
+
+    /// A PreVote round: non-binding majority probe at `term + 1`.
+    async fn run_prevote(core: &Rc<RaftCore>) -> bool {
+        let term = core.log.current_term() + 1;
+        let granted =
+            QuorumEvent::labeled(&core.rt, QuorumMode::Count(core.majority()), "prevote_ok");
+        let self_vote = depfast::Notify::labeled(&core.rt, "self_prevote");
+        self_vote.set(Signal::Ok);
+        granted.add(&self_vote);
+        let req = VoteReq {
+            term,
+            candidate: core.id.0,
+            last_index: core.log.last_index(),
+            last_term: core.log.term_at(core.log.last_index()),
+        };
+        for peer in core.peers.clone() {
+            let ev = core.ep.proxy(peer).call_t(PRE_VOTE, "pre_vote", &req);
+            let ok = classified_reply::<VoteResp>(&core.rt, &ev, peer, "pre_vote", move |r| {
+                r.is_some_and(|r| r.granted)
+            });
+            granted.add(&ok);
+        }
+        granted
+            .wait_timeout(core.cfg.election_timeout.1)
+            .await
+            .is_ready()
+    }
+
+    /// One election round, in the paper's §3.2 nested-event style.
+    async fn run_election(core: &Rc<RaftCore>) {
+        let term = core.log.current_term() + 1;
+        let io = core.log.set_term_vote(term, Some(core.id.0));
+        if !io.handle().wait().await.is_ready() {
+            return;
+        }
+        core.st.borrow_mut().role = Role::Candidate;
+        let majority = core.majority();
+        let n = core.members.len();
+        let granted = QuorumEvent::labeled(&core.rt, QuorumMode::Count(majority), "election_ok");
+        let rejected = QuorumEvent::labeled(
+            &core.rt,
+            QuorumMode::Count(n - majority + 1),
+            "election_reject",
+        );
+        // Self vote.
+        let self_vote = depfast::Notify::labeled(&core.rt, "self_vote");
+        self_vote.set(Signal::Ok);
+        granted.add(&self_vote);
+        let req = VoteReq {
+            term,
+            candidate: core.id.0,
+            last_index: core.log.last_index(),
+            last_term: core.log.term_at(core.log.last_index()),
+        };
+        for peer in core.peers.clone() {
+            let ev = core
+                .ep
+                .proxy(peer)
+                .call_t(REQUEST_VOTE, "request_vote", &req);
+            let c2 = core.clone();
+            let ok = classified_reply::<VoteResp>(&core.rt, &ev, peer, "request_vote", move |r| {
+                match r {
+                    Some(r) if r.term > term => {
+                        c2.step_down(r.term, None);
+                        false
+                    }
+                    Some(r) => r.granted,
+                    None => false,
+                }
+            });
+            granted.add(&ok);
+            // The rejection quorum sees the inverse signal.
+            let rej = depfast::EventHandle::with_sampling(
+                &core.rt,
+                depfast::EventKind::Rpc { target: peer },
+                "request_vote",
+                false,
+            );
+            let r2 = rej.clone();
+            ok.on_fire(move |s| {
+                r2.fire(match s {
+                    Signal::Ok => Signal::Err,
+                    Signal::Err => Signal::Ok,
+                })
+            });
+            rejected.add(&rej);
+        }
+        granted.seal();
+        rejected.seal();
+        let either = OrEvent::of2(&core.rt, &granted, &rejected);
+        either
+            .handle()
+            .wait_timeout(core.cfg.election_timeout.1)
+            .await;
+        if granted.ready()
+            && core.log.current_term() == term
+            && core.st.borrow().role == Role::Candidate
+        {
+            core.note_became_leader();
+        } else {
+            let mut st = core.st.borrow_mut();
+            if st.role == Role::Candidate {
+                st.role = Role::Follower;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{build_cluster, RaftKind};
+    use bytes::Bytes;
+    use simkit::{Sim, SimTime, World, WorldCfg};
+
+    fn cluster(n: usize, bootstrap: bool) -> (Sim, World, crate::cluster::RaftCluster) {
+        let sim = Sim::new(11);
+        let world = World::new(
+            sim.clone(),
+            WorldCfg {
+                nodes: n,
+                ..WorldCfg::default()
+            },
+        );
+        let cfg = crate::core::RaftCfg {
+            bootstrap_leader: if bootstrap { Some(0) } else { None },
+            ..crate::core::RaftCfg::default()
+        };
+        let cl = build_cluster(&sim, &world, RaftKind::DepFast, n, cfg);
+        (sim, world, cl)
+    }
+
+    #[test]
+    fn bootstrap_leader_commits_a_proposal() {
+        let (sim, _world, cl) = cluster(3, true);
+        let ev = cl.servers[0].propose(Bytes::from_static(b"hello"));
+        let out = sim.block_on({
+            let ev = ev.clone();
+            async move { ev.handle().wait_timeout(Duration::from_secs(2)).await }
+        });
+        assert!(out.is_ready(), "proposal should commit, got {out:?}");
+    }
+
+    #[test]
+    fn election_produces_exactly_one_leader() {
+        let (sim, _world, cl) = cluster(3, false);
+        sim.run_until_time(SimTime::from_secs(3));
+        let leaders: Vec<_> = cl.servers.iter().filter(|s| s.is_leader()).collect();
+        assert_eq!(leaders.len(), 1, "expected exactly one leader");
+    }
+
+    #[test]
+    fn commits_survive_one_fail_slow_follower() {
+        let (sim, world, cl) = cluster(3, true);
+        // Follower 2 is severely CPU-limited.
+        world.set_cpu_quota(NodeId(2), 0.01);
+        let mut committed = 0;
+        for i in 0..50u32 {
+            let ev = cl.servers[0].propose(Bytes::from(vec![i as u8; 64]));
+            let out = sim.block_on({
+                let ev = ev.clone();
+                async move { ev.handle().wait_timeout(Duration::from_secs(1)).await }
+            });
+            if out.is_ready() {
+                committed += 1;
+            }
+        }
+        assert_eq!(committed, 50, "healthy majority must keep committing");
+    }
+
+    #[test]
+    fn leader_crash_triggers_reelection_and_progress() {
+        let (sim, world, cl) = cluster(3, true);
+        // Commit something first.
+        let ev = cl.servers[0].propose(Bytes::from_static(b"a"));
+        sim.block_on({
+            let ev = ev.clone();
+            async move { ev.handle().wait_timeout(Duration::from_secs(1)).await }
+        });
+        world.crash(NodeId(0));
+        sim.run_until_time(sim.now() + Duration::from_secs(3));
+        let leaders: Vec<usize> = (0..3)
+            .filter(|i| !world.is_crashed(NodeId(*i as u32)) && cl.servers[*i].is_leader())
+            .collect();
+        assert_eq!(leaders.len(), 1, "a new leader must emerge");
+        let new_leader = leaders[0];
+        let ev = cl.servers[new_leader].propose(Bytes::from_static(b"b"));
+        let out = sim.block_on({
+            let ev = ev.clone();
+            async move { ev.handle().wait_timeout(Duration::from_secs(2)).await }
+        });
+        assert!(out.is_ready(), "new leader must commit");
+    }
+
+    #[test]
+    fn follower_logs_converge() {
+        let (sim, _world, cl) = cluster(3, true);
+        for i in 0..20u32 {
+            let ev = cl.servers[0].propose(Bytes::from(vec![i as u8; 16]));
+            sim.block_on({
+                let ev = ev.clone();
+                async move { ev.handle().wait_timeout(Duration::from_secs(1)).await }
+            });
+        }
+        // Let heartbeat catch-up finish.
+        sim.run_until_time(sim.now() + Duration::from_secs(1));
+        let leader_last = cl.servers[0].core().log.last_index();
+        assert!(leader_last >= 20);
+        for s in &cl.servers[1..] {
+            assert_eq!(s.core().log.last_index(), leader_last);
+            for i in 1..=leader_last {
+                assert_eq!(
+                    s.core().log.term_at(i),
+                    cl.servers[0].core().log.term_at(i),
+                    "log matching at {i}"
+                );
+            }
+        }
+    }
+}

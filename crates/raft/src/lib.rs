@@ -1,0 +1,30 @@
+//! Raft replicated state machines: the paper's case study (§2) and
+//! demonstration system (§3.4), four ways.
+//!
+//! The protocol logic — terms, election, log matching, commit rules — is
+//! shared ([`core`], [`types`]). What differs between the four drivers is
+//! *where the implementation waits*, which is precisely the paper's point:
+//!
+//! | Driver | Waits like | Paper root cause |
+//! |---|---|---|
+//! | [`DepFastRaft`](depfast_driver::DepFastRaft) | `QuorumEvent` over {own disk write} ∪ {peer acks}; bounded buffers; quorum-discard broadcast | none — §3.4's fail-slow tolerant implementation |
+//! | [`SyncRaft`](sync_driver::SyncRaft) | one region thread does everything serially; EntryCache misses for a lagging follower are read from disk *inline* | TiDB (§2.2): "blocking the whole thread during the disk I/O" |
+//! | [`BacklogRaft`](backlog_driver::BacklogRaft) | per-follower unbounded replication queues charged to leader memory; stop-and-wait senders | RethinkDB (§2.2): "unbounded buffer ... run out of memory" |
+//! | [`CallbackRaft`](callback_driver::CallbackRaft) | one message loop runs every callback serially; lag triggers synchronous flow-control probes of the slow follower | MongoDB-style event-loop head-of-line blocking; tail amplification |
+//! | [`ChainRaft`](chain_driver::ChainRaft) | head→…→tail forwarding, each hop a singular wait | §2.1/§3.3's chained-replication tradeoff: slowness anywhere propagates everywhere |
+//!
+//! All four expose the same [`RaftServer`](core::RaftServer) surface so the
+//! KV layer, fault injector and benchmarks treat them interchangeably.
+
+pub mod backlog_driver;
+pub mod callback_driver;
+pub mod chain_driver;
+pub mod cluster;
+pub mod core;
+pub mod depfast_driver;
+pub mod sync_driver;
+pub mod types;
+
+pub use cluster::{build_cluster, RaftCluster, RaftKind};
+pub use core::{RaftCfg, RaftCore, RaftServer, Role};
+pub use types::{AppendReq, AppendResp, VoteReq, VoteResp};

@@ -1,0 +1,205 @@
+//! Quorum-aware broadcast: the framework-level optimization of §2.3.
+//!
+//! *"If the framework is aware that this is a broadcast that can succeed
+//! with a quorum of replies, it can safely discard the messages for the
+//! slow connection."* [`broadcast`] sends one request per peer, collects
+//! the reply events under a [`QuorumEvent`], and (when `discard_on_quorum`
+//! is set) cancels every request still sitting in an outgoing buffer the
+//! moment the quorum is satisfied — so a slow peer's buffer cannot grow
+//! without bound.
+
+use bytes::Bytes;
+use depfast::event::{QuorumEvent, QuorumMode, Watchable};
+use simkit::NodeId;
+
+use crate::conn::CancelToken;
+use crate::endpoint::Endpoint;
+use crate::proxy::RpcEvent;
+use crate::Method;
+
+/// The in-flight state of a quorum broadcast.
+pub struct BroadcastHandle {
+    /// Fires when the quorum condition resolves.
+    pub quorum: QuorumEvent,
+    /// Per-peer reply events, in `peers` order.
+    pub replies: Vec<(NodeId, RpcEvent)>,
+    /// Cancels requests still queued in outgoing buffers.
+    pub cancel: CancelToken,
+}
+
+/// Broadcasts `payload` to `peers` and returns a quorum over the replies.
+///
+/// `extra` events (e.g. the leader's own disk-write completion) can be
+/// added to the returned quorum by the caller *before* waiting; use
+/// [`QuorumMode::Count`] to account for them in the threshold.
+pub fn broadcast(
+    ep: &Endpoint,
+    peers: &[NodeId],
+    method: Method,
+    label: &'static str,
+    payload: Bytes,
+    mode: QuorumMode,
+    discard_on_quorum: bool,
+) -> BroadcastHandle {
+    let quorum = QuorumEvent::labeled(ep.runtime(), mode, label);
+    let cancel = CancelToken::new();
+    let mut replies = Vec::with_capacity(peers.len());
+    for peer in peers {
+        let ev = ep.proxy(*peer).call_cancellable(
+            method,
+            label,
+            payload.clone(),
+            cancel.clone(),
+        );
+        quorum.add(&ev);
+        replies.push((*peer, ev));
+    }
+    if discard_on_quorum {
+        let c = cancel.clone();
+        quorum.handle().on_fire(move |_| c.cancel());
+    }
+    BroadcastHandle {
+        quorum,
+        replies,
+        cancel,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::{Registry, RpcCfg};
+    use depfast::runtime::Runtime;
+    use simkit::{Sim, World, WorldCfg};
+    use std::time::Duration;
+
+    const ECHO: u32 = 1;
+
+    fn cluster(n: usize) -> (Sim, World, Vec<Endpoint>) {
+        let sim = Sim::new(3);
+        let world = World::new(
+            sim.clone(),
+            WorldCfg {
+                nodes: n,
+                ..WorldCfg::default()
+            },
+        );
+        let registry = Registry::new();
+        let tracer = depfast::Tracer::new();
+        let eps: Vec<Endpoint> = (0..n as u32)
+            .map(|i| {
+                let rt = Runtime::with_tracer(sim.clone(), NodeId(i), tracer.clone());
+                Endpoint::new(&rt, &world, &registry, RpcCfg::default())
+            })
+            .collect();
+        for ep in &eps {
+            ep.register(ECHO, "svc:echo", |_, payload, r| r.reply(payload));
+        }
+        (sim, world, eps)
+    }
+
+    #[test]
+    fn majority_completes_despite_one_dead_peer() {
+        let (sim, world, eps) = cluster(4);
+        world.crash(NodeId(3));
+        let peers = [NodeId(1), NodeId(2), NodeId(3)];
+        let h = broadcast(
+            &eps[0],
+            &peers,
+            ECHO,
+            "bcast",
+            Bytes::from_static(b"m"),
+            QuorumMode::Majority,
+            false,
+        );
+        let q = h.quorum.clone();
+        let out = sim.block_on(async move { q.wait_timeout(Duration::from_secs(1)).await });
+        assert!(out.is_ready());
+        assert_eq!(h.quorum.ok_count(), 2);
+    }
+
+    #[test]
+    fn discard_on_quorum_cancels_queued_requests() {
+        let (sim, world, eps) = cluster(4);
+        // Peer 3 is CPU-starved: its pump drains very slowly, so credits
+        // stop returning and requests pile up in the sender's queue.
+        world.set_cpu_quota(NodeId(3), 0.001);
+        let peers = [NodeId(1), NodeId(2), NodeId(3)];
+        let mut done = 0u64;
+        for _ in 0..2000 {
+            let h = broadcast(
+                &eps[0],
+                &peers,
+                ECHO,
+                "bcast",
+                Bytes::from(vec![0u8; 128]),
+                QuorumMode::Majority,
+                true,
+            );
+            let q = h.quorum.clone();
+            let r = sim.block_on(async move { q.wait_timeout(Duration::from_secs(1)).await });
+            if r.is_ready() {
+                done += 1;
+            }
+        }
+        assert_eq!(done, 2000, "healthy majority always completes");
+        let slow_conn = eps[0].conn(NodeId(3));
+        // Without discard the queue would hold ~2000 - window messages;
+        // with discard it stays near the credit window.
+        assert!(
+            slow_conn.queue_len() < 300,
+            "queue to slow peer should stay bounded, got {}",
+            slow_conn.queue_len()
+        );
+        assert!(slow_conn.dropped() > 1000, "most sends were discarded");
+    }
+
+    #[test]
+    fn without_discard_queue_to_slow_peer_grows() {
+        let (sim, world, eps) = cluster(4);
+        world.set_cpu_quota(NodeId(3), 0.001);
+        let peers = [NodeId(1), NodeId(2), NodeId(3)];
+        for _ in 0..500 {
+            let h = broadcast(
+                &eps[0],
+                &peers,
+                ECHO,
+                "bcast",
+                Bytes::from(vec![0u8; 128]),
+                QuorumMode::Majority,
+                false,
+            );
+            let q = h.quorum.clone();
+            sim.block_on(async move { q.wait_timeout(Duration::from_secs(1)).await });
+        }
+        let slow_conn = eps[0].conn(NodeId(3));
+        assert!(
+            slow_conn.queue_len() > 300,
+            "un-discarded queue should grow, got {}",
+            slow_conn.queue_len()
+        );
+    }
+
+    #[test]
+    fn quorum_unreachable_when_too_many_peers_dead() {
+        let (sim, world, eps) = cluster(4);
+        world.crash(NodeId(2));
+        world.crash(NodeId(3));
+        let peers = [NodeId(1), NodeId(2), NodeId(3)];
+        let h = broadcast(
+            &eps[0],
+            &peers,
+            ECHO,
+            "bcast",
+            Bytes::new(),
+            QuorumMode::Majority,
+            false,
+        );
+        let q = h.quorum.clone();
+        // Dead peers never reply (no transport error signal), so the
+        // wait resolves by timeout rather than explicit failure.
+        let out = sim.block_on(async move { q.wait_timeout(Duration::from_millis(500)).await });
+        assert!(out.is_timeout());
+        assert_eq!(h.quorum.ok_count(), 1);
+    }
+}

@@ -1,0 +1,37 @@
+//! RPC framework for DepFast systems, over the simulated network.
+//!
+//! The paper (§2.3, "logic versus framework") argues that framework code —
+//! RPC, buffering, disk flushing — must carry a *clean abstraction* to the
+//! logic code, and must be quorum-aware: "if the framework is aware that
+//! this is a broadcast that can succeed with a quorum of replies, it can
+//! safely discard the messages for the slow connection". This crate is
+//! that framework layer:
+//!
+//! * [`wire`] — a hand-rolled binary codec, so the network model charges
+//!   bandwidth for true message sizes;
+//! * [`conn`] — per-peer connections with credit-based flow control and a
+//!   pluggable [`BufferPolicy`](conn::BufferPolicy): `Unbounded` buffers
+//!   reproduce the RethinkDB backlog/OOM root cause, bounded buffers are
+//!   what DepFast systems use;
+//! * [`endpoint`] — per-node servers dispatching requests into coroutines
+//!   and routing replies back to [`RpcEvent`](proxy::RpcEvent)s;
+//! * [`proxy`] — the caller side: `proxy.call(...)` returns an event, the
+//!   paper's `rpc_proxy.AppendEntries(entries)` shape;
+//! * [`broadcast`] — quorum-aware broadcast returning a
+//!   [`QuorumEvent`](depfast::QuorumEvent), with optional discard of
+//!   still-queued sends once the quorum is satisfied.
+
+pub mod broadcast;
+pub mod conn;
+pub mod endpoint;
+pub mod proxy;
+pub mod wire;
+
+pub use broadcast::{broadcast, BroadcastHandle};
+pub use conn::{BufferPolicy, OnFull};
+pub use endpoint::{Endpoint, Responder, RpcCfg};
+pub use proxy::{Proxy, RpcEvent};
+pub use wire::{WireRead, WireWrite};
+
+/// RPC method identifier. Applications define their own constants.
+pub type Method = u32;

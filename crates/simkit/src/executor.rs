@@ -1,0 +1,609 @@
+//! Deterministic single-threaded async executor with virtual time.
+//!
+//! The executor is the heart of the simulation: it polls tasks until every
+//! one of them is blocked, then jumps the virtual clock to the next timer
+//! deadline. Because there is exactly one thread and the ready queue is
+//! FIFO, a given seed always produces the same interleaving — the property
+//! the whole benchmark harness relies on.
+//!
+//! The DepFast paper (§3.3) describes a runtime with "coroutines, events, a
+//! scheduler, and I/O helper threads". This executor plays the scheduler
+//! role; the DepFast crate layers coroutine identity and event tracing on
+//! top, and the resource models in this crate stand in for the I/O helper
+//! threads by completing simulated I/O after a modelled delay.
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::time::SimTime;
+use crate::LocalBoxFuture;
+
+/// Identifier of a spawned task, unique within one [`Sim`].
+pub type TaskId = u64;
+
+/// What a timer fires: either waking a task or running a callback.
+///
+/// Callbacks let the network model deliver messages without a dedicated
+/// pump task; they run on the executor thread between task polls.
+enum TimerAction {
+    Wake(Waker),
+    Call(Box<dyn FnOnce()>),
+}
+
+struct TimerEntry {
+    at: SimTime,
+    seq: u64,
+    action: TimerAction,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The shared FIFO of tasks whose wakers have fired.
+///
+/// Wakers must be `Send + Sync` per the std contract, so the queue sits
+/// behind a lightweight mutex even though in practice only the simulation
+/// thread touches it.
+#[derive(Default)]
+struct WokenQueue {
+    queue: Mutex<VecDeque<TaskId>>,
+}
+
+struct TaskWaker {
+    id: TaskId,
+    woken: Arc<WokenQueue>,
+}
+
+impl std::task::Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.woken.queue.lock().push_back(self.id);
+    }
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.woken.queue.lock().push_back(self.id);
+    }
+}
+
+struct Core {
+    now: SimTime,
+    next_task: TaskId,
+    next_timer_seq: u64,
+    tasks: HashMap<TaskId, (LocalBoxFuture<()>, Waker)>,
+    timers: BinaryHeap<Reverse<TimerEntry>>,
+    rng: SmallRng,
+    /// Total tasks ever spawned, for diagnostics.
+    spawned: u64,
+    /// Total task polls, for diagnostics.
+    polls: u64,
+}
+
+/// A deterministic, single-threaded discrete-event simulator and executor.
+///
+/// `Sim` is cheap to clone (it is a reference-counted handle) and is the
+/// entry point for everything time-related: spawning tasks, sleeping,
+/// scheduling callbacks and drawing seeded random numbers.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::Sim;
+/// use std::time::Duration;
+///
+/// let sim = Sim::new(42);
+/// let s = sim.clone();
+/// let out = sim.block_on(async move {
+///     s.sleep(Duration::from_millis(5)).await;
+///     s.now().as_nanos()
+/// });
+/// assert_eq!(out, 5_000_000);
+/// ```
+#[derive(Clone)]
+pub struct Sim {
+    core: Rc<RefCell<Core>>,
+    woken: Arc<WokenQueue>,
+}
+
+impl Sim {
+    /// Creates a new simulator whose random stream is derived from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            core: Rc::new(RefCell::new(Core {
+                now: SimTime::ZERO,
+                next_task: 0,
+                next_timer_seq: 0,
+                tasks: HashMap::new(),
+                timers: BinaryHeap::new(),
+                rng: SmallRng::seed_from_u64(seed),
+                spawned: 0,
+                polls: 0,
+            })),
+            woken: Arc::new(WokenQueue::default()),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.borrow().now
+    }
+
+    /// Number of tasks spawned so far (diagnostics).
+    pub fn tasks_spawned(&self) -> u64 {
+        self.core.borrow().spawned
+    }
+
+    /// Number of timers scheduled so far (diagnostics).
+    pub fn timers_scheduled(&self) -> u64 {
+        self.core.borrow().next_timer_seq
+    }
+
+    /// Number of task polls performed so far (diagnostics).
+    pub fn polls(&self) -> u64 {
+        self.core.borrow().polls
+    }
+
+    /// Draws a uniformly random `u64` from the seeded stream.
+    pub fn rand_u64(&self) -> u64 {
+        self.core.borrow_mut().rng.random()
+    }
+
+    /// Draws a random value in `[lo, hi)` from the seeded stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn rand_range(&self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "rand_range requires lo < hi");
+        self.core.borrow_mut().rng.random_range(lo..hi)
+    }
+
+    /// Runs `f` with mutable access to the seeded RNG.
+    pub fn with_rng<T>(&self, f: impl FnOnce(&mut SmallRng) -> T) -> T {
+        f(&mut self.core.borrow_mut().rng)
+    }
+
+    /// Spawns a task and returns a handle that resolves to its output.
+    ///
+    /// The task starts on the ready queue and is polled during the next
+    /// executor iteration; spawning never polls inline, which keeps
+    /// re-entrancy away from callers holding borrows.
+    pub fn spawn<T: 'static>(&self, fut: impl Future<Output = T> + 'static) -> JoinHandle<T> {
+        let slot: Rc<RefCell<JoinSlot<T>>> = Rc::new(RefCell::new(JoinSlot {
+            value: None,
+            waker: None,
+        }));
+        let slot2 = slot.clone();
+        let wrapped = Box::pin(async move {
+            let value = fut.await;
+            let mut s = slot2.borrow_mut();
+            s.value = Some(value);
+            if let Some(w) = s.waker.take() {
+                w.wake();
+            }
+        });
+        let id = {
+            let mut core = self.core.borrow_mut();
+            let id = core.next_task;
+            core.next_task += 1;
+            core.spawned += 1;
+            // One waker per task for its whole life: lets futures
+            // deduplicate registrations via `Waker::will_wake`.
+            let waker = Waker::from(Arc::new(TaskWaker {
+                id,
+                woken: self.woken.clone(),
+            }));
+            core.tasks.insert(id, (wrapped, waker));
+            id
+        };
+        self.woken.queue.lock().push_back(id);
+        JoinHandle { slot }
+    }
+
+    /// Schedules `waker` to be woken at virtual instant `at`.
+    pub fn schedule_wake(&self, at: SimTime, waker: Waker) {
+        let mut core = self.core.borrow_mut();
+        let seq = core.next_timer_seq;
+        core.next_timer_seq += 1;
+        core.timers.push(Reverse(TimerEntry {
+            at,
+            seq,
+            action: TimerAction::Wake(waker),
+        }));
+    }
+
+    /// Schedules `f` to run on the executor thread at virtual instant `at`.
+    ///
+    /// This is how the network model delivers messages: the callback runs
+    /// between task polls, so it may freely borrow shared state.
+    pub fn schedule_call(&self, at: SimTime, f: impl FnOnce() + 'static) {
+        let mut core = self.core.borrow_mut();
+        let seq = core.next_timer_seq;
+        core.next_timer_seq += 1;
+        core.timers.push(Reverse(TimerEntry {
+            at,
+            seq,
+            action: TimerAction::Call(Box::new(f)),
+        }));
+    }
+
+    /// Returns a future that completes after virtual duration `d`.
+    pub fn sleep(&self, d: Duration) -> Sleep {
+        self.sleep_until(self.now() + d)
+    }
+
+    /// Returns a future that completes at virtual instant `deadline`.
+    pub fn sleep_until(&self, deadline: SimTime) -> Sleep {
+        Sleep {
+            sim: self.clone(),
+            deadline,
+            armed: false,
+        }
+    }
+
+    /// Polls every runnable task, advancing time as needed, until the
+    /// simulation is quiescent (no runnable tasks and no pending timers).
+    pub fn run(&self) {
+        loop {
+            self.drain_ready();
+            let fired = self.advance_to_next_timer();
+            if !fired && self.woken.queue.lock().is_empty() {
+                break;
+            }
+        }
+    }
+
+    /// Runs the simulation until `handle`'s task has completed and returns
+    /// its output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation goes quiescent (deadlocks) before the task
+    /// finishes — in a deterministic simulation that always indicates a
+    /// bug, so failing loudly beats hanging.
+    pub fn run_until<T>(&self, handle: JoinHandle<T>) -> T {
+        loop {
+            if let Some(v) = handle.try_take() {
+                return v;
+            }
+            self.drain_ready();
+            if let Some(v) = handle.try_take() {
+                return v;
+            }
+            let fired = self.advance_to_next_timer();
+            if !fired && self.woken.queue.lock().is_empty() {
+                panic!(
+                    "simulation deadlocked at {} waiting for run_until task",
+                    self.now()
+                );
+            }
+        }
+    }
+
+    /// Spawns `fut` and runs the simulation until it completes.
+    pub fn block_on<T: 'static>(&self, fut: impl Future<Output = T> + 'static) -> T {
+        let handle = self.spawn(fut);
+        self.run_until(handle)
+    }
+
+    /// Runs the simulation until virtual time reaches `deadline`, then
+    /// returns (remaining tasks stay parked).
+    pub fn run_until_time(&self, deadline: SimTime) {
+        loop {
+            self.drain_ready();
+            let next = self.next_timer_at();
+            match next {
+                Some(at) if at <= deadline => {
+                    self.advance_to_next_timer();
+                }
+                _ => {
+                    if self.woken.queue.lock().is_empty() {
+                        // Nothing left to do before the deadline.
+                        self.core.borrow_mut().now = deadline.max(self.now());
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    fn next_timer_at(&self) -> Option<SimTime> {
+        self.core.borrow().timers.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Polls tasks from the woken queue until it is empty.
+    fn drain_ready(&self) {
+        loop {
+            let id = { self.woken.queue.lock().pop_front() };
+            let Some(id) = id else { break };
+            // Take the task out of the map so the poll can spawn/schedule
+            // without re-borrowing the core.
+            let Some((mut fut, waker)) = self.core.borrow_mut().tasks.remove(&id) else {
+                continue; // Already finished; stale wake.
+            };
+            self.core.borrow_mut().polls += 1;
+            let mut cx = Context::from_waker(&waker);
+            match fut.as_mut().poll(&mut cx) {
+                Poll::Ready(()) => {}
+                Poll::Pending => {
+                    self.core.borrow_mut().tasks.insert(id, (fut, waker));
+                }
+            }
+        }
+    }
+
+    /// Advances the clock to the earliest timer and fires every timer due
+    /// at that instant. Returns `false` if there were no timers.
+    fn advance_to_next_timer(&self) -> bool {
+        let mut actions = Vec::new();
+        {
+            let mut core = self.core.borrow_mut();
+            let Some(Reverse(first)) = core.timers.peek() else {
+                return false;
+            };
+            let at = first.at;
+            debug_assert!(at >= core.now, "timer scheduled in the past");
+            core.now = core.now.max(at);
+            while let Some(Reverse(e)) = core.timers.peek() {
+                if e.at > at {
+                    break;
+                }
+                let Reverse(e) = core.timers.pop().expect("peeked entry exists");
+                actions.push(e.action);
+            }
+        }
+        for action in actions {
+            match action {
+                TimerAction::Wake(w) => w.wake(),
+                TimerAction::Call(f) => f(),
+            }
+        }
+        true
+    }
+}
+
+struct JoinSlot<T> {
+    value: Option<T>,
+    waker: Option<Waker>,
+}
+
+/// Handle to a spawned task's eventual output.
+///
+/// Await it inside the simulation, or use [`Sim::run_until`] from outside.
+pub struct JoinHandle<T> {
+    slot: Rc<RefCell<JoinSlot<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Takes the output if the task has finished.
+    pub fn try_take(&self) -> Option<T> {
+        self.slot.borrow_mut().value.take()
+    }
+
+    /// Returns `true` if the task has finished (output still available).
+    pub fn is_finished(&self) -> bool {
+        self.slot.borrow().value.is_some()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut slot = self.slot.borrow_mut();
+        if let Some(v) = slot.value.take() {
+            Poll::Ready(v)
+        } else {
+            slot.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// Future returned by [`Sim::sleep`] / [`Sim::sleep_until`].
+pub struct Sleep {
+    sim: Sim,
+    deadline: SimTime,
+    armed: bool,
+}
+
+impl Sleep {
+    /// The virtual instant this sleep completes at.
+    pub fn deadline(&self) -> SimTime {
+        self.deadline
+    }
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.sim.now() >= self.deadline {
+            Poll::Ready(())
+        } else {
+            // Arm the wake-up once; re-polls (spurious wakes) must not
+            // multiply timers.
+            if !self.armed {
+                self.armed = true;
+                self.sim.schedule_wake(self.deadline, cx.waker().clone());
+            }
+            Poll::Pending
+        }
+    }
+}
+
+/// Cooperatively yields once, letting other ready tasks run first.
+pub fn yield_now() -> YieldNow {
+    YieldNow { polled: false }
+}
+
+/// Future returned by [`yield_now`].
+pub struct YieldNow {
+    polled: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.polled {
+            Poll::Ready(())
+        } else {
+            self.polled = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn block_on_returns_value() {
+        let sim = Sim::new(1);
+        assert_eq!(sim.block_on(async { 7 }), 7);
+    }
+
+    #[test]
+    fn sleep_advances_virtual_time_only() {
+        let sim = Sim::new(1);
+        let s = sim.clone();
+        let wall = std::time::Instant::now();
+        sim.block_on(async move {
+            s.sleep(Duration::from_secs(3600)).await;
+        });
+        assert_eq!(sim.now(), SimTime::from_secs(3600));
+        assert!(wall.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn tasks_interleave_deterministically() {
+        let run = |seed| {
+            let sim = Sim::new(seed);
+            let order = Rc::new(RefCell::new(Vec::new()));
+            for i in 0..5u32 {
+                let s = sim.clone();
+                let o = order.clone();
+                sim.spawn(async move {
+                    s.sleep(Duration::from_millis((5 - i) as u64)).await;
+                    o.borrow_mut().push(i);
+                });
+            }
+            sim.run();
+            let out = order.borrow().clone();
+            out
+        };
+        let a = run(9);
+        let b = run(9);
+        assert_eq!(a, b);
+        assert_eq!(a, vec![4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn timers_at_same_instant_fire_in_schedule_order() {
+        let sim = Sim::new(1);
+        let hits = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..3 {
+            let h = hits.clone();
+            sim.schedule_call(SimTime::from_millis(1), move || h.borrow_mut().push(i));
+        }
+        sim.run();
+        assert_eq!(*hits.borrow(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn join_handle_awaitable_from_task() {
+        let sim = Sim::new(1);
+        let s = sim.clone();
+        let out = sim.block_on(async move {
+            let inner = s.spawn(async { 41 });
+            inner.await + 1
+        });
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlocked")]
+    fn run_until_detects_deadlock() {
+        let sim = Sim::new(1);
+        sim.block_on(std::future::pending::<()>());
+    }
+
+    #[test]
+    fn run_until_time_parks_remaining_work() {
+        let sim = Sim::new(1);
+        let fired = Rc::new(Cell::new(false));
+        let f = fired.clone();
+        let s = sim.clone();
+        sim.spawn(async move {
+            s.sleep(Duration::from_secs(10)).await;
+            f.set(true);
+        });
+        sim.run_until_time(SimTime::from_secs(5));
+        assert!(!fired.get());
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+        sim.run_until_time(SimTime::from_secs(20));
+        assert!(fired.get());
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let sim = Sim::new(123);
+            (0..8).map(|_| sim.rand_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let sim = Sim::new(123);
+            (0..8).map(|_| sim.rand_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let sim = Sim::new(124);
+            (0..8).map(|_| sim.rand_u64()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn yield_now_lets_other_tasks_run() {
+        let sim = Sim::new(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l1 = log.clone();
+        sim.spawn(async move {
+            l1.borrow_mut().push("a1");
+            yield_now().await;
+            l1.borrow_mut().push("a2");
+        });
+        let l2 = log.clone();
+        sim.spawn(async move {
+            l2.borrow_mut().push("b1");
+        });
+        sim.run();
+        assert_eq!(*log.borrow(), vec!["a1", "b1", "a2"]);
+    }
+}

@@ -1,0 +1,447 @@
+//! The simulated cluster: per-node resource models plus a shared network.
+//!
+//! A [`World`] owns one [`CpuModel`], [`DiskModel`] and [`MemoryModel`] per
+//! node and a single [`NetModel`]. Higher layers (the RPC framework, the
+//! storage engine, the fault injector) talk to the world rather than to the
+//! models directly, so every resource interaction goes through one place
+//! where fail-slow distortion, memory-pressure slowdown and crash checks
+//! compose.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use crate::cpu::{CpuCfg, CpuModel};
+use crate::disk::{DiskCfg, DiskModel, DiskOp};
+use crate::executor::Sim;
+use crate::memory::{MemCfg, MemoryModel, Oom};
+use crate::net::{NetCfg, NetModel};
+use crate::Crashed;
+
+/// Identifier of a simulated node (server or client host).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Configuration of a whole simulated cluster.
+#[derive(Debug, Clone, Copy)]
+pub struct WorldCfg {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Per-node CPU configuration.
+    pub cpu: CpuCfg,
+    /// Per-node disk configuration.
+    pub disk: DiskCfg,
+    /// Per-node memory configuration.
+    pub mem: MemCfg,
+    /// Shared network configuration.
+    pub net: NetCfg,
+}
+
+impl Default for WorldCfg {
+    fn default() -> Self {
+        WorldCfg {
+            nodes: 3,
+            cpu: CpuCfg::default(),
+            disk: DiskCfg::default(),
+            mem: MemCfg::default(),
+            net: NetCfg::default(),
+        }
+    }
+}
+
+/// A message in flight between two nodes.
+#[derive(Debug, Clone)]
+pub struct NetMessage {
+    /// Sending node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Serialized payload.
+    pub payload: Bytes,
+}
+
+struct NodeState {
+    cpu: CpuModel,
+    disk: DiskModel,
+    mem: MemoryModel,
+    crashed: bool,
+}
+
+type Handler = Rc<dyn Fn(NetMessage)>;
+
+struct WorldInner {
+    nodes: Vec<NodeState>,
+    net: NetModel,
+    handlers: Vec<Option<Handler>>,
+}
+
+/// Handle to the simulated cluster. Cheap to clone.
+#[derive(Clone)]
+pub struct World {
+    sim: Sim,
+    inner: Rc<RefCell<WorldInner>>,
+}
+
+impl World {
+    /// Builds a cluster of `cfg.nodes` identical nodes on `sim`.
+    pub fn new(sim: Sim, cfg: WorldCfg) -> Self {
+        let nodes = (0..cfg.nodes)
+            .map(|_| NodeState {
+                cpu: CpuModel::new(cfg.cpu),
+                disk: DiskModel::new(cfg.disk),
+                mem: MemoryModel::new(cfg.mem),
+                crashed: false,
+            })
+            .collect();
+        World {
+            sim,
+            inner: Rc::new(RefCell::new(WorldInner {
+                nodes,
+                net: NetModel::new(cfg.net),
+                handlers: vec![None; cfg.nodes],
+            })),
+        }
+    }
+
+    /// The underlying simulator handle.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn node_count(&self) -> usize {
+        self.inner.borrow().nodes.len()
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        (0..self.node_count() as u32).map(NodeId).collect()
+    }
+
+    fn check(&self, node: NodeId) -> Result<(), Crashed> {
+        if self.inner.borrow().nodes[node.0 as usize].crashed {
+            Err(Crashed)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Returns `true` if `node` has crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.inner.borrow().nodes[node.0 as usize].crashed
+    }
+
+    /// Kills `node`: all of its pending and future operations fail and
+    /// messages to or from it are dropped.
+    pub fn crash(&self, node: NodeId) {
+        self.inner.borrow_mut().nodes[node.0 as usize].crashed = true;
+    }
+
+    /// Executes `work` of CPU time on `node`, queueing on its cores and
+    /// paying the current fail-slow and swap multipliers.
+    pub async fn cpu(&self, node: NodeId, work: Duration) -> Result<(), Crashed> {
+        self.check(node)?;
+        let finish = {
+            let mut inner = self.inner.borrow_mut();
+            let slowdown = inner.nodes[node.0 as usize].mem.slowdown();
+            inner.nodes[node.0 as usize]
+                .cpu
+                .schedule(self.sim.now(), work, slowdown)
+        };
+        self.sim.sleep_until(finish).await;
+        self.check(node)
+    }
+
+    /// Performs a disk operation on `node`'s FIFO device queue.
+    pub async fn disk(&self, node: NodeId, op: DiskOp) -> Result<(), Crashed> {
+        self.check(node)?;
+        let finish = {
+            let mut inner = self.inner.borrow_mut();
+            let slowdown = inner.nodes[node.0 as usize].mem.slowdown();
+            inner.nodes[node.0 as usize]
+                .disk
+                .schedule(self.sim.now(), op, slowdown)
+        };
+        self.sim.sleep_until(finish).await;
+        self.check(node)
+    }
+
+    /// Accounts `bytes` of new memory usage on `node`.
+    pub fn mem_alloc(&self, node: NodeId, bytes: u64) -> Result<(), Oom> {
+        self.inner.borrow_mut().nodes[node.0 as usize].mem.alloc(bytes)
+    }
+
+    /// Releases `bytes` of memory usage on `node`.
+    pub fn mem_free(&self, node: NodeId, bytes: u64) {
+        self.inner.borrow_mut().nodes[node.0 as usize].mem.free(bytes);
+    }
+
+    /// Current memory usage of `node` in bytes.
+    pub fn mem_used(&self, node: NodeId) -> u64 {
+        self.inner.borrow().nodes[node.0 as usize].mem.used()
+    }
+
+    /// Peak memory usage of `node` in bytes.
+    pub fn mem_peak(&self, node: NodeId) -> u64 {
+        self.inner.borrow().nodes[node.0 as usize].mem.peak()
+    }
+
+    /// Current swap-penalty multiplier of `node`.
+    pub fn mem_slowdown(&self, node: NodeId) -> f64 {
+        self.inner.borrow().nodes[node.0 as usize].mem.slowdown()
+    }
+
+    /// Registers the delivery handler for messages addressed to `node`.
+    ///
+    /// The handler runs on the executor thread between task polls; it
+    /// should only enqueue and wake, never block.
+    pub fn register_handler(&self, node: NodeId, handler: impl Fn(NetMessage) + 'static) {
+        self.inner.borrow_mut().handlers[node.0 as usize] = Some(Rc::new(handler));
+    }
+
+    /// Sends `payload` from `from` to `to`. Delivery is asynchronous; the
+    /// message is silently dropped if the link is partitioned or either
+    /// end has crashed by delivery time.
+    pub fn send(&self, from: NodeId, to: NodeId, payload: Bytes) {
+        if self.is_crashed(from) {
+            return;
+        }
+        let deliver_at = {
+            let mut inner = self.inner.borrow_mut();
+            let now = self.sim.now();
+            let bytes = payload.len() as u64;
+            let WorldInner { net, .. } = &mut *inner;
+            self.sim
+                .with_rng(|rng| net.delivery_time(now, from, to, bytes, rng))
+        };
+        let Some(at) = deliver_at else { return };
+        let world = self.clone();
+        self.sim.schedule_call(at, move || {
+            if world.is_crashed(to) || world.is_crashed(from) {
+                return;
+            }
+            let handler = world.inner.borrow().handlers[to.0 as usize].clone();
+            if let Some(h) = handler {
+                h(NetMessage { from, to, payload });
+            }
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Fault-injection knobs (used by `depfast-fault`).
+    // ------------------------------------------------------------------
+
+    /// Sets the cgroup-style CPU quota of `node` (Table 1, "CPU (slow)").
+    pub fn set_cpu_quota(&self, node: NodeId, quota: f64) {
+        self.inner.borrow_mut().nodes[node.0 as usize].cpu.set_quota(quota);
+    }
+
+    /// Sets or clears CPU contention on `node` (Table 1, "CPU (contention)").
+    pub fn set_cpu_contention(&self, node: NodeId, share: Option<f64>) {
+        self.inner.borrow_mut().nodes[node.0 as usize]
+            .cpu
+            .set_contention(share);
+    }
+
+    /// Sets the disk bandwidth factor of `node` (Table 1, "Disk (slow)").
+    pub fn set_disk_bw_factor(&self, node: NodeId, factor: f64) {
+        self.inner.borrow_mut().nodes[node.0 as usize]
+            .disk
+            .set_bw_factor(factor);
+    }
+
+    /// Sets the memory limit of `node` (Table 1, "Memory (contention)").
+    pub fn set_mem_limit(&self, node: NodeId, limit: u64) {
+        self.inner.borrow_mut().nodes[node.0 as usize].mem.set_limit(limit);
+    }
+
+    /// Restores the configured memory limit of `node`.
+    pub fn reset_mem_limit(&self, node: NodeId) {
+        self.inner.borrow_mut().nodes[node.0 as usize].mem.reset_limit();
+    }
+
+    /// Sets the `tc`-style egress delay of `node` (Table 1, "Network (slow)").
+    pub fn set_egress_delay(&self, node: NodeId, delay: Duration) {
+        self.inner.borrow_mut().net.set_egress_delay(node, delay);
+    }
+
+    /// Severs the link between `a` and `b`.
+    pub fn partition(&self, a: NodeId, b: NodeId) {
+        self.inner.borrow_mut().net.partition(a, b);
+    }
+
+    /// Heals the link between `a` and `b`.
+    pub fn heal(&self, a: NodeId, b: NodeId) {
+        self.inner.borrow_mut().net.heal(a, b);
+    }
+
+    // ------------------------------------------------------------------
+    // Reporting.
+    // ------------------------------------------------------------------
+
+    /// Total messages accepted by the network so far.
+    pub fn net_messages(&self) -> u64 {
+        self.inner.borrow().net.messages()
+    }
+
+    /// Total payload bytes accepted by the network so far.
+    pub fn net_bytes(&self) -> u64 {
+        self.inner.borrow().net.bytes()
+    }
+
+    /// Total bytes written to `node`'s disk so far.
+    pub fn disk_bytes_written(&self, node: NodeId) -> u64 {
+        self.inner.borrow().nodes[node.0 as usize].disk.bytes_written()
+    }
+
+    /// Isolated (no-queueing) service time of `op` on `node`'s disk.
+    pub fn disk_service_time(&self, node: NodeId, op: DiskOp) -> Duration {
+        self.inner.borrow().nodes[node.0 as usize].disk.service_time(op)
+    }
+
+    /// Current effective CPU rate multiplier of `node`.
+    pub fn cpu_rate(&self, node: NodeId) -> f64 {
+        self.inner.borrow().nodes[node.0 as usize].cpu.rate()
+    }
+
+    /// CPU utilization of `node` over a window ending now (fraction of
+    /// all cores busy, assuming the node was busy only within `window`).
+    pub fn cpu_utilization(&self, node: NodeId, window: std::time::Duration) -> f64 {
+        self.inner.borrow().nodes[node.0 as usize].cpu.utilization(window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn world() -> (Sim, World) {
+        let sim = Sim::new(42);
+        let cfg = WorldCfg {
+            nodes: 3,
+            net: NetCfg {
+                base_latency: Duration::from_micros(100),
+                jitter: Duration::ZERO,
+                bandwidth_bps: 1e9,
+                hiccup_prob: 0.0,
+                hiccup_delay: Duration::ZERO,
+            },
+            ..WorldCfg::default()
+        };
+        let w = World::new(sim.clone(), cfg);
+        (sim, w)
+    }
+
+    #[test]
+    fn cpu_work_advances_time() {
+        let (sim, w) = world();
+        let w2 = w.clone();
+        sim.block_on(async move {
+            w2.cpu(NodeId(0), Duration::from_millis(2)).await.unwrap();
+        });
+        assert_eq!(sim.now(), SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn cpu_quota_fault_slows_node() {
+        let (sim, w) = world();
+        w.set_cpu_quota(NodeId(0), 0.05);
+        let w2 = w.clone();
+        sim.block_on(async move {
+            w2.cpu(NodeId(0), Duration::from_millis(1)).await.unwrap();
+        });
+        assert_eq!(sim.now(), SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn crashed_node_operations_fail() {
+        let (sim, w) = world();
+        w.crash(NodeId(1));
+        let w2 = w.clone();
+        let res = sim.block_on(async move { w2.cpu(NodeId(1), Duration::from_millis(1)).await });
+        assert_eq!(res, Err(Crashed));
+    }
+
+    #[test]
+    fn messages_are_delivered_with_latency() {
+        let (sim, w) = world();
+        let got: Rc<RefCell<Vec<(NodeId, Bytes)>>> = Rc::new(RefCell::new(Vec::new()));
+        let got2 = got.clone();
+        w.register_handler(NodeId(1), move |m| {
+            got2.borrow_mut().push((m.from, m.payload));
+        });
+        w.send(NodeId(0), NodeId(1), Bytes::from_static(b"hello"));
+        sim.run();
+        assert_eq!(got.borrow().len(), 1);
+        assert_eq!(got.borrow()[0].0, NodeId(0));
+        assert!(sim.now() >= SimTime::from_micros(100));
+    }
+
+    #[test]
+    fn messages_to_crashed_node_are_dropped() {
+        let (sim, w) = world();
+        let hit = Rc::new(RefCell::new(0));
+        let hit2 = hit.clone();
+        w.register_handler(NodeId(1), move |_| *hit2.borrow_mut() += 1);
+        w.send(NodeId(0), NodeId(1), Bytes::from_static(b"x"));
+        w.crash(NodeId(1));
+        sim.run();
+        assert_eq!(*hit.borrow(), 0);
+    }
+
+    #[test]
+    fn partition_blocks_traffic() {
+        let (sim, w) = world();
+        let hit = Rc::new(RefCell::new(0));
+        let hit2 = hit.clone();
+        w.register_handler(NodeId(2), move |_| *hit2.borrow_mut() += 1);
+        w.partition(NodeId(0), NodeId(2));
+        w.send(NodeId(0), NodeId(2), Bytes::from_static(b"x"));
+        sim.run();
+        assert_eq!(*hit.borrow(), 0);
+        w.heal(NodeId(0), NodeId(2));
+        w.send(NodeId(0), NodeId(2), Bytes::from_static(b"x"));
+        sim.run();
+        assert_eq!(*hit.borrow(), 1);
+    }
+
+    #[test]
+    fn memory_pressure_slows_cpu() {
+        let (sim, w) = world();
+        let limit = w.mem_used(NodeId(0)) + 100;
+        w.set_mem_limit(NodeId(0), limit);
+        w.mem_alloc(NodeId(0), 100).unwrap();
+        assert!(w.mem_slowdown(NodeId(0)) > 1.0);
+        let w2 = w.clone();
+        sim.block_on(async move {
+            w2.cpu(NodeId(0), Duration::from_millis(1)).await.unwrap();
+        });
+        assert!(sim.now() > SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn egress_delay_slows_only_faulty_sender() {
+        let (sim, w) = world();
+        let stamp: Rc<RefCell<Vec<SimTime>>> = Rc::new(RefCell::new(Vec::new()));
+        let s2 = stamp.clone();
+        let sim2 = sim.clone();
+        w.register_handler(NodeId(0), move |_| s2.borrow_mut().push(sim2.now()));
+        w.set_egress_delay(NodeId(1), Duration::from_millis(400));
+        w.send(NodeId(1), NodeId(0), Bytes::from_static(b"slow"));
+        w.send(NodeId(2), NodeId(0), Bytes::from_static(b"fast"));
+        sim.run();
+        let st = stamp.borrow();
+        assert_eq!(st.len(), 2);
+        assert!(st[0] < SimTime::from_millis(1)); // fast arrives first
+        assert!(st[1] >= SimTime::from_millis(400));
+    }
+}

@@ -1,0 +1,140 @@
+//! The in-memory KV state machine replicated by the Raft drivers.
+//!
+//! Commands are opaque bytes at this layer; `depfast-kv` defines the wire
+//! encoding and session semantics. `MemKv` supplies the raw map plus a
+//! session table for exactly-once apply (client id → last sequence number
+//! and its cached reply), the standard RSM dedup construction.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+
+/// An in-memory key-value state machine with session deduplication.
+#[derive(Debug, Default)]
+pub struct MemKv {
+    map: HashMap<Bytes, Bytes>,
+    sessions: HashMap<u64, (u64, Bytes)>,
+    applied: u64,
+}
+
+impl MemKv {
+    /// Creates an empty state machine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts or overwrites `key`.
+    pub fn put(&mut self, key: Bytes, value: Bytes) {
+        self.map.insert(key, value);
+    }
+
+    /// Reads `key`.
+    pub fn get(&self, key: &Bytes) -> Option<&Bytes> {
+        self.map.get(key)
+    }
+
+    /// Removes `key`, returning whether it existed.
+    pub fn delete(&mut self, key: &Bytes) -> bool {
+        self.map.remove(key).is_some()
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` if no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total commands applied (including deduplicated replays).
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// Applies a command exactly once per `(client, seq)`.
+    ///
+    /// If `(client, seq)` was already applied, returns the cached reply
+    /// without re-running `f`; a higher `seq` from the same client
+    /// overwrites the session slot (clients issue sequential requests).
+    pub fn apply_dedup(
+        &mut self,
+        client: u64,
+        seq: u64,
+        f: impl FnOnce(&mut Self) -> Bytes,
+    ) -> Bytes {
+        if let Some((last_seq, reply)) = self.sessions.get(&client) {
+            if *last_seq == seq {
+                return reply.clone();
+            }
+        }
+        self.applied += 1;
+        let reply = f(self);
+        self.sessions.insert(client, (seq, reply.clone()));
+        reply
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let mut kv = MemKv::new();
+        kv.put(b("k"), b("v"));
+        assert_eq!(kv.get(&b("k")), Some(&b("v")));
+        assert!(kv.delete(&b("k")));
+        assert!(!kv.delete(&b("k")));
+        assert!(kv.is_empty());
+    }
+
+    #[test]
+    fn overwrite_replaces_value() {
+        let mut kv = MemKv::new();
+        kv.put(b("k"), b("1"));
+        kv.put(b("k"), b("2"));
+        assert_eq!(kv.get(&b("k")), Some(&b("2")));
+        assert_eq!(kv.len(), 1);
+    }
+
+    #[test]
+    fn dedup_replays_cached_reply() {
+        let mut kv = MemKv::new();
+        let r1 = kv.apply_dedup(7, 1, |kv| {
+            kv.put(b("k"), b("v"));
+            b("ok")
+        });
+        // A retried command must not re-execute.
+        let r2 = kv.apply_dedup(7, 1, |_| panic!("must not re-apply"));
+        assert_eq!(r1, b("ok"));
+        assert_eq!(r2, b("ok"));
+        assert_eq!(kv.applied(), 1);
+    }
+
+    #[test]
+    fn new_seq_executes_and_replaces_session() {
+        let mut kv = MemKv::new();
+        kv.apply_dedup(7, 1, |_| b("a"));
+        let r = kv.apply_dedup(7, 2, |_| b("b"));
+        assert_eq!(r, b("b"));
+        assert_eq!(kv.applied(), 2);
+        // seq 1's cache is gone, but clients never go backwards.
+        let r = kv.apply_dedup(7, 2, |_| panic!("must not re-apply"));
+        assert_eq!(r, b("b"));
+    }
+
+    #[test]
+    fn sessions_are_per_client() {
+        let mut kv = MemKv::new();
+        kv.apply_dedup(1, 1, |_| b("x"));
+        let r = kv.apply_dedup(2, 1, |_| b("y"));
+        assert_eq!(r, b("y"));
+        assert_eq!(kv.applied(), 2);
+    }
+}

@@ -1,0 +1,451 @@
+//! Raft log store with an in-memory EntryCache.
+//!
+//! Appends go through the [`Wal`](crate::wal::Wal); reads of *recent*
+//! entries are served from the EntryCache instantly, while entries evicted
+//! under the cache's byte budget cost a simulated disk read. When a
+//! follower lags far enough behind, the leader's reads for it fall off the
+//! cache — the paper's TiDB root cause (§2.2). Whether that disk read
+//! blocks anything else is the *driver's* choice: `SyncRaft` performs it
+//! inline on its single region thread; `DepFastRaft` performs it in the
+//! requesting coroutine where it harms only the laggard's replication.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use depfast::event::{EventHandle, ValueEvent, Watchable};
+use depfast::runtime::Runtime;
+use simkit::disk::DiskOp;
+use simkit::{Crashed, NodeId, World};
+
+use crate::wal::{IoEvent, Wal, WalCfg};
+
+/// One replicated log entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Term the entry was proposed in.
+    pub term: u64,
+    /// Position in the log (1-based; 0 is the sentinel before the log).
+    pub index: u64,
+    /// Opaque state-machine command.
+    pub payload: Bytes,
+}
+
+impl Entry {
+    /// Approximate serialized size, used for cache budgeting and I/O.
+    pub fn size(&self) -> u64 {
+        16 + self.payload.len() as u64
+    }
+}
+
+/// Log store configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LogStoreCfg {
+    /// EntryCache byte budget; entries beyond it are evicted oldest-first.
+    pub cache_bytes: u64,
+    /// WAL configuration.
+    pub wal: WalCfg,
+}
+
+impl Default for LogStoreCfg {
+    fn default() -> Self {
+        LogStoreCfg {
+            cache_bytes: 4 * 1024 * 1024,
+            wal: WalCfg::default(),
+        }
+    }
+}
+
+struct LogInner {
+    /// All entries from `first_index` (ground truth; what "disk" holds).
+    entries: Vec<Entry>,
+    /// Index of `entries[0]`.
+    first_index: u64,
+    /// Entries with `index >= cache_low` are in the EntryCache.
+    cache_low: u64,
+    cached_bytes: u64,
+    /// Term/vote metadata (persisted via the WAL on change).
+    term: u64,
+    voted_for: Option<u32>,
+    /// Counters.
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+/// A per-node Raft log store: WAL-durable appends + EntryCache reads.
+#[derive(Clone)]
+pub struct LogStore {
+    world: World,
+    node: NodeId,
+    wal: Wal,
+    cfg: LogStoreCfg,
+    inner: Rc<RefCell<LogInner>>,
+    /// Highest log index whose WAL batch has been fsynced. Monotonic;
+    /// acknowledgements must wait on it, not merely on log membership —
+    /// otherwise a retransmitted entry could be acked from memory while
+    /// its fsync is still queued behind a slow disk.
+    durable: ValueEvent<u64>,
+}
+
+impl LogStore {
+    /// Creates an empty log store for `rt`'s node.
+    pub fn new(rt: &Runtime, world: &World, cfg: LogStoreCfg) -> Self {
+        LogStore {
+            world: world.clone(),
+            node: rt.node(),
+            wal: Wal::new(rt, world, cfg.wal),
+            cfg,
+            inner: Rc::new(RefCell::new(LogInner {
+                entries: Vec::new(),
+                first_index: 1,
+                cache_low: 1,
+                cached_bytes: 0,
+                term: 0,
+                voted_for: None,
+                cache_hits: 0,
+                cache_misses: 0,
+            })),
+            durable: ValueEvent::labeled(rt, 0, "log_durable"),
+        }
+    }
+
+    /// Highest index known durable on this node's WAL.
+    pub fn durable_index(&self) -> u64 {
+        self.durable.get()
+    }
+
+    /// An event that fires once everything up to `index` is durable
+    /// (immediately if it already is).
+    pub fn wait_durable(&self, index: u64) -> EventHandle {
+        self.durable.when_at_least(index)
+    }
+
+    /// The WAL backing this log.
+    pub fn wal(&self) -> &Wal {
+        &self.wal
+    }
+
+    /// Index of the last entry (0 if empty).
+    pub fn last_index(&self) -> u64 {
+        let inner = self.inner.borrow();
+        inner.first_index + inner.entries.len() as u64 - 1
+    }
+
+    /// Term of the entry at `index` (0 for the sentinel / unknown).
+    pub fn term_at(&self, index: u64) -> u64 {
+        if index == 0 {
+            return 0;
+        }
+        let inner = self.inner.borrow();
+        if index < inner.first_index {
+            return 0;
+        }
+        inner
+            .entries
+            .get((index - inner.first_index) as usize)
+            .map(|e| e.term)
+            .unwrap_or(0)
+    }
+
+    /// Current persistent term.
+    pub fn current_term(&self) -> u64 {
+        self.inner.borrow().term
+    }
+
+    /// Current persistent vote.
+    pub fn voted_for(&self) -> Option<u32> {
+        self.inner.borrow().voted_for
+    }
+
+    /// Persists term/vote metadata; the returned event fires when durable.
+    pub fn set_term_vote(&self, term: u64, voted_for: Option<u32>) -> IoEvent {
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.term = term;
+            inner.voted_for = voted_for;
+        }
+        self.wal.append(16)
+    }
+
+    /// Appends `new` entries (already assigned indices continuing the
+    /// log) and returns the durability event of the batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entries do not continue the log contiguously.
+    pub fn append(&self, new: &[Entry]) -> IoEvent {
+        let mut bytes = 0;
+        let mut last = 0;
+        {
+            let mut inner = self.inner.borrow_mut();
+            for e in new {
+                let expected = inner.first_index + inner.entries.len() as u64;
+                assert_eq!(e.index, expected, "non-contiguous append");
+                bytes += e.size();
+                inner.cached_bytes += e.size();
+                last = e.index;
+                inner.entries.push(e.clone());
+            }
+            Self::evict(&mut inner, self.cfg.cache_bytes);
+        }
+        let io = self.wal.append(bytes);
+        if last > 0 {
+            let durable = self.durable.clone();
+            io.handle().on_fire(move |sig| {
+                if sig == depfast::Signal::Ok {
+                    durable.set(last);
+                }
+            });
+        }
+        io
+    }
+
+    /// Removes all entries at `index` and beyond (conflict resolution),
+    /// returning the durability event of the truncation record.
+    pub fn truncate_from(&self, index: u64) -> IoEvent {
+        {
+            let mut inner = self.inner.borrow_mut();
+            if index >= inner.first_index {
+                let keep = (index - inner.first_index) as usize;
+                let mut reclaimed = 0;
+                for e in &inner.entries[keep.min(inner.entries.len())..] {
+                    if e.index >= inner.cache_low {
+                        reclaimed += e.size();
+                    }
+                }
+                inner.cached_bytes = inner.cached_bytes.saturating_sub(reclaimed);
+                inner.entries.truncate(keep);
+                let last = inner.first_index + inner.entries.len() as u64;
+                if inner.cache_low > last {
+                    inner.cache_low = last;
+                }
+            }
+        }
+        self.wal.append(16)
+    }
+
+    fn evict(inner: &mut LogInner, budget: u64) {
+        while inner.cached_bytes > budget {
+            let idx = (inner.cache_low - inner.first_index) as usize;
+            let Some(e) = inner.entries.get(idx) else { break };
+            inner.cached_bytes -= e.size();
+            inner.cache_low += 1;
+        }
+    }
+
+    /// Reads entries `[lo, hi)`. Cached ranges return instantly; any part
+    /// below the cache floor costs a simulated disk read of its size —
+    /// the TiDB root-cause path.
+    pub async fn read(&self, lo: u64, hi: u64) -> Result<Vec<Entry>, Crashed> {
+        let (slice, miss_bytes) = {
+            let mut inner = self.inner.borrow_mut();
+            let first = inner.first_index;
+            let lo = lo.max(first);
+            let last = first + inner.entries.len() as u64;
+            let hi = hi.min(last);
+            if lo >= hi {
+                return Ok(Vec::new());
+            }
+            let slice: Vec<Entry> =
+                inner.entries[(lo - first) as usize..(hi - first) as usize].to_vec();
+            if lo >= inner.cache_low {
+                inner.cache_hits += 1;
+                (slice, 0)
+            } else {
+                inner.cache_misses += 1;
+                let miss_hi = hi.min(inner.cache_low);
+                let bytes: u64 = inner.entries
+                    [(lo - first) as usize..(miss_hi - first) as usize]
+                    .iter()
+                    .map(Entry::size)
+                    .sum();
+                (slice, bytes)
+            }
+        };
+        if miss_bytes > 0 {
+            self.world
+                .disk(self.node, DiskOp::Read { bytes: miss_bytes })
+                .await?;
+        }
+        Ok(slice)
+    }
+
+    /// Like [`LogStore::read`] but *blind to cost*: returns the entries
+    /// and the cache-miss byte count without performing the disk read.
+    /// Legacy drivers use this to charge the read wherever their
+    /// (pathological) threading model puts it.
+    pub fn read_raw(&self, lo: u64, hi: u64) -> (Vec<Entry>, u64) {
+        let mut inner = self.inner.borrow_mut();
+        let first = inner.first_index;
+        let lo = lo.max(first);
+        let last = first + inner.entries.len() as u64;
+        let hi = hi.min(last);
+        if lo >= hi {
+            return (Vec::new(), 0);
+        }
+        let slice: Vec<Entry> = inner.entries[(lo - first) as usize..(hi - first) as usize].to_vec();
+        if lo >= inner.cache_low {
+            inner.cache_hits += 1;
+            (slice, 0)
+        } else {
+            inner.cache_misses += 1;
+            let miss_hi = hi.min(inner.cache_low);
+            let bytes: u64 = inner.entries[(lo - first) as usize..(miss_hi - first) as usize]
+                .iter()
+                .map(Entry::size)
+                .sum();
+            (slice, bytes)
+        }
+    }
+
+    /// EntryCache hit count.
+    pub fn cache_hits(&self) -> u64 {
+        self.inner.borrow().cache_hits
+    }
+
+    /// EntryCache miss count.
+    pub fn cache_misses(&self) -> u64 {
+        self.inner.borrow().cache_misses
+    }
+
+    /// Lowest index currently in the EntryCache.
+    pub fn cache_low(&self) -> u64 {
+        self.inner.borrow().cache_low
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depfast::event::Watchable;
+    use simkit::{Sim, WorldCfg};
+
+    fn setup(cache_bytes: u64) -> (Sim, World, LogStore) {
+        let sim = Sim::new(1);
+        let world = World::new(sim.clone(), WorldCfg::default());
+        let rt = Runtime::new_sim(sim.clone(), NodeId(0));
+        let log = LogStore::new(
+            &rt,
+            &world,
+            LogStoreCfg {
+                cache_bytes,
+                wal: WalCfg::default(),
+            },
+        );
+        (sim, world, log)
+    }
+
+    fn entry(index: u64, size: usize) -> Entry {
+        Entry {
+            term: 1,
+            index,
+            payload: Bytes::from(vec![0u8; size]),
+        }
+    }
+
+    #[test]
+    fn append_and_read_back() {
+        let (sim, _w, log) = setup(1 << 20);
+        log.append(&[entry(1, 10), entry(2, 10)]);
+        sim.run();
+        assert_eq!(log.last_index(), 2);
+        let log2 = log.clone();
+        let got = sim.block_on(async move { log2.read(1, 3).await.unwrap() });
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[1].index, 2);
+        assert_eq!(log.cache_hits(), 1);
+    }
+
+    #[test]
+    fn eviction_moves_cache_floor() {
+        let (_sim, _w, log) = setup(100);
+        // Each entry ~36 bytes: the fourth append evicts the first.
+        for i in 1..=4 {
+            log.append(&[entry(i, 20)]);
+        }
+        assert!(log.cache_low() > 1, "cache floor should have moved");
+    }
+
+    #[test]
+    fn old_reads_miss_and_cost_disk_time() {
+        let (sim, _w, log) = setup(100);
+        for i in 1..=10 {
+            log.append(&[entry(i, 50)]);
+        }
+        sim.run();
+        let before = sim.now();
+        let log2 = log.clone();
+        let got = sim.block_on(async move { log2.read(1, 3).await.unwrap() });
+        assert_eq!(got.len(), 2);
+        assert_eq!(log.cache_misses(), 1);
+        assert!(sim.now() > before, "cache miss must cost disk time");
+    }
+
+    #[test]
+    fn recent_reads_hit_instantly() {
+        let (sim, _w, log) = setup(1 << 20);
+        for i in 1..=10 {
+            log.append(&[entry(i, 50)]);
+        }
+        sim.run();
+        let before = sim.now();
+        let log2 = log.clone();
+        sim.block_on(async move { log2.read(9, 11).await.unwrap() });
+        assert_eq!(sim.now(), before, "cache hit is free");
+    }
+
+    #[test]
+    fn truncate_removes_conflicting_suffix() {
+        let (sim, _w, log) = setup(1 << 20);
+        for i in 1..=5 {
+            log.append(&[entry(i, 10)]);
+        }
+        log.truncate_from(3);
+        sim.run();
+        assert_eq!(log.last_index(), 2);
+        assert_eq!(log.term_at(3), 0);
+        // Re-append from 3 works.
+        log.append(&[Entry { term: 2, index: 3, payload: Bytes::new() }]);
+        assert_eq!(log.last_index(), 3);
+        assert_eq!(log.term_at(3), 2);
+    }
+
+    #[test]
+    fn term_vote_round_trip() {
+        let (sim, _w, log) = setup(1 << 20);
+        let ev = log.set_term_vote(5, Some(2));
+        sim.run();
+        assert!(ev.handle().ready());
+        assert_eq!(log.current_term(), 5);
+        assert_eq!(log.voted_for(), Some(2));
+    }
+
+    #[test]
+    fn read_raw_reports_miss_bytes_without_cost() {
+        let (sim, _w, log) = setup(100);
+        for i in 1..=10 {
+            log.append(&[entry(i, 50)]);
+        }
+        let before = sim.now();
+        let (entries, miss) = log.read_raw(1, 3);
+        assert_eq!(entries.len(), 2);
+        assert!(miss > 0);
+        assert_eq!(sim.now(), before);
+    }
+
+    #[test]
+    fn out_of_range_reads_are_empty() {
+        let (sim, _w, log) = setup(1 << 20);
+        log.append(&[entry(1, 10)]);
+        let log2 = log.clone();
+        let got = sim.block_on(async move { log2.read(5, 10).await.unwrap() });
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-contiguous")]
+    fn non_contiguous_append_panics() {
+        let (_sim, _w, log) = setup(1 << 20);
+        log.append(&[entry(5, 10)]);
+    }
+}

@@ -1,0 +1,25 @@
+//! Sharded store with distributed transactions — the paper's §5 future
+//! work ("sharded data stores with distributed transaction protocols which
+//! also have complicated waiting conditions"), built to show how DepFast's
+//! nested events express those conditions:
+//!
+//! * the coordinator's prepare wait is an
+//!   [`AndEvent`](depfast::AndEvent) over one classified per-shard vote
+//!   each — and each shard's vote internally rides a Raft quorum;
+//! * the abort-fast path is the §3.2 pattern: `OrEvent(all_prepared,
+//!   any_aborted)` with a timeout, branched on which sub-event is ready.
+//!
+//! Module map: [`command`] (wire), [`server`] (lock-table state machine on
+//! a Raft group), [`coordinator`] (the 2PC client), [`sharded`] (cluster
+//! harness; this is also what Figure 2's 3-shard × 3-server topology is
+//! built from).
+
+pub mod command;
+pub mod coordinator;
+pub mod server;
+pub mod sharded;
+
+pub use command::{TxnCmd, TxnVote};
+pub use coordinator::{TxnClient, TxnError};
+pub use server::TxnServer;
+pub use sharded::ShardedCluster;

@@ -1,0 +1,91 @@
+//! Sharded cluster harness: M Raft groups of N servers plus coordinator
+//! (client) hosts — the topology of the paper's Figure 2 (3 shards ×
+//! 3 servers, s1–s9, with clients c1–c3).
+
+use depfast::runtime::Runtime;
+use depfast::Tracer;
+use depfast_raft::cluster::{rpc_cfg_for, RaftKind};
+use depfast_raft::core::{RaftCfg, RaftCore, RaftServer};
+use depfast_raft::depfast_driver::{DepFastOpts, DepFastRaft};
+use depfast_rpc::endpoint::Registry;
+use depfast_rpc::Endpoint;
+use simkit::{NodeId, Sim, World};
+
+use crate::coordinator::TxnClient;
+use crate::server::TxnServer;
+
+/// A sharded transactional deployment.
+pub struct ShardedCluster {
+    /// `servers[shard][replica]`.
+    pub servers: Vec<Vec<TxnServer>>,
+    /// Shard membership (node ids), `shards[shard]`.
+    pub shards: Vec<Vec<NodeId>>,
+    /// Coordinator clients, one per client host.
+    pub clients: Vec<TxnClient>,
+    /// Client host node ids.
+    pub client_nodes: Vec<NodeId>,
+    /// Shared tracer (enable full recording to build the Figure 2 SPG).
+    pub tracer: Tracer,
+}
+
+impl ShardedCluster {
+    /// Builds `n_shards` DepFastRaft groups of `group_size` servers and
+    /// `n_clients` coordinators. Server nodes are
+    /// `0..n_shards*group_size`, clients follow.
+    pub fn build(
+        sim: &Sim,
+        world: &World,
+        n_shards: usize,
+        group_size: usize,
+        n_clients: usize,
+        cfg: RaftCfg,
+    ) -> Self {
+        let total_servers = n_shards * group_size;
+        assert!(world.node_count() >= total_servers + n_clients);
+        let tracer = Tracer::new();
+        let registry = Registry::new();
+        let mut servers = Vec::with_capacity(n_shards);
+        let mut shards = Vec::with_capacity(n_shards);
+        for shard in 0..n_shards {
+            let members: Vec<NodeId> = (0..group_size)
+                .map(|r| NodeId((shard * group_size + r) as u32))
+                .collect();
+            // Each shard's bootstrap leader is its first member.
+            let shard_cfg = RaftCfg {
+                bootstrap_leader: cfg.bootstrap_leader.map(|_| members[0].0),
+                ..cfg
+            };
+            let mut group = Vec::with_capacity(group_size);
+            for id in &members {
+                let rt = Runtime::with_tracer(sim.clone(), *id, tracer.clone());
+                let ep = Endpoint::new(&rt, world, &registry, rpc_cfg_for(RaftKind::DepFast));
+                let core = RaftCore::new(&rt, world, &ep, members.clone(), shard_cfg);
+                DepFastRaft::start(&core, DepFastOpts::default());
+                group.push(TxnServer::install(RaftServer::new(core, RaftKind::DepFast)));
+            }
+            servers.push(group);
+            shards.push(members);
+        }
+        let mut clients = Vec::with_capacity(n_clients);
+        let mut client_nodes = Vec::with_capacity(n_clients);
+        for i in 0..n_clients {
+            let node = NodeId((total_servers + i) as u32);
+            let rt = Runtime::with_tracer(sim.clone(), node, tracer.clone());
+            let ep = Endpoint::new(&rt, world, &registry, rpc_cfg_for(RaftKind::DepFast));
+            clients.push(TxnClient::new(rt, ep, shards.clone(), i as u64 + 1));
+            client_nodes.push(node);
+        }
+        ShardedCluster {
+            servers,
+            shards,
+            clients,
+            client_nodes,
+        tracer,
+        }
+    }
+
+    /// Routes a key to its shard (same hash the coordinator uses).
+    pub fn shard_of(&self, key: &bytes::Bytes) -> usize {
+        crate::coordinator::shard_of(key, self.shards.len())
+    }
+}

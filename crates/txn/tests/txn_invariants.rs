@@ -1,0 +1,136 @@
+//! Transactional invariants under randomized concurrent workloads: locks
+//! never leak, committed writes are atomic across shards, and replicas of
+//! each shard converge.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use depfast_raft::core::RaftCfg;
+use depfast_txn::ShardedCluster;
+use proptest::prelude::*;
+use simkit::{Sim, World, WorldCfg};
+
+/// One randomly generated transaction: a set of key ids written with a
+/// marker value.
+#[derive(Debug, Clone)]
+struct TxnSpec {
+    coordinator: usize,
+    keys: Vec<u8>,
+}
+
+fn arb_txn() -> impl Strategy<Value = TxnSpec> {
+    (0usize..2, prop::collection::btree_set(0u8..12, 1..4)).prop_map(|(coordinator, keys)| {
+        TxnSpec {
+            coordinator,
+            keys: keys.into_iter().collect(),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Run a batch of randomly overlapping transactions from two
+    /// coordinators concurrently; afterwards every lock is released and
+    /// each committed transaction's writes are fully visible on every
+    /// replica of every touched shard (atomicity + convergence).
+    #[test]
+    fn concurrent_random_transactions_preserve_invariants(
+        txns in prop::collection::vec(arb_txn(), 1..8),
+        seed in 1u64..500,
+    ) {
+        let sim = Sim::new(seed);
+        let world = World::new(
+            sim.clone(),
+            WorldCfg { nodes: 2 * 3 + 2, ..WorldCfg::default() },
+        );
+        let cluster = Rc::new(ShardedCluster::build(
+            &sim,
+            &world,
+            2,
+            3,
+            2,
+            RaftCfg { bootstrap_leader: Some(0), ..RaftCfg::default() },
+        ));
+        // Launch all transactions concurrently; value marks (txn index).
+        let handles: Vec<_> = txns
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let cl = cluster.clone();
+                let writes: Vec<(Bytes, Bytes)> = t
+                    .keys
+                    .iter()
+                    .map(|k| {
+                        (
+                            Bytes::from(format!("key{k}")),
+                            Bytes::from(format!("txn{i}")),
+                        )
+                    })
+                    .collect();
+                let c = t.coordinator;
+                sim.spawn(async move { cl.clients[c].transact(writes).await })
+            })
+            .collect();
+        sim.run_until_time(sim.now() + Duration::from_secs(20));
+        let outcomes: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.try_take().expect("txn must resolve"))
+            .collect();
+        // Let phase-2 messages and apply loops drain fully.
+        sim.run_until_time(sim.now() + Duration::from_secs(2));
+
+        // Invariant 1: no dangling locks anywhere.
+        for group in &cluster.servers {
+            for replica in group {
+                prop_assert_eq!(replica.locked_keys(), 0, "lock leak");
+            }
+        }
+        // Invariant 2: every key holds a committed transaction's marker
+        // (or nothing), never a marker from an aborted transaction; and
+        // all replicas of the key's shard agree.
+        for k in 0u8..12 {
+            let key = Bytes::from(format!("key{k}"));
+            let shard = cluster.shard_of(&key);
+            let values: Vec<Option<Bytes>> = cluster.servers[shard]
+                .iter()
+                .map(|r| r.local_get(&key))
+                .collect();
+            prop_assert!(
+                values.windows(2).all(|w| w[0] == w[1]),
+                "replica divergence on {:?}: {:?}",
+                key,
+                values
+            );
+            if let Some(v) = &values[0] {
+                let writer: usize = std::str::from_utf8(v)
+                    .unwrap()
+                    .strip_prefix("txn")
+                    .unwrap()
+                    .parse()
+                    .unwrap();
+                prop_assert_eq!(
+                    outcomes[writer].as_ref().ok(),
+                    Some(&true),
+                    "aborted txn {} left a write on {:?}",
+                    writer,
+                    key
+                );
+            }
+        }
+        // Invariant 3 (atomicity): a committed transaction's writes are
+        // either all overwritten by later committed txns or... at minimum,
+        // every key it wrote holds SOME committed txn's marker.
+        for (i, t) in txns.iter().enumerate() {
+            if outcomes[i] == Ok(true) {
+                for k in &t.keys {
+                    let key = Bytes::from(format!("key{k}"));
+                    let shard = cluster.shard_of(&key);
+                    let v = cluster.servers[shard][0].local_get(&key);
+                    prop_assert!(v.is_some(), "committed write vanished from {:?}", key);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Closed-loop workload driver: the paper's measurement loop.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use depfast_kv::KvCluster;
+use simkit::{Sim, World};
+
+use crate::stats::{Histogram, Summary};
+use crate::workload::{OpGen, OpKind, WorkloadSpec};
+
+/// Driver configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DriverCfg {
+    /// Warm-up window excluded from statistics.
+    pub warmup: Duration,
+    /// Measurement window.
+    pub measure: Duration,
+    /// Base seed for per-client generators.
+    pub seed: u64,
+}
+
+impl Default for DriverCfg {
+    fn default() -> Self {
+        DriverCfg {
+            warmup: Duration::from_secs(2),
+            measure: Duration::from_secs(10),
+            seed: 42,
+        }
+    }
+}
+
+/// Results of one workload run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Successful operations inside the measurement window.
+    pub ops: u64,
+    /// Failed operations inside the measurement window.
+    pub errors: u64,
+    /// Throughput over the measurement window (ops/s).
+    pub throughput: f64,
+    /// Latency distribution of successful measured operations.
+    pub latency: Summary,
+    /// `true` if any server node crashed during the run (e.g. the
+    /// BacklogRaft leader OOM).
+    pub server_crashed: bool,
+}
+
+struct Recorder {
+    hist: Histogram,
+    ops: u64,
+    errors: u64,
+}
+
+/// Runs `spec` against `cluster` with all of its clients in closed loop,
+/// then reports statistics for the measurement window.
+pub fn run_workload(
+    sim: &Sim,
+    world: &World,
+    cluster: &Rc<KvCluster>,
+    spec: WorkloadSpec,
+    cfg: DriverCfg,
+) -> RunStats {
+    let rec = Rc::new(RefCell::new(Recorder {
+        hist: Histogram::new(),
+        ops: 0,
+        errors: 0,
+    }));
+    let t_start = sim.now();
+    let t_measure = t_start + cfg.warmup;
+    let t_end = t_measure + cfg.measure;
+    for i in 0..cluster.clients.len() {
+        let cluster = cluster.clone();
+        let rec = rec.clone();
+        let sim2 = sim.clone();
+        let mut gen = OpGen::new(spec, cfg.seed.wrapping_add(i as u64 * 7919));
+        sim.spawn(async move {
+            let client = &cluster.clients[i];
+            loop {
+                let now = sim2.now();
+                if now >= t_end {
+                    break;
+                }
+                let (kind, key, value) = gen.next_op();
+                let t0 = sim2.now();
+                let result = match kind {
+                    OpKind::Update | OpKind::Insert => {
+                        client.put(key, value).await.map(|_| ())
+                    }
+                    OpKind::Read => client.get(key).await.map(|_| ()),
+                };
+                let t1 = sim2.now();
+                if t0 >= t_measure && t1 <= t_end {
+                    let mut r = rec.borrow_mut();
+                    match result {
+                        Ok(()) => {
+                            r.ops += 1;
+                            r.hist.record(t1 - t0);
+                        }
+                        Err(_) => r.errors += 1,
+                    }
+                }
+            }
+        });
+    }
+    sim.run_until_time(t_end);
+    let server_crashed = cluster
+        .raft
+        .servers
+        .iter()
+        .any(|s| world.is_crashed(s.node()));
+    let rec = rec.borrow();
+    RunStats {
+        ops: rec.ops,
+        errors: rec.errors,
+        throughput: rec.ops as f64 / cfg.measure.as_secs_f64(),
+        latency: rec.hist.summary(),
+        server_crashed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depfast_raft::cluster::RaftKind;
+    use depfast_raft::core::RaftCfg;
+    use simkit::WorldCfg;
+
+    fn run(kind: RaftKind, n_clients: usize) -> RunStats {
+        let sim = Sim::new(77);
+        let world = World::new(
+            sim.clone(),
+            WorldCfg {
+                nodes: 3 + n_clients,
+                ..WorldCfg::default()
+            },
+        );
+        let cluster = Rc::new(KvCluster::build(
+            &sim,
+            &world,
+            kind,
+            3,
+            n_clients,
+            RaftCfg {
+                bootstrap_leader: Some(0),
+                ..RaftCfg::default()
+            },
+        ));
+        run_workload(
+            &sim,
+            &world,
+            &cluster,
+            WorkloadSpec::update_heavy().with_records(1000).with_value_size(128),
+            DriverCfg {
+                warmup: Duration::from_millis(500),
+                measure: Duration::from_secs(2),
+                seed: 1,
+            },
+        )
+    }
+
+    #[test]
+    fn depfast_driver_sustains_throughput() {
+        let stats = run(RaftKind::DepFast, 8);
+        assert!(stats.ops > 100, "got {} ops", stats.ops);
+        assert_eq!(stats.errors, 0);
+        assert!(!stats.server_crashed);
+        assert!(stats.latency.p50 > Duration::ZERO);
+        assert!(stats.latency.p99 >= stats.latency.p50);
+    }
+
+    #[test]
+    fn throughput_scales_with_clients() {
+        let one = run(RaftKind::DepFast, 1);
+        let many = run(RaftKind::DepFast, 16);
+        assert!(
+            many.throughput > one.throughput * 2.0,
+            "1 client: {:.0}/s, 16 clients: {:.0}/s",
+            one.throughput,
+            many.throughput
+        );
+    }
+
+    #[test]
+    fn legacy_drivers_also_run() {
+        for kind in [RaftKind::Sync, RaftKind::Backlog, RaftKind::Callback] {
+            let stats = run(kind, 4);
+            assert!(stats.ops > 50, "{kind:?}: {} ops", stats.ops);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Runtime verification in action: build slowness propagation graphs from
+//! live traces and let the checker find the fail-slow bug.
+//!
+//! Runs the same traced workload on DepFastRaft (expected: all-green SPG,
+//! zero violations) and on CallbackRaft with a lagging follower (expected:
+//! the synchronous flow-control probe shows up as a red edge and a
+//! verifier violation).
+//!
+//! ```sh
+//! cargo run --release --example slowness_graph
+//! ```
+
+use std::collections::BTreeSet;
+use std::rc::Rc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use depfast::spg;
+use depfast::verify;
+use depfast_kv::KvCluster;
+use depfast_raft::cluster::RaftKind;
+use depfast_raft::core::RaftCfg;
+use simkit::{NodeId, Sim, World, WorldCfg};
+
+fn run_traced(kind: RaftKind, slow_follower: bool) -> (spg::Spg, Vec<verify::Violation>) {
+    let sim = Sim::new(7);
+    let world = World::new(
+        sim.clone(),
+        WorldCfg {
+            nodes: 5, // 3 servers + 2 clients
+            ..WorldCfg::default()
+        },
+    );
+    let cluster = Rc::new(KvCluster::build(
+        &sim,
+        &world,
+        kind,
+        3,
+        2,
+        RaftCfg {
+            bootstrap_leader: Some(0),
+            ..RaftCfg::default()
+        },
+    ));
+    if slow_follower {
+        world.set_cpu_quota(NodeId(2), 0.02);
+    }
+    // Build up lag untraced, then record a window.
+    let drive = |n: u32| {
+        let handles: Vec<_> = (0..2)
+            .map(|c| {
+                let cl = cluster.clone();
+                sim.spawn(async move {
+                    for i in 0..n {
+                        let key = Bytes::from(format!("k{c}-{i}"));
+                        let _ = cl.clients[c].put(key, Bytes::from(vec![0u8; 256])).await;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            sim.run_until(h);
+        }
+    };
+    drive(400);
+    cluster.raft.tracer.set_record_full(true);
+    drive(150);
+    cluster.raft.tracer.set_record_full(false);
+    let graph = spg::build(&cluster.raft.tracer.records());
+    let violations = verify::check_fail_slow_tolerance(&graph, |l| l.starts_with("raft:"));
+    (graph, violations)
+}
+
+fn name(n: NodeId) -> String {
+    if n.0 < 3 {
+        format!("s{}", n.0 + 1)
+    } else {
+        format!("c{}", n.0 - 2)
+    }
+}
+
+fn main() {
+    println!("=== DepFastRaft (healthy): the all-green SPG ===");
+    let (graph, violations) = run_traced(RaftKind::DepFast, false);
+    println!("{}", graph.to_dot(name));
+    println!("verifier violations: {}", violations.len());
+    let slow: BTreeSet<NodeId> = [NodeId(1)].into();
+    let impacted = verify::propagation_impact(&graph, &slow);
+    println!(
+        "predicted impact of a slow follower s2: {:?} (itself only)\n",
+        impacted.iter().map(|n| name(*n)).collect::<Vec<_>>()
+    );
+
+    println!("=== CallbackRaft with a CPU-starved follower: the red edge ===");
+    let (graph, violations) = run_traced(RaftKind::Callback, true);
+    println!("{}", graph.to_dot(name));
+    println!("verifier violations: {}", violations.len());
+    for v in &violations {
+        println!("  {v}");
+    }
+    let impacted = verify::propagation_impact(&graph, &[NodeId(2)].into());
+    println!(
+        "predicted impact of slow follower s3: {:?}",
+        impacted.iter().map(|n| name(*n)).collect::<Vec<_>>()
+    );
+    println!(
+        "\nThe checker found the slowness-propagation bug without reading a line of driver \
+         code — the debugging §2.3 says took two person-years by hand."
+    );
+    let _ = Duration::ZERO;
+}

@@ -1,0 +1,13 @@
+//! Workspace umbrella crate: re-exports the DepFast reproduction stack so
+//! examples and integration tests can use one import root.
+
+pub use depfast;
+pub use depfast_detect;
+pub use depfast_fault;
+pub use depfast_kv;
+pub use depfast_raft;
+pub use depfast_rpc;
+pub use depfast_storage;
+pub use depfast_txn;
+pub use depfast_ycsb;
+pub use simkit;

@@ -1,0 +1,93 @@
+//! The standard YCSB letter workloads all run against the replicated KV
+//! store, and their op mixes reach the state machine as expected.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use depfast_kv::KvCluster;
+use depfast_raft::cluster::RaftKind;
+use depfast_raft::core::RaftCfg;
+use depfast_ycsb::driver::{run_workload, DriverCfg};
+use depfast_ycsb::mixes;
+use depfast_ycsb::workload::WorkloadSpec;
+use simkit::{Sim, World, WorldCfg};
+
+fn run(spec: WorkloadSpec) -> depfast_ycsb::driver::RunStats {
+    let sim = Sim::new(83);
+    let world = World::new(
+        sim.clone(),
+        WorldCfg {
+            nodes: 3 + 16,
+            ..WorldCfg::default()
+        },
+    );
+    let cluster = Rc::new(KvCluster::build(
+        &sim,
+        &world,
+        RaftKind::DepFast,
+        3,
+        16,
+        RaftCfg {
+            bootstrap_leader: Some(0),
+            ..RaftCfg::default()
+        },
+    ));
+    run_workload(
+        &sim,
+        &world,
+        &cluster,
+        spec.with_records(2_000).with_value_size(256),
+        DriverCfg {
+            warmup: Duration::from_millis(300),
+            measure: Duration::from_millis(1500),
+            seed: 5,
+        },
+    )
+}
+
+#[test]
+fn all_letter_workloads_complete() {
+    for (name, spec) in [
+        ("A", mixes::workload_a()),
+        ("B", mixes::workload_b()),
+        ("C", mixes::workload_c()),
+        ("D", mixes::workload_d()),
+        ("F", mixes::workload_f()),
+    ] {
+        let stats = run(spec);
+        assert!(
+            stats.ops > 200,
+            "workload {name}: only {} ops",
+            stats.ops
+        );
+        assert_eq!(stats.errors, 0, "workload {name}");
+        assert!(!stats.server_crashed, "workload {name}");
+    }
+}
+
+#[test]
+fn read_heavy_workloads_are_not_slower_than_update_heavy() {
+    // Reads go through the log too (linearizable), so they cost roughly
+    // the same; this guards against an accidental read-path regression.
+    let updates = run(WorkloadSpec::update_heavy());
+    let reads = run(mixes::workload_c());
+    assert!(
+        reads.throughput > updates.throughput * 0.5,
+        "reads {:.0}/s vs updates {:.0}/s",
+        reads.throughput,
+        updates.throughput
+    );
+}
+
+#[test]
+fn inserts_extend_the_keyspace() {
+    let spec = WorkloadSpec {
+        update_prop: 0.0,
+        read_prop: 0.0,
+        insert_prop: 1.0,
+        ..WorkloadSpec::update_heavy()
+    };
+    let stats = run(spec);
+    assert!(stats.ops > 200, "{} inserts", stats.ops);
+    assert_eq!(stats.errors, 0);
+}
