@@ -13,12 +13,24 @@
 //!
 //! Environment knobs: `FIG1_MEASURE_SECS` (default 10),
 //! `FIG1_CLIENTS` (default 256).
+//!
+//! Pass `--metrics` (`cargo bench -p depfast-bench --bench fig1 --
+//! --metrics`) to additionally sample every run's metric registry on a
+//! 100 ms virtual-clock grid and write one long-format CSV per
+//! (system, condition) under `target/depfast-bench/` — the per-layer
+//! series (`sim.*`, `rpc.*`, `event.*`, `raft.*`) that let an operator
+//! attribute a collapse to a fault class and name the slow follower
+//! without touching the workload numbers. See `docs/OBSERVABILITY.md`.
 
 use std::time::Duration;
 
-use depfast_bench::{format_ms, run_experiment, ExperimentCfg, Table};
+use depfast_bench::{
+    format_ms, run_experiment, run_experiment_instrumented, write_metrics_csv, ExperimentCfg,
+    Table,
+};
 use depfast_fault::FaultKind;
 use depfast_raft::cluster::RaftKind;
+use depfast_ycsb::driver::RunStats;
 
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)
@@ -27,7 +39,21 @@ fn env_u64(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// Runs one experiment; with `--metrics`, also dumps its sampled
+/// time series to `target/depfast-bench/fig1_metrics_<run>.csv`.
+fn run_one(cfg: &ExperimentCfg, metrics: bool, run_name: &str) -> RunStats {
+    if !metrics {
+        return run_experiment(cfg);
+    }
+    let run = run_experiment_instrumented(cfg, Duration::from_millis(100));
+    if let Ok(p) = write_metrics_csv("fig1", run_name, &run.sampler.to_csv()) {
+        println!("[csv] {}", p.display());
+    }
+    run.stats
+}
+
 fn main() {
+    let metrics = std::env::args().any(|a| a == "--metrics");
     let measure = Duration::from_secs(env_u64("FIG1_MEASURE_SECS", 10));
     let clients = env_u64("FIG1_CLIENTS", 256) as usize;
     let systems = [RaftKind::Sync, RaftKind::Backlog, RaftKind::Callback];
@@ -55,7 +81,11 @@ fn main() {
             ..ExperimentCfg::default()
         };
         eprintln!("[fig1] {} baseline...", kind.name());
-        let base = run_experiment(&base_cfg);
+        let base = run_one(
+            &base_cfg,
+            metrics,
+            &format!("{}_no_slowness", kind.name()),
+        );
         let rows = |t: &mut Table, cond: &str, value: String, norm: String| {
             t.row(vec![kind.name().to_string(), cond.to_string(), value, norm]);
         };
@@ -79,10 +109,14 @@ fn main() {
         );
         for fault in faults {
             eprintln!("[fig1] {} + {}...", kind.name(), fault.name());
-            let stats = run_experiment(&ExperimentCfg {
-                fault: Some((ExperimentCfg::followers(1), fault)),
-                ..base_cfg.clone()
-            });
+            let stats = run_one(
+                &ExperimentCfg {
+                    fault: Some((ExperimentCfg::followers(1), fault)),
+                    ..base_cfg.clone()
+                },
+                metrics,
+                &format!("{}_{}", kind.name(), fault.name()),
+            );
             if stats.server_crashed {
                 for t in [&mut tput, &mut avg, &mut p99] {
                     t.row(vec![

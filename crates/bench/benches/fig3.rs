@@ -13,12 +13,22 @@
 //!
 //! Environment knobs: `FIG3_MEASURE_SECS` (default 10),
 //! `FIG3_CLIENTS` (default 256).
+//!
+//! Pass `--metrics` to sample every run's metric registry on a 100 ms
+//! virtual-clock grid and write one CSV per (cluster, condition) under
+//! `target/depfast-bench/`. Because these are DepFastRaft runs, the
+//! series include the `event.quorum.*` straggler-attribution counters
+//! that name the slow follower(s). See `docs/OBSERVABILITY.md`.
 
 use std::time::Duration;
 
-use depfast_bench::{format_ms, run_experiment, ExperimentCfg, Table};
+use depfast_bench::{
+    format_ms, run_experiment, run_experiment_instrumented, write_metrics_csv, ExperimentCfg,
+    Table,
+};
 use depfast_fault::FaultKind;
 use depfast_raft::cluster::RaftKind;
+use depfast_ycsb::driver::RunStats;
 
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)
@@ -27,7 +37,21 @@ fn env_u64(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// Runs one experiment; with `--metrics`, also dumps its sampled
+/// time series to `target/depfast-bench/fig3_metrics_<run>.csv`.
+fn run_one(cfg: &ExperimentCfg, metrics: bool, run_name: &str) -> RunStats {
+    if !metrics {
+        return run_experiment(cfg);
+    }
+    let run = run_experiment_instrumented(cfg, Duration::from_millis(100));
+    if let Ok(p) = write_metrics_csv("fig3", run_name, &run.sampler.to_csv()) {
+        println!("[csv] {}", p.display());
+    }
+    run.stats
+}
+
 fn main() {
+    let metrics = std::env::args().any(|a| a == "--metrics");
     let measure = Duration::from_secs(env_u64("FIG3_MEASURE_SECS", 10));
     let clients = env_u64("FIG3_CLIENTS", 256) as usize;
     let mem_limit = depfast_bench::experiment::mem_contention_limit();
@@ -57,7 +81,11 @@ fn main() {
             ..ExperimentCfg::default()
         };
         eprintln!("[fig3] {n_servers} nodes baseline...");
-        let base = run_experiment(&base_cfg);
+        let base = run_one(
+            &base_cfg,
+            metrics,
+            &format!("{n_servers}_nodes_no_slowness"),
+        );
         table.row(vec![
             format!("{n_servers} Nodes"),
             "No Slowness".into(),
@@ -70,10 +98,14 @@ fn main() {
         ]);
         for fault in faults {
             eprintln!("[fig3] {n_servers} nodes + {} on {slow_followers} follower(s)...", fault.name());
-            let stats = run_experiment(&ExperimentCfg {
-                fault: Some((ExperimentCfg::followers(slow_followers), fault)),
-                ..base_cfg.clone()
-            });
+            let stats = run_one(
+                &ExperimentCfg {
+                    fault: Some((ExperimentCfg::followers(slow_followers), fault)),
+                    ..base_cfg.clone()
+                },
+                metrics,
+                &format!("{n_servers}_nodes_{}", fault.name()),
+            );
             let drift = |v: f64, b: f64| (v - b) / b;
             let d_t = drift(stats.throughput, base.throughput);
             let d_a = drift(

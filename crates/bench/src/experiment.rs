@@ -3,11 +3,13 @@
 //! concurrent clients to load the leader to ~75% CPU, inject one fault
 //! before the measurement window, report throughput / mean / P99.
 
+use std::cell::RefCell;
 use std::rc::Rc;
 use std::time::Duration;
 
 use depfast_fault::FaultKind;
 use depfast_kv::KvCluster;
+use depfast_metrics::{MetricsRegistry, Sampler};
 use depfast_raft::cluster::RaftKind;
 use depfast_raft::core::RaftCfg;
 use depfast_storage::{LogStoreCfg, WalCfg};
@@ -117,10 +119,35 @@ pub fn mem_contention_limit() -> u64 {
     2 * 1024 * 1024 * 1024 + 200 * 1024 * 1024
 }
 
+/// The full record of an instrumented experiment: client-visible
+/// statistics plus everything the observability layer captured.
+pub struct ExperimentRun {
+    /// Client-side workload statistics (same as [`run_experiment`]).
+    pub stats: RunStats,
+    /// The cluster-shared registry with final cumulative values for
+    /// every `sim.*` / `rpc.*` / `event.*` / `raft.*` series.
+    pub metrics: MetricsRegistry,
+    /// Interval-aligned time series sampled over the run (empty when
+    /// the run was not sampled).
+    pub sampler: Sampler,
+}
+
 /// Runs one experiment end to end and returns its statistics.
 pub fn run_experiment(cfg: &ExperimentCfg) -> RunStats {
+    run(cfg, None).stats
+}
+
+/// Like [`run_experiment`], but additionally samples the cluster's
+/// metric registry every `sample_every` of virtual time and returns the
+/// registry plus the recorded time series, ready for CSV export.
+pub fn run_experiment_instrumented(cfg: &ExperimentCfg, sample_every: Duration) -> ExperimentRun {
+    run(cfg, Some(sample_every))
+}
+
+fn run(cfg: &ExperimentCfg, sample_every: Option<Duration>) -> ExperimentRun {
     let sim = Sim::new(cfg.seed);
     let world = World::new(sim.clone(), bench_world_cfg(cfg.n_servers + cfg.n_clients));
+    let metrics = world.metrics();
     let cluster = Rc::new(KvCluster::build_tuned(
         &sim,
         &world,
@@ -130,6 +157,23 @@ pub fn run_experiment(cfg: &ExperimentCfg) -> RunStats {
         bench_raft_cfg(),
         bench_serve_cpu(),
     ));
+    let interval = sample_every.unwrap_or(Duration::from_millis(100));
+    let sampler = Rc::new(RefCell::new(Sampler::new(
+        metrics.clone(),
+        interval.as_nanos() as u64,
+    )));
+    if sample_every.is_some() {
+        // Virtual-clock sampling loop; rows align to the interval grid
+        // (the sampler pins timestamps down to interval multiples).
+        let sampler = sampler.clone();
+        let sim2 = sim.clone();
+        sim.spawn(async move {
+            loop {
+                sim2.sleep(interval).await;
+                sampler.borrow_mut().sample_at(sim2.now().as_nanos());
+            }
+        });
+    }
     if let Some((target, kind)) = &cfg.fault {
         let nodes: Vec<NodeId> = match target {
             FaultTarget::None => vec![],
@@ -142,7 +186,7 @@ pub fn run_experiment(cfg: &ExperimentCfg) -> RunStats {
     let spec = WorkloadSpec::update_heavy()
         .with_records(cfg.records)
         .with_value_size(cfg.value_size);
-    run_workload(
+    let stats = run_workload(
         &sim,
         &world,
         &cluster,
@@ -152,7 +196,15 @@ pub fn run_experiment(cfg: &ExperimentCfg) -> RunStats {
             measure: cfg.measure,
             seed: cfg.seed ^ 0x5eed,
         },
-    )
+    );
+    // The sampling task still holds a clone of the cell; swap the
+    // sampler out rather than trying to unwrap the Rc.
+    let sampler = sampler.replace(Sampler::new(MetricsRegistry::new(), 1));
+    ExperimentRun {
+        stats,
+        metrics,
+        sampler,
+    }
 }
 
 #[cfg(test)]

@@ -18,5 +18,7 @@
 pub mod experiment;
 pub mod report;
 
-pub use experiment::{run_experiment, ExperimentCfg, FaultTarget};
-pub use report::{format_ms, Table};
+pub use experiment::{
+    run_experiment, run_experiment_instrumented, ExperimentCfg, ExperimentRun, FaultTarget,
+};
+pub use report::{format_ms, slug, write_metrics_csv, Table};

@@ -9,6 +9,34 @@ pub fn format_ms(d: Duration) -> String {
     format!("{:.2}", d.as_secs_f64() * 1e3)
 }
 
+/// Lower-cased `[a-z0-9_]` slug for use in CSV file names.
+pub fn slug(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect::<String>()
+        .split('_')
+        .filter(|p| !p.is_empty())
+        .collect::<Vec<_>>()
+        .join("_")
+}
+
+/// Writes a metric time-series CSV (see `depfast_metrics::Sampler::to_csv`)
+/// under `target/depfast-bench/<bench>_metrics_<run>.csv` and returns the
+/// path.
+pub fn write_metrics_csv(bench: &str, run_name: &str, csv: &str) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from("target/depfast-bench");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{bench}_metrics_{}.csv", slug(run_name)));
+    std::fs::write(&path, csv)?;
+    Ok(path)
+}
+
 /// A simple aligned text table that can also be written out as CSV.
 pub struct Table {
     title: String,

@@ -33,7 +33,7 @@ fn add_child(
         child: child.handle().id(),
         parent_meta: None,
     });
-    child.handle().on_fire(move |s| on_child(s));
+    child.handle().on_fire(on_child);
 }
 
 /// Fires `Ok` when **all** children have fired `Ok`; fires `Err` as soon

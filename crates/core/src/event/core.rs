@@ -192,6 +192,11 @@ impl EventHandle {
         self.inner.borrow().node
     }
 
+    /// Virtual time at which the event was created.
+    pub fn created_at(&self) -> SimTime {
+        self.inner.borrow().created_at
+    }
+
     /// The runtime this event belongs to.
     pub fn runtime(&self) -> &Runtime {
         &self.rt

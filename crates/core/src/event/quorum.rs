@@ -10,6 +10,8 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use depfast_metrics::Key;
+
 use super::core::{EventHandle, EventKind, Signal, Watchable};
 use crate::runtime::Runtime;
 use crate::trace::TraceRecord;
@@ -33,6 +35,10 @@ struct QState {
     ok: usize,
     err: usize,
     sealed: bool,
+    /// Child handles, retained for straggler attribution: when the quorum
+    /// fires `Ok`, the children that have *not* fired name the replicas the
+    /// round did not wait for.
+    children: Vec<EventHandle>,
 }
 
 impl QState {
@@ -101,6 +107,7 @@ impl QuorumEvent {
                 ok: 0,
                 err: 0,
                 sealed: false,
+                children: Vec::new(),
             })),
         }
     }
@@ -121,6 +128,7 @@ impl QuorumEvent {
         let meta = {
             let mut st = self.state.borrow_mut();
             st.n += 1;
+            st.children.push(child_handle.clone());
             let (k, n) = (st.threshold(), st.n);
             self.handle.set_quorum_meta(k, n);
             (k, n)
@@ -166,7 +174,33 @@ impl QuorumEvent {
             }
         };
         if let Some(s) = outcome {
+            let first = self.handle.fired().is_none();
             self.handle.fire(s);
+            if first && s == Signal::Ok {
+                self.record_quorum_metrics();
+            }
+        }
+    }
+
+    /// Records how long the quorum took and which replicas it did *not*
+    /// wait for — the straggler attribution the paper's §3.3 trace
+    /// analysis calls for. Runs exactly once, at the `Ok` fire.
+    fn record_quorum_metrics(&self) {
+        let rt = self.handle.runtime();
+        let metrics = rt.tracer().metrics();
+        let label = self.handle.label();
+        let waited = rt.now() - self.handle.created_at();
+        metrics
+            .histogram(Key::tagged("event.quorum.wait", self.handle.node().0, label))
+            .record(waited);
+        for child in self.state.borrow().children.iter() {
+            if child.fired().is_none() {
+                if let EventKind::Rpc { target } = child.kind() {
+                    metrics
+                        .counter(Key::tagged("event.quorum.straggler", target.0, label))
+                        .inc();
+                }
+            }
         }
     }
 
@@ -340,6 +374,43 @@ mod tests {
         fixed.add(&fired);
         fixed.add(&Notify::new(&rt));
         assert!(!fixed.ready(), "fixed threshold waits for the real quorum");
+    }
+
+    #[test]
+    fn straggler_counters_name_the_slow_replica() {
+        let sim = Sim::new(1);
+        let rt = Runtime::new_sim(sim.clone(), NodeId(0));
+        let q = QuorumEvent::labeled(&rt, QuorumMode::Majority, "replicate");
+        let peers: Vec<EventHandle> = (1..=3)
+            .map(|p| {
+                EventHandle::with_sampling(
+                    &rt,
+                    EventKind::Rpc { target: NodeId(p) },
+                    "append_entries",
+                    false,
+                )
+            })
+            .collect();
+        for p in &peers {
+            q.add(p);
+        }
+        peers[0].fire(Signal::Ok);
+        peers[1].fire(Signal::Ok);
+        // Node 3's reply never arrives; the quorum fires without it.
+        assert!(q.ready());
+        let m = rt.tracer().metrics();
+        let slow = m.counter(Key::tagged("event.quorum.straggler", 3, "replicate"));
+        assert_eq!(slow.get(), 1, "unfired child must be attributed");
+        for fast in [1, 2] {
+            let c = m.counter(Key::tagged("event.quorum.straggler", fast, "replicate"));
+            assert_eq!(c.get(), 0, "node {fast} answered in time");
+        }
+        let wait = m.histogram(Key::tagged("event.quorum.wait", 0, "replicate"));
+        assert_eq!(wait.snapshot().count, 1);
+        // A late arrival must not retroactively change the attribution.
+        peers[2].fire(Signal::Ok);
+        assert_eq!(slow.get(), 1);
+        assert_eq!(wait.snapshot().count, 1);
     }
 
     #[test]

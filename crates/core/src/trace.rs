@@ -15,6 +15,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 use std::time::Duration;
 
+use depfast_metrics::{Key, MetricsRegistry};
 use simkit::{NodeId, SimTime};
 
 use crate::event::{EventId, EventKind, Signal, WaitResult};
@@ -144,6 +145,7 @@ struct TraceInner {
     samples: HashMap<RpcSampleKey, RpcSample>,
     next_event: u64,
     next_coro: u64,
+    metrics: MetricsRegistry,
 }
 
 /// The cluster-shared trace sink and id allocator. Cheap to clone.
@@ -159,8 +161,17 @@ impl Default for Tracer {
 }
 
 impl Tracer {
-    /// Creates a tracer with full recording disabled.
+    /// Creates a tracer with full recording disabled and a private metric
+    /// registry (suitable for unit tests; clusters built on a simulated
+    /// world use [`Tracer::with_metrics`] instead).
     pub fn new() -> Self {
+        Self::with_metrics(MetricsRegistry::new())
+    }
+
+    /// Creates a tracer that records into `metrics` — typically the
+    /// registry of the underlying `simkit` world, so RPC-, event- and
+    /// driver-level series land next to the substrate's `sim.*` series.
+    pub fn with_metrics(metrics: MetricsRegistry) -> Self {
         Tracer {
             inner: Rc::new(RefCell::new(TraceInner {
                 record_full: false,
@@ -168,8 +179,14 @@ impl Tracer {
                 samples: HashMap::new(),
                 next_event: 0,
                 next_coro: 0,
+                metrics,
             })),
         }
+    }
+
+    /// The metric registry this tracer records into.
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.inner.borrow().metrics.clone()
     }
 
     /// Enables or disables full record collection.
@@ -232,6 +249,19 @@ impl Tracer {
         }
         agg.total += latency;
         agg.max = agg.max.max(latency);
+        // Mirror into the shared registry, scoped to the *callee*: an
+        // `rpc.latency` series that inflates names the slow peer, which is
+        // exactly the attribution the fail-slow detector needs.
+        let metrics = inner.metrics.clone();
+        drop(inner);
+        metrics
+            .histogram(Key::tagged("rpc.latency", callee.0, label))
+            .record(latency);
+        if signal == Signal::Err {
+            metrics
+                .counter(Key::tagged("rpc.errors", callee.0, label))
+                .inc();
+        }
     }
 
     /// Snapshot of all full records collected so far.
@@ -324,5 +354,33 @@ mod tests {
         assert_eq!(agg.max, Duration::from_millis(4));
         // Second drain is empty.
         assert!(t.drain_rpc_samples().is_empty());
+    }
+
+    #[test]
+    fn rpc_samples_mirror_into_the_metric_registry() {
+        let r = MetricsRegistry::new();
+        let t = Tracer::with_metrics(r.clone());
+        t.sample_rpc(
+            NodeId(0),
+            NodeId(2),
+            "append",
+            Duration::from_millis(7),
+            Signal::Ok,
+        );
+        t.sample_rpc(
+            NodeId(0),
+            NodeId(2),
+            "append",
+            Duration::from_millis(9),
+            Signal::Err,
+        );
+        // Scoped to the callee (node 2), tagged with the RPC label.
+        let h = r.histogram(Key::tagged("rpc.latency", 2, "append"));
+        assert_eq!(h.snapshot().count, 2);
+        assert_eq!(h.snapshot().max_ns, 9_000_000);
+        assert_eq!(r.counter(Key::tagged("rpc.errors", 2, "append")).get(), 1);
+        // Draining the aggregates leaves the cumulative histograms alone.
+        t.drain_rpc_samples();
+        assert_eq!(h.snapshot().count, 2);
     }
 }

@@ -1,12 +1,13 @@
 //! The trace-point-based fail-slow detector.
 //!
-//! Every RPC event fire feeds a per-(caller, callee, label) latency
-//! aggregate into the tracer (see [`depfast::Tracer::sample_rpc`]); the
-//! detector polls those aggregates on a period and maintains, per
-//! (label, callee), a slow EWMA baseline of the mean completion latency.
-//! A window whose mean exceeds `factor ×` the baseline (and an absolute
-//! floor, to ignore micro-noise) raises a [`Suspicion`]; dropping back
-//! under `clear_factor ×` clears it.
+//! Every RPC event fire records a callee-scoped `rpc.latency` histogram
+//! into the shared metric registry (see [`depfast::Tracer::sample_rpc`]);
+//! the detector polls the registry on a period, turns the cumulative
+//! histograms into per-window means by snapshot differencing, and
+//! maintains, per (label, callee), a slow EWMA baseline of the mean
+//! completion latency. A window whose mean exceeds `factor ×` the
+//! baseline (and an absolute floor, to ignore micro-noise) raises a
+//! [`Suspicion`]; dropping back under `clear_factor ×` clears it.
 //!
 //! Baselines freeze while a node is suspected, so a long-lived fail-slow
 //! fault cannot talk the detector out of its own detection.
@@ -16,8 +17,8 @@ use std::collections::{BTreeSet, HashMap};
 use std::rc::Rc;
 use std::time::Duration;
 
-use depfast::trace::RpcSampleKey;
 use depfast::Tracer;
+use depfast_metrics::Key;
 use simkit::{NodeId, Sim, SimTime};
 
 /// Detector tuning.
@@ -78,6 +79,9 @@ struct DetectorState {
     tracks: HashMap<(NodeId, &'static str), Track>,
     suspects: BTreeSet<NodeId>,
     history: Vec<Suspicion>,
+    /// Last-seen `(count, total_ns)` per `rpc.latency` key, for turning
+    /// cumulative histograms into per-window deltas.
+    last: HashMap<Key, (u64, u128)>,
 }
 
 type SuspectHook = Box<dyn Fn(&Suspicion)>;
@@ -97,6 +101,7 @@ impl FailSlowDetector {
                 tracks: HashMap::new(),
                 suspects: BTreeSet::new(),
                 history: Vec::new(),
+                last: HashMap::new(),
             })),
             hooks: Rc::new(RefCell::new(Vec::new())),
         };
@@ -138,13 +143,28 @@ impl FailSlowDetector {
     }
 
     fn ingest(&self, sim: &Sim, tracer: &Tracer, cfg: DetectorCfg) {
-        let samples = tracer.drain_rpc_samples();
-        // Merge per (callee, label) across callers.
+        // Window means come from the registry's cumulative, callee-scoped
+        // `rpc.latency` histograms: diffing consecutive snapshots yields
+        // this poll period's (count, total) without any drain side-effects.
         let mut windows: HashMap<(NodeId, &'static str), (u64, f64)> = HashMap::new();
-        for (RpcSampleKey { callee, label, .. }, agg) in samples {
-            let w = windows.entry((callee, label)).or_insert((0, 0.0));
-            w.0 += agg.count;
-            w.1 += agg.total.as_nanos() as f64;
+        {
+            let mut st = self.state.borrow_mut();
+            for (key, h) in tracer.metrics().histograms_named("rpc.latency") {
+                let snap = h.snapshot();
+                let (c0, t0) = st
+                    .last
+                    .insert(key, (snap.count, snap.total_ns))
+                    .unwrap_or((0, 0));
+                let (Some(callee), Some(label)) = (key.node, key.tag) else {
+                    continue;
+                };
+                if snap.count == c0 {
+                    continue;
+                }
+                let w = windows.entry((NodeId(callee), label)).or_insert((0, 0.0));
+                w.0 += snap.count - c0;
+                w.1 += (snap.total_ns - t0) as f64;
+            }
         }
         let mut fired = Vec::new();
         {

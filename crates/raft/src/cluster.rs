@@ -94,7 +94,10 @@ pub fn build_cluster(
     n: usize,
     cfg: RaftCfg,
 ) -> RaftCluster {
-    let tracer = Tracer::new();
+    // One tracer recording into the world's registry: substrate (`sim.*`),
+    // transport (`rpc.*`), event (`event.*`) and driver (`raft.*`) series
+    // all land in one place, keyed by node.
+    let tracer = Tracer::with_metrics(world.metrics());
     let registry = Registry::new();
     let members: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
     let mut servers = Vec::with_capacity(n);

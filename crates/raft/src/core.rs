@@ -16,6 +16,7 @@ use bytes::Bytes;
 use depfast::event::{EventHandle, EventKind, Signal, ValueEvent};
 use depfast::runtime::{Coroutine, Runtime};
 use depfast::TypedEvent;
+use depfast_metrics::{Gauge, HistogramHandle};
 use depfast_rpc::proxy::RpcEvent;
 use depfast_rpc::wire::WireRead;
 use depfast_rpc::Endpoint;
@@ -202,6 +203,29 @@ pub struct CoreState {
 
 type ApplyFn = Box<dyn FnMut(&Entry) -> Bytes>;
 
+/// Cached handles for this node's `raft.*` series. Lags are measured from
+/// proposal creation, so they reflect what a *client* would attribute to
+/// the consensus layer; the substrate series (`sim.*`) say which resource
+/// actually caused an inflation.
+struct RaftStats {
+    commit_lag: HistogramHandle,
+    apply_lag: HistogramHandle,
+    commit_index: Gauge,
+    applied_index: Gauge,
+}
+
+impl RaftStats {
+    fn new(rt: &Runtime) -> Self {
+        let scope = rt.tracer().metrics().node(rt.node().0);
+        RaftStats {
+            commit_lag: scope.histogram("raft.commit_lag"),
+            apply_lag: scope.histogram("raft.apply_lag"),
+            commit_index: scope.gauge("raft.commit_index"),
+            applied_index: scope.gauge("raft.applied_index"),
+        }
+    }
+}
+
 /// The shared per-node Raft core all four drivers build on.
 pub struct RaftCore {
     /// DepFast runtime of this node.
@@ -234,6 +258,7 @@ pub struct RaftCore {
     pub proposals: ProposalQueue,
     apply_fn: RefCell<Option<ApplyFn>>,
     applied: Cell<u64>,
+    stats: RaftStats,
     /// Committed-entry counter (throughput accounting).
     pub committed_count: Cell<u64>,
     /// Extra delay added to this node's election timeout draws — the
@@ -283,6 +308,7 @@ impl RaftCore {
             proposals: ProposalQueue::default(),
             apply_fn: RefCell::new(None),
             applied: Cell::new(0),
+            stats: RaftStats::new(rt),
             committed_count: Cell::new(0),
             election_penalty: Cell::new(Duration::ZERO),
         });
@@ -400,10 +426,22 @@ impl RaftCore {
     /// Sets the commit index (monotonic) and counts newly committed
     /// entries.
     pub fn set_commit(&self, index: u64) {
+        use depfast::event::Watchable;
         let old = self.commit.get();
         if index > old {
             self.committed_count
                 .set(self.committed_count.get() + (index - old));
+            self.stats.commit_index.set(index as i64);
+            // Commit lag of each newly committed proposal still pending
+            // here (the leader): proposal creation → commit.
+            let now = self.rt.now();
+            let pending = self.pending.borrow();
+            for i in (old + 1)..=index {
+                if let Some(ev) = pending.get(&i) {
+                    self.stats.commit_lag.record(now - ev.handle().created_at());
+                }
+            }
+            drop(pending);
             self.commit.set(index);
         }
     }
@@ -434,9 +472,11 @@ impl RaftCore {
                         }
                     };
                     core.applied.set(e.index);
+                    core.stats.applied_index.set(e.index as i64);
                     core.applied_idx.set(e.index);
                     let pending = core.pending.borrow_mut().remove(&e.index);
                     if let Some(ev) = pending {
+                        core.record_apply_lag(&ev);
                         ev.fire_ok(reply);
                     }
                 }
@@ -466,13 +506,24 @@ impl RaftCore {
                 }
             };
             self.applied.set(e.index);
+            self.stats.applied_index.set(e.index as i64);
             self.applied_idx.set(e.index);
             let pending = self.pending.borrow_mut().remove(&e.index);
             if let Some(ev) = pending {
+                self.record_apply_lag(&ev);
                 ev.fire_ok(reply);
             }
         }
         Ok(())
+    }
+
+    /// Records `raft.apply_lag` for a completed proposal: creation →
+    /// state-machine apply (what the client experiences as latency).
+    fn record_apply_lag(&self, ev: &TypedEvent<Bytes>) {
+        use depfast::event::Watchable;
+        self.stats
+            .apply_lag
+            .record(self.rt.now() - ev.handle().created_at());
     }
 
     /// Registers the follower-side `AppendEntries` and `RequestVote`

@@ -26,6 +26,7 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use depfast::runtime::{Coroutine, Runtime};
+use depfast_metrics::{Counter, Gauge};
 use simkit::{NodeId, World};
 
 /// What to do when a bounded buffer is full.
@@ -80,9 +81,21 @@ pub(crate) struct OutMsg {
     pub on_drop: Option<Box<dyn FnOnce()>>,
 }
 
+/// Cached handles into the shared registry, aggregated per sending node
+/// (`rpc.*` series): buffer occupancy gauges rise while a backlog to a
+/// slow peer builds, which is how the RethinkDB pathology (§2.2) becomes
+/// visible *before* the OOM.
+struct ConnStats {
+    buffer_bytes: Gauge,
+    buffer_msgs: Gauge,
+    sent: Counter,
+    dropped: Counter,
+}
+
 struct ConnInner {
     from: NodeId,
     to: NodeId,
+    stats: ConnStats,
     queue: VecDeque<OutMsg>,
     credits: usize,
     window: usize,
@@ -122,10 +135,18 @@ impl Connection {
         tx_cpu: Duration,
     ) -> Self {
         assert!(window > 0, "window must be positive");
+        let scope = rt.tracer().metrics().node(rt.node().0);
+        let stats = ConnStats {
+            buffer_bytes: scope.gauge("rpc.buffer.bytes"),
+            buffer_msgs: scope.gauge("rpc.buffer.msgs"),
+            sent: scope.counter("rpc.sent"),
+            dropped: scope.counter("rpc.dropped"),
+        };
         let conn = Connection {
             inner: Rc::new(RefCell::new(ConnInner {
                 from: rt.node(),
                 to,
+                stats,
                 queue: VecDeque::new(),
                 credits: window,
                 window,
@@ -170,10 +191,14 @@ impl Connection {
     fn finish_msg(&self, world: &World, len: u64, sent: bool) {
         let mut inner = self.inner.borrow_mut();
         inner.queued_bytes -= len;
+        inner.stats.buffer_bytes.sub(len as i64);
+        inner.stats.buffer_msgs.sub(1);
         if sent {
             inner.sent += 1;
+            inner.stats.sent.inc();
         } else {
             inner.dropped += 1;
+            inner.stats.dropped.inc();
         }
         world.mem_free(inner.from, len);
     }
@@ -193,6 +218,7 @@ impl Connection {
                             inner.closed = true;
                         }
                         inner.dropped += 1;
+                        inner.stats.dropped.inc();
                         (Some(msg), None)
                     }
                     _ => {
@@ -204,6 +230,8 @@ impl Connection {
                             (Some(msg), None)
                         } else {
                             inner.queued_bytes += len;
+                            inner.stats.buffer_bytes.add(len as i64);
+                            inner.stats.buffer_msgs.add(1);
                             inner.queue.push_back(msg);
                             (None, inner.waker.take())
                         }
@@ -260,6 +288,12 @@ impl Connection {
             let mut inner = self.inner.borrow_mut();
             inner.closed = true;
             let msgs: Vec<OutMsg> = inner.queue.drain(..).collect();
+            let drained: u64 = msgs.iter().map(|m| m.bytes.len() as u64).sum();
+            inner.queued_bytes -= drained;
+            inner.stats.buffer_bytes.sub(drained as i64);
+            inner.stats.buffer_msgs.sub(msgs.len() as i64);
+            inner.dropped += msgs.len() as u64;
+            inner.stats.dropped.add(msgs.len() as u64);
             (msgs, inner.waker.take())
         };
         for m in msgs {
@@ -557,6 +591,38 @@ mod tests {
             world.is_crashed(NodeId(0)),
             "unbounded buffering must OOM-crash the node"
         );
+        sim.run();
+    }
+
+    #[test]
+    fn buffer_occupancy_metrics_track_the_backlog() {
+        let (sim, world, rt) = setup();
+        let m = rt.tracer().metrics();
+        let conn = Connection::open(
+            &rt,
+            &world,
+            NodeId(1),
+            BufferPolicy::Unbounded,
+            1, // One credit: the backlog builds behind the first send.
+            Duration::from_micros(1),
+        );
+        for _ in 0..5 {
+            conn.enqueue(&world, msg(100));
+        }
+        let bytes = m.node(0).gauge("rpc.buffer.bytes");
+        let msgs = m.node(0).gauge("rpc.buffer.msgs");
+        assert_eq!(bytes.get(), 500);
+        assert_eq!(msgs.get(), 5);
+        sim.run_until_time(sim.now() + Duration::from_millis(100));
+        // One credit consumed: exactly one message left the buffer.
+        assert_eq!(m.node(0).counter("rpc.sent").get(), 1);
+        assert_eq!(bytes.get(), 400);
+        assert_eq!(msgs.get(), 4);
+        conn.close();
+        assert_eq!(bytes.get(), 0, "close drains the buffer gauges");
+        assert_eq!(msgs.get(), 0);
+        assert_eq!(m.node(0).counter("rpc.dropped").get(), 4);
+        assert_eq!(conn.dropped(), 4, "accessor agrees with the metric");
         sim.run();
     }
 

@@ -88,6 +88,17 @@ impl CpuModel {
         Duration::from_nanos(self.busy_nanos)
     }
 
+    /// Instant at which the earliest-free core becomes available: the
+    /// start time the next scheduled work item would get. Exposed so the
+    /// world can observe queueing delay (contention stalls) per request.
+    pub fn next_free_at(&self) -> SimTime {
+        self.core_free_at
+            .iter()
+            .copied()
+            .min()
+            .expect("at least one core")
+    }
+
     /// Schedules `work` onto the earliest-free core and returns the finish
     /// instant. `slowdown` is an extra multiplier (memory-pressure swap
     /// penalty); the effective service time is

@@ -101,6 +101,13 @@ impl DiskModel {
         self.ops
     }
 
+    /// Instant at which the FIFO queue drains: the start time the next
+    /// request would get. Exposed so the world can observe per-request
+    /// queueing delay.
+    pub fn queue_free_at(&self) -> SimTime {
+        self.queue_free_at
+    }
+
     /// Service time of `op` in isolation (no queueing).
     pub fn service_time(&self, op: DiskOp) -> Duration {
         let bw = self.effective_bandwidth();

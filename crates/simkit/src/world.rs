@@ -12,6 +12,7 @@ use std::rc::Rc;
 use std::time::Duration;
 
 use bytes::Bytes;
+use depfast_metrics::{Counter, Gauge, HistogramHandle, MetricsRegistry};
 
 use crate::cpu::{CpuCfg, CpuModel};
 use crate::disk::{DiskCfg, DiskModel, DiskOp};
@@ -68,11 +69,53 @@ pub struct NetMessage {
     pub payload: Bytes,
 }
 
+/// Cached metric handles for one node's substrate series (`sim.*` in the
+/// metric namespace — see `docs/OBSERVABILITY.md`). Caching keeps the
+/// hot paths free of registry lookups.
+struct NodeStats {
+    cpu_wait: HistogramHandle,
+    cpu_service: HistogramHandle,
+    disk_wait: HistogramHandle,
+    disk_service: HistogramHandle,
+    disk_bytes: Counter,
+    disk_ops: Counter,
+    mem_used: Gauge,
+    mem_slowdown_milli: Gauge,
+    net_delay: HistogramHandle,
+    net_msgs: Counter,
+    net_bytes: Counter,
+}
+
+impl NodeStats {
+    fn new(registry: &MetricsRegistry, node: u32) -> Self {
+        let scope = registry.node(node);
+        NodeStats {
+            cpu_wait: scope.histogram("sim.cpu.wait"),
+            cpu_service: scope.histogram("sim.cpu.service"),
+            disk_wait: scope.histogram("sim.disk.wait"),
+            disk_service: scope.histogram("sim.disk.service"),
+            disk_bytes: scope.counter("sim.disk.bytes"),
+            disk_ops: scope.counter("sim.disk.ops"),
+            mem_used: scope.gauge("sim.mem.used"),
+            mem_slowdown_milli: scope.gauge("sim.mem.slowdown_milli"),
+            net_delay: scope.histogram("sim.net.delay"),
+            net_msgs: scope.counter("sim.net.msgs"),
+            net_bytes: scope.counter("sim.net.bytes"),
+        }
+    }
+
+    fn observe_mem(&self, mem: &MemoryModel) {
+        self.mem_used.set(mem.used() as i64);
+        self.mem_slowdown_milli.set((mem.slowdown() * 1000.0) as i64);
+    }
+}
+
 struct NodeState {
     cpu: CpuModel,
     disk: DiskModel,
     mem: MemoryModel,
     crashed: bool,
+    stats: NodeStats,
 }
 
 type Handler = Rc<dyn Fn(NetMessage)>;
@@ -81,6 +124,7 @@ struct WorldInner {
     nodes: Vec<NodeState>,
     net: NetModel,
     handlers: Vec<Option<Handler>>,
+    metrics: MetricsRegistry,
 }
 
 /// Handle to the simulated cluster. Cheap to clone.
@@ -93,12 +137,14 @@ pub struct World {
 impl World {
     /// Builds a cluster of `cfg.nodes` identical nodes on `sim`.
     pub fn new(sim: Sim, cfg: WorldCfg) -> Self {
+        let metrics = MetricsRegistry::new();
         let nodes = (0..cfg.nodes)
-            .map(|_| NodeState {
+            .map(|i| NodeState {
                 cpu: CpuModel::new(cfg.cpu),
                 disk: DiskModel::new(cfg.disk),
                 mem: MemoryModel::new(cfg.mem),
                 crashed: false,
+                stats: NodeStats::new(&metrics, i as u32),
             })
             .collect();
         World {
@@ -107,6 +153,7 @@ impl World {
                 nodes,
                 net: NetModel::new(cfg.net),
                 handlers: vec![None; cfg.nodes],
+                metrics,
             })),
         }
     }
@@ -114,6 +161,14 @@ impl World {
     /// The underlying simulator handle.
     pub fn sim(&self) -> &Sim {
         &self.sim
+    }
+
+    /// The cluster-shared metric registry. Every resource interaction on
+    /// this world records into it under `sim.*` names; higher layers
+    /// (RPC, the event runtime, Raft drivers) adopt the same registry so
+    /// one snapshot covers the whole stack.
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.inner.borrow().metrics.clone()
     }
 
     /// Number of nodes in the cluster.
@@ -150,11 +205,15 @@ impl World {
     pub async fn cpu(&self, node: NodeId, work: Duration) -> Result<(), Crashed> {
         self.check(node)?;
         let finish = {
+            let now = self.sim.now();
             let mut inner = self.inner.borrow_mut();
-            let slowdown = inner.nodes[node.0 as usize].mem.slowdown();
-            inner.nodes[node.0 as usize]
-                .cpu
-                .schedule(self.sim.now(), work, slowdown)
+            let state = &mut inner.nodes[node.0 as usize];
+            let slowdown = state.mem.slowdown();
+            let start = now.max(state.cpu.next_free_at());
+            let finish = state.cpu.schedule(now, work, slowdown);
+            state.stats.cpu_wait.record(start - now);
+            state.stats.cpu_service.record(finish - start);
+            finish
         };
         self.sim.sleep_until(finish).await;
         self.check(node)
@@ -164,11 +223,19 @@ impl World {
     pub async fn disk(&self, node: NodeId, op: DiskOp) -> Result<(), Crashed> {
         self.check(node)?;
         let finish = {
+            let now = self.sim.now();
             let mut inner = self.inner.borrow_mut();
-            let slowdown = inner.nodes[node.0 as usize].mem.slowdown();
-            inner.nodes[node.0 as usize]
-                .disk
-                .schedule(self.sim.now(), op, slowdown)
+            let state = &mut inner.nodes[node.0 as usize];
+            let slowdown = state.mem.slowdown();
+            let start = now.max(state.disk.queue_free_at());
+            let finish = state.disk.schedule(now, op, slowdown);
+            state.stats.disk_wait.record(start - now);
+            state.stats.disk_service.record(finish - start);
+            state.stats.disk_ops.inc();
+            if let DiskOp::Write { bytes } | DiskOp::Fsync { bytes } = op {
+                state.stats.disk_bytes.add(bytes);
+            }
+            finish
         };
         self.sim.sleep_until(finish).await;
         self.check(node)
@@ -176,12 +243,19 @@ impl World {
 
     /// Accounts `bytes` of new memory usage on `node`.
     pub fn mem_alloc(&self, node: NodeId, bytes: u64) -> Result<(), Oom> {
-        self.inner.borrow_mut().nodes[node.0 as usize].mem.alloc(bytes)
+        let mut inner = self.inner.borrow_mut();
+        let state = &mut inner.nodes[node.0 as usize];
+        let res = state.mem.alloc(bytes);
+        state.stats.observe_mem(&state.mem);
+        res
     }
 
     /// Releases `bytes` of memory usage on `node`.
     pub fn mem_free(&self, node: NodeId, bytes: u64) {
-        self.inner.borrow_mut().nodes[node.0 as usize].mem.free(bytes);
+        let mut inner = self.inner.borrow_mut();
+        let state = &mut inner.nodes[node.0 as usize];
+        state.mem.free(bytes);
+        state.stats.observe_mem(&state.mem);
     }
 
     /// Current memory usage of `node` in bytes.
@@ -218,9 +292,17 @@ impl World {
             let mut inner = self.inner.borrow_mut();
             let now = self.sim.now();
             let bytes = payload.len() as u64;
-            let WorldInner { net, .. } = &mut *inner;
-            self.sim
-                .with_rng(|rng| net.delivery_time(now, from, to, bytes, rng))
+            let WorldInner { net, nodes, .. } = &mut *inner;
+            let at = self
+                .sim
+                .with_rng(|rng| net.delivery_time(now, from, to, bytes, rng));
+            let stats = &nodes[from.0 as usize].stats;
+            stats.net_msgs.inc();
+            stats.net_bytes.add(bytes);
+            if let Some(at) = at {
+                stats.net_delay.record(at - now);
+            }
+            at
         };
         let Some(at) = deliver_at else { return };
         let world = self.clone();
@@ -260,12 +342,18 @@ impl World {
 
     /// Sets the memory limit of `node` (Table 1, "Memory (contention)").
     pub fn set_mem_limit(&self, node: NodeId, limit: u64) {
-        self.inner.borrow_mut().nodes[node.0 as usize].mem.set_limit(limit);
+        let mut inner = self.inner.borrow_mut();
+        let state = &mut inner.nodes[node.0 as usize];
+        state.mem.set_limit(limit);
+        state.stats.observe_mem(&state.mem);
     }
 
     /// Restores the configured memory limit of `node`.
     pub fn reset_mem_limit(&self, node: NodeId) {
-        self.inner.borrow_mut().nodes[node.0 as usize].mem.reset_limit();
+        let mut inner = self.inner.borrow_mut();
+        let state = &mut inner.nodes[node.0 as usize];
+        state.mem.reset_limit();
+        state.stats.observe_mem(&state.mem);
     }
 
     /// Sets the `tc`-style egress delay of `node` (Table 1, "Network (slow)").
@@ -426,6 +514,71 @@ mod tests {
             w2.cpu(NodeId(0), Duration::from_millis(1)).await.unwrap();
         });
         assert!(sim.now() > SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn substrate_metrics_attribute_disk_queueing_to_the_right_node() {
+        let (sim, w) = world();
+        let m = w.metrics();
+        // Two concurrent fsyncs on node 1: the FIFO queue forces the
+        // second to wait behind the first.
+        for _ in 0..2 {
+            let w2 = w.clone();
+            sim.spawn(async move {
+                w2.disk(NodeId(1), DiskOp::Fsync { bytes: 1_000_000 })
+                    .await
+                    .unwrap();
+            });
+        }
+        sim.run();
+        let waited = m.node(1).histogram("sim.disk.wait");
+        assert_eq!(waited.snapshot().count, 2);
+        assert!(waited.snapshot().max_ns > 0, "second fsync must queue");
+        // Node 0 never touched its disk: its series stays empty.
+        assert_eq!(m.node(0).histogram("sim.disk.wait").snapshot().count, 0);
+        assert_eq!(m.node(1).counter("sim.disk.ops").get(), 2);
+        assert_eq!(m.node(1).counter("sim.disk.bytes").get(), 2_000_000);
+    }
+
+    #[test]
+    fn substrate_metrics_expose_cpu_contention_stalls() {
+        let (sim, w) = world();
+        let m = w.metrics();
+        w.set_cpu_quota(NodeId(0), 0.05);
+        let w2 = w.clone();
+        sim.block_on(async move {
+            w2.cpu(NodeId(0), Duration::from_millis(1)).await.unwrap();
+        });
+        let svc = m.node(0).histogram("sim.cpu.service").snapshot();
+        // 1 ms of work at 5% quota inflates to 20 ms of service time.
+        assert_eq!(svc.max_ns, 20_000_000);
+    }
+
+    #[test]
+    fn substrate_metrics_track_memory_pressure() {
+        let (_sim, w) = world();
+        let m = w.metrics();
+        let base = w.mem_used(NodeId(2));
+        w.set_mem_limit(NodeId(2), base + 100);
+        w.mem_alloc(NodeId(2), 100).unwrap();
+        assert_eq!(m.node(2).gauge("sim.mem.used").get(), (base + 100) as i64);
+        assert!(m.node(2).gauge("sim.mem.slowdown_milli").get() > 1000);
+        w.mem_free(NodeId(2), 100);
+        assert_eq!(m.node(2).gauge("sim.mem.used").get(), base as i64);
+    }
+
+    #[test]
+    fn substrate_metrics_record_network_sends() {
+        let (sim, w) = world();
+        let m = w.metrics();
+        w.register_handler(NodeId(1), |_| {});
+        w.send(NodeId(0), NodeId(1), Bytes::from_static(b"hello"));
+        sim.run();
+        assert_eq!(m.node(0).counter("sim.net.msgs").get(), 1);
+        assert_eq!(m.node(0).counter("sim.net.bytes").get(), 5);
+        let delay = m.node(0).histogram("sim.net.delay").snapshot();
+        assert_eq!(delay.count, 1);
+        assert!(delay.max_ns >= 100_000, "base latency is 100 µs");
     }
 
     #[test]

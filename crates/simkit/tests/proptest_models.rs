@@ -21,7 +21,7 @@ proptest! {
         let mut cpu = CpuModel::new(CpuCfg { cores });
         let mut now = SimTime::ZERO;
         for (gap, work) in jobs {
-            now = now + Duration::from_micros(gap);
+            now += Duration::from_micros(gap);
             let fin = cpu.schedule(now, Duration::from_micros(work), 1.0);
             prop_assert!(fin >= now);
             prop_assert!(fin >= now + Duration::from_micros(work));
@@ -114,7 +114,7 @@ proptest! {
         let mut now = SimTime::ZERO;
         let mut last_delivery = SimTime::ZERO;
         for (gap, bytes) in msgs {
-            now = now + Duration::from_micros(gap);
+            now += Duration::from_micros(gap);
             let d = net
                 .delivery_time(now, NodeId(0), NodeId(1), bytes, &mut rng)
                 .expect("no partition");

@@ -15,6 +15,7 @@ use std::rc::Rc;
 use bytes::Bytes;
 use depfast::event::{EventHandle, ValueEvent, Watchable};
 use depfast::runtime::Runtime;
+use depfast_metrics::HistogramHandle;
 use simkit::disk::DiskOp;
 use simkit::{Crashed, NodeId, World};
 
@@ -85,6 +86,8 @@ pub struct LogStore {
     /// otherwise a retransmitted entry could be acked from memory while
     /// its fsync is still queued behind a slow disk.
     durable: ValueEvent<u64>,
+    /// `raft.append_lag` series: append-to-durable latency of each batch.
+    append_lag: HistogramHandle,
 }
 
 impl LogStore {
@@ -106,6 +109,11 @@ impl LogStore {
                 cache_misses: 0,
             })),
             durable: ValueEvent::labeled(rt, 0, "log_durable"),
+            append_lag: rt
+                .tracer()
+                .metrics()
+                .node(rt.node().0)
+                .histogram("raft.append_lag"),
         }
     }
 
@@ -191,8 +199,12 @@ impl LogStore {
         let io = self.wal.append(bytes);
         if last > 0 {
             let durable = self.durable.clone();
+            let lag = self.append_lag.clone();
+            let sim = self.world.sim().clone();
+            let started = io.handle().created_at();
             io.handle().on_fire(move |sig| {
                 if sig == depfast::Signal::Ok {
+                    lag.record(sim.now() - started);
                     durable.set(last);
                 }
             });

@@ -1,228 +1,25 @@
-//! Latency statistics: a log-bucketed histogram and run summaries.
+//! Latency statistics for workload runs.
+//!
+//! The log-bucketed histogram that used to live here was generalized
+//! into [`depfast_metrics`] so every layer of the stack (substrate,
+//! transport, consensus, client) shares one distribution type; this
+//! module re-exports it under the historical path.
 
-use std::time::Duration;
-
-/// Number of linear sub-buckets per power-of-two bucket.
-const SUBS: usize = 32;
-/// Number of power-of-two buckets (covers 1 ns .. ~584 s).
-const POWERS: usize = 40;
-
-/// A log-bucketed latency histogram (HdrHistogram-style, ~3% resolution).
-#[derive(Debug, Clone)]
-pub struct Histogram {
-    buckets: Vec<u64>,
-    count: u64,
-    total_nanos: u128,
-    max_nanos: u64,
-    min_nanos: u64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Histogram {
-    /// Creates an empty histogram.
-    pub fn new() -> Self {
-        Histogram {
-            buckets: vec![0; POWERS * SUBS],
-            count: 0,
-            total_nanos: 0,
-            max_nanos: 0,
-            min_nanos: u64::MAX,
-        }
-    }
-
-    fn index(nanos: u64) -> usize {
-        let n = nanos.max(1);
-        let power = 63 - n.leading_zeros() as usize;
-        let power = power.min(POWERS - 1);
-        let sub = if power == 0 {
-            0
-        } else {
-            // Position within [2^power, 2^(power+1)).
-            ((n >> (power.saturating_sub(5))) as usize) & (SUBS - 1)
-        };
-        power * SUBS + sub
-    }
-
-    fn bucket_value(index: usize) -> u64 {
-        let power = index / SUBS;
-        let sub = (index % SUBS) as u64;
-        if power == 0 {
-            1
-        } else {
-            (1u64 << power) + (sub << power.saturating_sub(5))
-        }
-    }
-
-    /// Records one latency sample.
-    pub fn record(&mut self, d: Duration) {
-        let nanos = d.as_nanos().min(u64::MAX as u128) as u64;
-        self.buckets[Self::index(nanos)] += 1;
-        self.count += 1;
-        self.total_nanos += nanos as u128;
-        self.max_nanos = self.max_nanos.max(nanos);
-        self.min_nanos = self.min_nanos.min(nanos);
-    }
-
-    /// Merges another histogram into this one.
-    pub fn merge(&mut self, other: &Histogram) {
-        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.total_nanos += other.total_nanos;
-        self.max_nanos = self.max_nanos.max(other.max_nanos);
-        self.min_nanos = self.min_nanos.min(other.min_nanos);
-    }
-
-    /// Samples recorded.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean latency (zero if empty).
-    pub fn mean(&self) -> Duration {
-        if self.count == 0 {
-            return Duration::ZERO;
-        }
-        Duration::from_nanos((self.total_nanos / self.count as u128) as u64)
-    }
-
-    /// Maximum recorded latency.
-    pub fn max(&self) -> Duration {
-        Duration::from_nanos(if self.count == 0 { 0 } else { self.max_nanos })
-    }
-
-    /// The `q`-quantile (`0.0..=1.0`), approximated to bucket resolution.
-    pub fn quantile(&self, q: f64) -> Duration {
-        if self.count == 0 {
-            return Duration::ZERO;
-        }
-        let target = ((q.clamp(0.0, 1.0)) * self.count as f64).ceil().max(1.0) as u64;
-        let mut seen = 0;
-        for (i, c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                return Duration::from_nanos(Self::bucket_value(i));
-            }
-        }
-        self.max()
-    }
-
-    /// Summary of the distribution.
-    pub fn summary(&self) -> Summary {
-        Summary {
-            count: self.count,
-            mean: self.mean(),
-            p50: self.quantile(0.50),
-            p95: self.quantile(0.95),
-            p99: self.quantile(0.99),
-            p999: self.quantile(0.999),
-            max: self.max(),
-        }
-    }
-}
-
-/// A latency distribution summary.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Summary {
-    /// Samples.
-    pub count: u64,
-    /// Mean.
-    pub mean: Duration,
-    /// Median.
-    pub p50: Duration,
-    /// 95th percentile.
-    pub p95: Duration,
-    /// 99th percentile.
-    pub p99: Duration,
-    /// 99.9th percentile.
-    pub p999: Duration,
-    /// Maximum.
-    pub max: Duration,
-}
+pub use depfast_metrics::{Histogram, Summary};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn ms(n: u64) -> Duration {
-        Duration::from_millis(n)
-    }
+    use std::time::Duration;
 
     #[test]
-    fn empty_histogram_is_zeroes() {
-        let h = Histogram::new();
-        assert_eq!(h.count(), 0);
-        assert_eq!(h.mean(), Duration::ZERO);
-        assert_eq!(h.quantile(0.99), Duration::ZERO);
-    }
-
-    #[test]
-    fn mean_is_exact() {
+    fn reexported_histogram_behaves_like_the_original() {
         let mut h = Histogram::new();
-        h.record(ms(10));
-        h.record(ms(20));
-        h.record(ms(30));
-        assert_eq!(h.mean(), ms(20));
-    }
-
-    #[test]
-    fn quantiles_are_approximately_right() {
-        let mut h = Histogram::new();
-        for i in 1..=1000u64 {
-            h.record(Duration::from_micros(i));
-        }
-        let p50 = h.quantile(0.5).as_micros() as f64;
-        let p99 = h.quantile(0.99).as_micros() as f64;
-        assert!((450.0..560.0).contains(&p50), "p50 {p50}");
-        assert!((900.0..1100.0).contains(&p99), "p99 {p99}");
-    }
-
-    #[test]
-    fn bucket_resolution_within_a_few_percent() {
-        let mut h = Histogram::new();
-        h.record(Duration::from_nanos(1_234_567));
-        let q = h.quantile(1.0).as_nanos() as f64;
-        let err = (q - 1_234_567.0).abs() / 1_234_567.0;
-        assert!(err < 0.05, "relative error {err}");
-    }
-
-    #[test]
-    fn merge_combines_counts() {
-        let mut a = Histogram::new();
-        let mut b = Histogram::new();
-        a.record(ms(1));
-        b.record(ms(100));
-        a.merge(&b);
-        assert_eq!(a.count(), 2);
-        assert_eq!(a.max(), ms(100));
-        assert!(a.quantile(0.25) <= ms(2));
-    }
-
-    #[test]
-    fn summary_orders_quantiles() {
-        let mut h = Histogram::new();
-        for i in 0..10_000u64 {
-            h.record(Duration::from_micros(10 + i % 5000));
-        }
-        let s = h.summary();
-        assert!(s.p50 <= s.p95);
-        assert!(s.p95 <= s.p99);
-        assert!(s.p99 <= s.p999);
-        assert!(s.p999 <= s.max);
-    }
-
-    #[test]
-    fn extreme_values_do_not_panic() {
-        let mut h = Histogram::new();
-        h.record(Duration::ZERO);
-        h.record(Duration::from_secs(10_000));
-        assert_eq!(h.count(), 2);
-        assert!(h.max() >= Duration::from_secs(100));
+        h.record(Duration::from_millis(10));
+        h.record(Duration::from_millis(30));
+        assert_eq!(h.mean(), Duration::from_millis(20));
+        let s: Summary = h.summary();
+        assert_eq!(s.count, 2);
+        assert!(s.p50 <= s.max);
     }
 }

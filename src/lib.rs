@@ -5,6 +5,7 @@ pub use depfast;
 pub use depfast_detect;
 pub use depfast_fault;
 pub use depfast_kv;
+pub use depfast_metrics;
 pub use depfast_raft;
 pub use depfast_rpc;
 pub use depfast_storage;

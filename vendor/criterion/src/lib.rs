@@ -1,0 +1,117 @@
+//! Offline vendored subset of the `criterion` API.
+//!
+//! Gives `harness = false` benchmarks the [`Criterion`] /
+//! [`criterion_group!`] / [`criterion_main!`] entry points without the
+//! real crate's statistics machinery: each benchmark is warmed up, then
+//! timed over an adaptively chosen iteration count, and a single
+//! mean-per-iteration line is printed. Good enough to compare runs by
+//! hand; not a substitute for rigorous benchmarking.
+
+use std::time::{Duration, Instant};
+
+/// Measurement settings and sink.
+pub struct Criterion {
+    /// Minimum measurement wall time per benchmark.
+    pub measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure_for: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Per-benchmark timing driver passed to the closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it for the iteration count chosen by the
+    /// calibration loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark: calibrates an iteration count so the
+    /// measured batch lasts at least [`Criterion::measure_for`], then
+    /// reports mean time per iteration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        // Warm-up / calibration: grow the batch until it is long enough
+        // to time reliably.
+        let mut iters = 1u64;
+        let mut per_iter;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            per_iter = if b.iters == 0 {
+                Duration::ZERO
+            } else {
+                b.elapsed / b.iters as u32
+            };
+            if b.elapsed >= self.measure_for || iters >= 1 << 24 {
+                break;
+            }
+            // Aim directly at the target window, with headroom.
+            let needed = (self.measure_for.as_nanos() as u64)
+                .saturating_div(per_iter.as_nanos().max(1) as u64)
+                .clamp(iters * 2, 1 << 24);
+            iters = needed;
+        }
+        println!("{:<40} {:>12.1?}/iter ({} iters)", id, per_iter, iters);
+        self
+    }
+}
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion {
+            measure_for: Duration::from_millis(1),
+        };
+        let mut runs = 0u64;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+}
