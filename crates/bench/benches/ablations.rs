@@ -87,7 +87,11 @@ fn quorum_round(sim: &Sim, eps: &[Endpoint], peers: &[NodeId]) -> Duration {
 fn ablation_wait_style() {
     let mut t = Table::new(
         "Ablation: per-RPC sequential waits vs one QuorumEvent (3 peers, 200 rounds)",
-        &["Peer state", "Sequential wait (ms/round)", "QuorumEvent (ms/round)"],
+        &[
+            "Peer state",
+            "Sequential wait (ms/round)",
+            "QuorumEvent (ms/round)",
+        ],
     );
     for slow in [false, true] {
         let (sim, world, eps) = echo_cluster(4, RpcCfg::default().buffer);
@@ -102,7 +106,11 @@ fn ablation_wait_style() {
             quo += quorum_round(&sim, &eps, &peers);
         }
         t.row(vec![
-            if slow { "one peer +400ms".into() } else { "all healthy".to_string() },
+            if slow {
+                "one peer +400ms".into()
+            } else {
+                "all healthy".to_string()
+            },
             format!("{:.3}", seq.as_secs_f64() * 1e3 / 200.0),
             format!("{:.3}", quo.as_secs_f64() * 1e3 / 200.0),
         ]);
@@ -114,7 +122,12 @@ fn ablation_wait_style() {
 fn ablation_buffers() {
     let mut t = Table::new(
         "Ablation: outgoing-buffer policy vs queue to a CPU-starved peer (2000 broadcasts)",
-        &["Policy", "Queued msgs to slow peer", "Dropped", "Sender mem (MiB over baseline)"],
+        &[
+            "Policy",
+            "Queued msgs to slow peer",
+            "Dropped",
+            "Sender mem (MiB over baseline)",
+        ],
     );
     let policies: [(&str, BufferPolicy, bool); 3] = [
         ("Unbounded (legacy)", BufferPolicy::Unbounded, false),
@@ -179,7 +192,12 @@ fn ablation_entrycache() {
         .unwrap_or(5u64);
     let mut t = Table::new(
         "Ablation: SyncRaft EntryCache size vs slow-follower impact",
-        &["Cache (KiB)", "Tput healthy (req/s)", "Tput w/ net-slow follower", "Ratio"],
+        &[
+            "Cache (KiB)",
+            "Tput healthy (req/s)",
+            "Tput w/ net-slow follower",
+            "Ratio",
+        ],
     );
     // The cache size is part of bench_raft_cfg; sweep via its override. A
     // +400 ms follower lags ~1 MiB of entries at this throughput, so the
@@ -275,7 +293,14 @@ fn ablation_chain_vs_quorum() {
 
     let mut t = Table::new(
         "Ablation: chain replication vs quorum under one fail-slow member",
-        &["System", "Tput healthy", "Tput w/ slow member", "Ratio", "P99 healthy (ms)", "P99 slow (ms)"],
+        &[
+            "System",
+            "Tput healthy",
+            "Tput w/ slow member",
+            "Ratio",
+            "P99 healthy (ms)",
+            "P99 slow (ms)",
+        ],
     );
     for kind in [RaftKind::DepFast, RaftKind::Chain] {
         let make = |fault| {

@@ -21,15 +21,23 @@
 //! series (`sim.*`, `rpc.*`, `event.*`, `raft.*`) that let an operator
 //! attribute a collapse to a fault class and name the slow follower
 //! without touching the workload numbers. See `docs/OBSERVABILITY.md`.
+//!
+//! Pass `--chrome-trace <path>` (and/or `--trace-out <path>`) to instead
+//! run ONE short fully-traced DepFastRaft experiment with a disk-slow
+//! follower and write the request span trees as Chrome `trace_event`
+//! JSON (load in Perfetto) / as a raw record dump for the
+//! `depfast-trace` binary. Deterministic: same seed, byte-identical
+//! files.
 
 use std::time::Duration;
 
 use depfast_bench::{
-    format_ms, run_experiment, run_experiment_instrumented, write_metrics_csv, ExperimentCfg,
-    Table,
+    format_ms, run_experiment, run_experiment_instrumented, run_experiment_traced,
+    write_metrics_csv, ExperimentCfg, Table,
 };
 use depfast_fault::FaultKind;
 use depfast_raft::cluster::RaftKind;
+use depfast_trace_analysis as trace_analysis;
 use depfast_ycsb::driver::RunStats;
 
 fn env_u64(name: &str, default: u64) -> u64 {
@@ -52,7 +60,59 @@ fn run_one(cfg: &ExperimentCfg, metrics: bool, run_name: &str) -> RunStats {
     run.stats
 }
 
+/// `--flag <value>` extraction from the bench's raw argv.
+fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// The `--chrome-trace` / `--trace-out` mode: one short, fully-traced,
+/// fixed-seed DepFastRaft run with a disk-slow follower (node 2).
+fn trace_export(chrome: Option<String>, raw: Option<String>) {
+    let cfg = ExperimentCfg {
+        kind: RaftKind::DepFast,
+        n_clients: 32,
+        warmup: Duration::from_millis(500),
+        measure: Duration::from_secs(1),
+        records: 10_000,
+        fault: Some((
+            depfast_bench::FaultTarget::Followers(vec![2]),
+            FaultKind::DiskSlow { bw_factor: 0.008 },
+        )),
+        ..ExperimentCfg::default()
+    };
+    eprintln!(
+        "[fig1] traced run (DepFastRaft, disk-slow follower 2, seed {})...",
+        cfg.seed
+    );
+    let (stats, records) = run_experiment_traced(&cfg);
+    eprintln!(
+        "[fig1] {} records, {:.0} req/s over the traced window",
+        records.len(),
+        stats.throughput
+    );
+    let index = trace_analysis::TraceIndex::build(&records);
+    print!("{}", trace_analysis::blame_report(&index).table(12));
+    if let Some(path) = chrome {
+        std::fs::write(&path, trace_analysis::chrome_trace(&index)).expect("write chrome trace");
+        println!("[chrome-trace] {path} (open in Perfetto or chrome://tracing)");
+    }
+    if let Some(path) = raw {
+        std::fs::write(&path, trace_analysis::serialize_records(&records))
+            .expect("write raw trace");
+        println!("[trace-out] {path} (analyze with `cargo run -p depfast-bench --bin depfast-trace -- {path}`)");
+    }
+}
+
 fn main() {
+    let chrome = arg_value("--chrome-trace");
+    let raw = arg_value("--trace-out");
+    if chrome.is_some() || raw.is_some() {
+        trace_export(chrome, raw);
+        return;
+    }
     let metrics = std::env::args().any(|a| a == "--metrics");
     let measure = Duration::from_secs(env_u64("FIG1_MEASURE_SECS", 10));
     let clients = env_u64("FIG1_CLIENTS", 256) as usize;
@@ -81,11 +141,7 @@ fn main() {
             ..ExperimentCfg::default()
         };
         eprintln!("[fig1] {} baseline...", kind.name());
-        let base = run_one(
-            &base_cfg,
-            metrics,
-            &format!("{}_no_slowness", kind.name()),
-        );
+        let base = run_one(&base_cfg, metrics, &format!("{}_no_slowness", kind.name()));
         let rows = |t: &mut Table, cond: &str, value: String, norm: String| {
             t.row(vec![kind.name().to_string(), cond.to_string(), value, norm]);
         };

@@ -62,7 +62,9 @@ fn main() {
             sim.spawn(async move {
                 for i in 0..200u32 {
                     let key = Bytes::from(format!("key-{c}-{i}"));
-                    let _ = cl.clients[c].transact(vec![(key, Bytes::from(vec![0u8; 64]))]).await;
+                    let _ = cl.clients[c]
+                        .transact(vec![(key, Bytes::from(vec![0u8; 64]))])
+                        .await;
                 }
             })
         })
@@ -73,7 +75,7 @@ fn main() {
     sim.run_until_time(sim.now() + Duration::from_millis(200));
     cluster.tracer.set_record_full(false);
 
-    let records = cluster.tracer.records();
+    let records = cluster.tracer.take_records();
     let spg = spg::build(&records);
 
     let mut table = Table::new(
@@ -121,7 +123,10 @@ fn main() {
     let follower_s2: BTreeSet<NodeId> = [NodeId(1)].into();
     let impact_follower = verify::propagation_impact(&spg, &follower_s2);
     let show = |set: &BTreeSet<NodeId>| {
-        set.iter().map(|n| name_of(*n)).collect::<Vec<_>>().join(", ")
+        set.iter()
+            .map(|n| name_of(*n))
+            .collect::<Vec<_>>()
+            .join(", ")
     };
     println!(
         "Impact of slow leader s1:   {{{}}}  (paper: \"the clients wait for leader \
@@ -132,8 +137,18 @@ fn main() {
         "Impact of slow follower s2: {{{}}}  (absorbed by the 2/3 quorum)",
         show(&impact_follower)
     );
-    assert!(violations.is_empty(), "DepFastRaft must have no red intra-quorum edges");
-    assert!(impact_leader.len() > 1, "slow leader must impact its client");
-    assert_eq!(impact_follower.len(), 1, "slow follower must impact nobody else");
+    assert!(
+        violations.is_empty(),
+        "DepFastRaft must have no red intra-quorum edges"
+    );
+    assert!(
+        impact_leader.len() > 1,
+        "slow leader must impact its client"
+    );
+    assert_eq!(
+        impact_follower.len(),
+        1,
+        "slow follower must impact nobody else"
+    );
     println!("\nFigure 2 checks passed.");
 }

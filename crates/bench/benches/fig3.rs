@@ -23,8 +23,7 @@
 use std::time::Duration;
 
 use depfast_bench::{
-    format_ms, run_experiment, run_experiment_instrumented, write_metrics_csv, ExperimentCfg,
-    Table,
+    format_ms, run_experiment, run_experiment_instrumented, write_metrics_csv, ExperimentCfg, Table,
 };
 use depfast_fault::FaultKind;
 use depfast_raft::cluster::RaftKind;
@@ -97,7 +96,10 @@ fn main() {
             "--".into(),
         ]);
         for fault in faults {
-            eprintln!("[fig3] {n_servers} nodes + {} on {slow_followers} follower(s)...", fault.name());
+            eprintln!(
+                "[fig3] {n_servers} nodes + {} on {slow_followers} follower(s)...",
+                fault.name()
+            );
             let stats = run_one(
                 &ExperimentCfg {
                     fault: Some((ExperimentCfg::followers(slow_followers), fault)),

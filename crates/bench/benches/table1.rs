@@ -37,7 +37,9 @@ fn measure_fsync(sim: &Sim, world: &World) -> Duration {
     sim.block_on(async move {
         let t0 = s.now();
         for _ in 0..50 {
-            w.disk(NODE, DiskOp::Fsync { bytes: 64 * 1024 }).await.unwrap();
+            w.disk(NODE, DiskOp::Fsync { bytes: 64 * 1024 })
+                .await
+                .unwrap();
         }
         (s.now() - t0) / 50
     })

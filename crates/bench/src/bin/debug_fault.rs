@@ -25,47 +25,103 @@ fn main() {
             Ok("depfast") => RaftKind::DepFast,
             _ => RaftKind::Sync,
         },
-        n_clients: std::env::var("CLIENTS").ok().and_then(|v| v.parse().ok()).unwrap_or(64),
-        warmup: Duration::from_millis(std::env::var("WARMMS").ok().and_then(|v| v.parse().ok()).unwrap_or(600)),
-        measure: Duration::from_secs(std::env::var("MEASURE").ok().and_then(|v| v.parse().ok()).unwrap_or(2)),
-        records: std::env::var("RECORDS").ok().and_then(|v| v.parse().ok()).unwrap_or(10_000),
-        fault: std::env::var("FAULT").ok().filter(|f| !f.is_empty()).map(|f| {
-            let t = FaultKind::table1(mem_contention_limit());
-            (FaultTarget::Followers(vec![1]), match f.as_str() {
-                "cpu" => t[0],
-                "cpuc" => t[1],
-                "disk" => t[2],
-                "diskc" => t[3],
-                "mem" => t[4],
-                "net" => t[5],
-                _ => panic!("unknown fault"),
-            })
-        }),
+        n_clients: std::env::var("CLIENTS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64),
+        warmup: Duration::from_millis(
+            std::env::var("WARMMS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(600),
+        ),
+        measure: Duration::from_secs(
+            std::env::var("MEASURE")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(2),
+        ),
+        records: std::env::var("RECORDS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10_000),
+        fault: std::env::var("FAULT")
+            .ok()
+            .filter(|f| !f.is_empty())
+            .map(|f| {
+                let t = FaultKind::table1(mem_contention_limit());
+                (
+                    FaultTarget::Followers(vec![1]),
+                    match f.as_str() {
+                        "cpu" => t[0],
+                        "cpuc" => t[1],
+                        "disk" => t[2],
+                        "diskc" => t[3],
+                        "mem" => t[4],
+                        "net" => t[5],
+                        _ => panic!("unknown fault"),
+                    },
+                )
+            }),
         ..ExperimentCfg::default()
     };
     // replicate run_experiment with instrumentation
     let sim = Sim::new(cfg.seed);
     let world = World::new(sim.clone(), bench_world_cfg(cfg.n_servers + cfg.n_clients));
-    let cluster = Rc::new(KvCluster::build_tuned(&sim, &world, cfg.kind, 3, cfg.n_clients, bench_raft_cfg(), bench_serve_cpu()));
+    let cluster = Rc::new(KvCluster::build_tuned(
+        &sim,
+        &world,
+        cfg.kind,
+        3,
+        cfg.n_clients,
+        bench_raft_cfg(),
+        bench_serve_cpu(),
+    ));
     if let Some((FaultTarget::Followers(ids), kind)) = &cfg.fault {
         for id in ids {
             depfast_fault::inject_at(&sim, &world, NodeId(*id), *kind, cfg.warmup / 2, None);
         }
     }
-    let stats = depfast_ycsb::driver::run_workload(&sim, &world, &cluster,
-        depfast_ycsb::workload::WorkloadSpec::update_heavy().with_records(cfg.records).with_value_size(cfg.value_size),
-        depfast_ycsb::driver::DriverCfg { warmup: cfg.warmup, measure: cfg.measure, seed: cfg.seed ^ 0x5eed });
-    println!("tput={:.0} p50={:?} p99={:?} errors={} crashed={} leader_mem={:.1}GB", stats.throughput, stats.latency.p50, stats.latency.p99, stats.errors, stats.server_crashed, world.mem_used(NodeId(0)) as f64 / 1e9);
-    println!("leader commit={} applied={} pending={} inbox_peak(l)={} conn_q1={} conn_q2={}",
-        cluster.raft.servers[0].core().commit.get(), cluster.raft.servers[0].core().applied(),
+    let stats = depfast_ycsb::driver::run_workload(
+        &sim,
+        &world,
+        &cluster,
+        depfast_ycsb::workload::WorkloadSpec::update_heavy()
+            .with_records(cfg.records)
+            .with_value_size(cfg.value_size),
+        depfast_ycsb::driver::DriverCfg {
+            warmup: cfg.warmup,
+            measure: cfg.measure,
+            seed: cfg.seed ^ 0x5eed,
+        },
+    );
+    println!(
+        "tput={:.0} p50={:?} p99={:?} errors={} crashed={} leader_mem={:.1}GB",
+        stats.throughput,
+        stats.latency.p50,
+        stats.latency.p99,
+        stats.errors,
+        stats.server_crashed,
+        world.mem_used(NodeId(0)) as f64 / 1e9
+    );
+    println!(
+        "leader commit={} applied={} pending={} inbox_peak(l)={} conn_q1={} conn_q2={}",
+        cluster.raft.servers[0].core().commit.get(),
+        cluster.raft.servers[0].core().applied(),
         cluster.raft.servers[0].core().pending.borrow().len(),
         cluster.raft.endpoints[0].inbox_peak(),
         cluster.raft.endpoints[0].conn(NodeId(1)).queue_len(),
-        cluster.raft.endpoints[0].conn(NodeId(2)).queue_len());
+        cluster.raft.endpoints[0].conn(NodeId(2)).queue_len()
+    );
     let leader = cluster.raft.servers[0].core();
-    println!("leader cache hits={} misses={} next1={} next2={} last={}",
-        leader.log.cache_hits(), leader.log.cache_misses(),
-        leader.next_index(NodeId(1)), leader.next_index(NodeId(2)), leader.log.last_index());
+    println!(
+        "leader cache hits={} misses={} next1={} next2={} last={}",
+        leader.log.cache_hits(),
+        leader.log.cache_misses(),
+        leader.next_index(NodeId(1)),
+        leader.next_index(NodeId(2)),
+        leader.log.last_index()
+    );
     let f1 = cluster.raft.servers[1].core();
     println!("f1: last={} applied={} wal_batches={} wal_bytes={} svc_fsync64k={:?} cpu_rate={} mem_slow={:.1}",
         f1.log.last_index(), f1.applied(), f1.log.wal().synced_batches(), f1.log.wal().synced_bytes(),

@@ -1,0 +1,72 @@
+//! `depfast-trace` — offline critical-path blame analysis of a recorded
+//! trace, no simulation re-run required.
+//!
+//! ```text
+//! depfast-trace <dump.trace> [--top N] [--chrome <out.json>]
+//! ```
+//!
+//! The input is a raw record dump written by `fig1 -- --trace-out
+//! <path>` (or any caller of
+//! `depfast_trace_analysis::serialize_records`). Prints the per-node,
+//! per-layer blame table; with `--chrome`, additionally converts the
+//! dump to Chrome `trace_event` JSON for Perfetto.
+
+use depfast_trace_analysis::{blame_report, chrome_trace, parse_records, TraceIndex};
+
+fn usage() -> ! {
+    eprintln!("usage: depfast-trace <dump.trace> [--top N] [--chrome <out.json>]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input = None;
+    let mut top = 12usize;
+    let mut chrome_out = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--top" => {
+                i += 1;
+                top = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--chrome" => {
+                i += 1;
+                chrome_out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--help" | "-h" => usage(),
+            other if input.is_none() && !other.starts_with('-') => {
+                input = Some(other.to_string());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let Some(input) = input else { usage() };
+    let text = match std::fs::read_to_string(&input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("depfast-trace: cannot read {input}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let records = match parse_records(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("depfast-trace: {input}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let index = TraceIndex::build(&records);
+    print!("{}", blame_report(&index).table(top));
+    if let Some(path) = chrome_out {
+        if let Err(e) = std::fs::write(&path, chrome_trace(&index)) {
+            eprintln!("depfast-trace: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("[chrome-trace] {path}");
+    }
+}

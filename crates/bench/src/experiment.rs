@@ -134,17 +134,36 @@ pub struct ExperimentRun {
 
 /// Runs one experiment end to end and returns its statistics.
 pub fn run_experiment(cfg: &ExperimentCfg) -> RunStats {
-    run(cfg, None).stats
+    run(cfg, None, None).stats
 }
 
 /// Like [`run_experiment`], but additionally samples the cluster's
 /// metric registry every `sample_every` of virtual time and returns the
 /// registry plus the recorded time series, ready for CSV export.
 pub fn run_experiment_instrumented(cfg: &ExperimentCfg, sample_every: Duration) -> ExperimentRun {
-    run(cfg, Some(sample_every))
+    run(cfg, Some(sample_every), None)
 }
 
-fn run(cfg: &ExperimentCfg, sample_every: Option<Duration>) -> ExperimentRun {
+/// Like [`run_experiment`], but with full causal tracing enabled for the
+/// whole run: returns the statistics plus every trace record collected,
+/// ready for [`depfast_trace_analysis`]'s blame report or Chrome export.
+/// The run is deterministic, so same-seed calls return identical record
+/// streams.
+pub fn run_experiment_traced(cfg: &ExperimentCfg) -> (RunStats, Vec<depfast::TraceRecord>) {
+    let records = Rc::new(RefCell::new(Vec::new()));
+    let stats = run(cfg, None, Some(records.clone())).stats;
+    let records = records.take();
+    (stats, records)
+}
+
+fn run(
+    cfg: &ExperimentCfg,
+    sample_every: Option<Duration>,
+    trace_into: Option<Rc<RefCell<Vec<depfast::TraceRecord>>>>,
+) -> ExperimentRun {
+    // Runs must not inherit a causal context left in the ambient slot by
+    // an earlier experiment in the same process: traces would differ.
+    depfast::set_trace_ctx(None);
     let sim = Sim::new(cfg.seed);
     let world = World::new(sim.clone(), bench_world_cfg(cfg.n_servers + cfg.n_clients));
     let metrics = world.metrics();
@@ -157,6 +176,9 @@ fn run(cfg: &ExperimentCfg, sample_every: Option<Duration>) -> ExperimentRun {
         bench_raft_cfg(),
         bench_serve_cpu(),
     ));
+    if trace_into.is_some() {
+        cluster.raft.tracer.set_record_full(true);
+    }
     let interval = sample_every.unwrap_or(Duration::from_millis(100));
     let sampler = Rc::new(RefCell::new(Sampler::new(
         metrics.clone(),
@@ -197,6 +219,10 @@ fn run(cfg: &ExperimentCfg, sample_every: Option<Duration>) -> ExperimentRun {
             seed: cfg.seed ^ 0x5eed,
         },
     );
+    if let Some(sink) = trace_into {
+        cluster.raft.tracer.set_record_full(false);
+        *sink.borrow_mut() = cluster.raft.tracer.take_records();
+    }
     // The sampling task still holds a clone of the cell; swap the
     // sampler out rather than trying to unwrap the Rc.
     let sampler = sampler.replace(Sampler::new(MetricsRegistry::new(), 1));

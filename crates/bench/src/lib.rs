@@ -19,6 +19,7 @@ pub mod experiment;
 pub mod report;
 
 pub use experiment::{
-    run_experiment, run_experiment_instrumented, ExperimentCfg, ExperimentRun, FaultTarget,
+    run_experiment, run_experiment_instrumented, run_experiment_traced, ExperimentCfg,
+    ExperimentRun, FaultTarget,
 };
 pub use report::{format_ms, slug, write_metrics_csv, Table};

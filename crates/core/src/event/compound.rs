@@ -58,7 +58,11 @@ impl AndEvent {
     pub fn labeled(rt: &Runtime, label: &'static str) -> Self {
         AndEvent {
             handle: EventHandle::new(rt, EventKind::And, label),
-            state: Rc::new(RefCell::new(CState { n: 0, ok: 0, err: 0 })),
+            state: Rc::new(RefCell::new(CState {
+                n: 0,
+                ok: 0,
+                err: 0,
+            })),
         }
     }
 
@@ -121,7 +125,11 @@ impl OrEvent {
     pub fn labeled(rt: &Runtime, label: &'static str) -> Self {
         OrEvent {
             handle: EventHandle::new(rt, EventKind::Or, label),
-            state: Rc::new(RefCell::new(CState { n: 0, ok: 0, err: 0 })),
+            state: Rc::new(RefCell::new(CState {
+                n: 0,
+                ok: 0,
+                err: 0,
+            })),
         }
     }
 

@@ -9,7 +9,7 @@ use std::time::Duration;
 
 use simkit::{NodeId, SimTime};
 
-use crate::runtime::{current_coro, current_coro_label, Runtime};
+use crate::runtime::{current_coro, current_coro_label, trace_ctx, Runtime};
 use crate::trace::TraceRecord;
 
 /// Identifier of an event, unique within one [`Tracer`](crate::Tracer)
@@ -76,6 +76,15 @@ pub enum EventKind {
     And,
     /// Any-of compound event.
     Or,
+    /// Driver-annotated phase of request processing (WAL append, inline
+    /// cold read, flow-control probe, ...). Nothing waits on phase events;
+    /// they exist so critical-path analysis can decompose a driver's time
+    /// and charge it to `blame` — the node whose slowness the phase's
+    /// duration evidences (often the annotating node itself).
+    Phase {
+        /// Node this phase's duration is charged to.
+        blame: NodeId,
+    },
 }
 
 impl EventKind {
@@ -90,6 +99,7 @@ impl EventKind {
             EventKind::Quorum => "quorum",
             EventKind::And => "and",
             EventKind::Or => "or",
+            EventKind::Phase { .. } => "phase",
         }
     }
 }
@@ -154,6 +164,7 @@ impl EventHandle {
             event: id,
             kind,
             label,
+            ctx: trace_ctx(),
         });
         EventHandle {
             rt: rt.clone(),
@@ -370,6 +381,48 @@ impl Future for Wait {
         }
         h.register_waker(cx.waker().clone());
         Poll::Pending
+    }
+}
+
+/// RAII annotation of one *phase* of request processing inside a driver
+/// (WAL append, inline cold read, commit wait, ...).
+///
+/// A phase span is an ordinary event of kind [`EventKind::Phase`]: created
+/// when the phase begins, fired `Ok` when it ends (or when the span is
+/// dropped), carrying the ambient [`TraceCtx`](crate::TraceCtx) like any
+/// other event. Nothing ever waits on it — it exists purely so trace
+/// analysis can decompose where a driver's wall-clock time went and charge
+/// each slice to the node named by `blame`.
+pub struct PhaseSpan {
+    handle: EventHandle,
+}
+
+impl PhaseSpan {
+    /// Opens a phase charged to the annotating node itself.
+    pub fn begin(rt: &Runtime, label: &'static str) -> Self {
+        Self::begin_blaming(rt, label, rt.node())
+    }
+
+    /// Opens a phase whose duration is charged to `blame` (e.g. an inline
+    /// cold read performed *for* a lagging peer).
+    pub fn begin_blaming(rt: &Runtime, label: &'static str, blame: NodeId) -> Self {
+        PhaseSpan {
+            handle: EventHandle::with_sampling(rt, EventKind::Phase { blame }, label, false),
+        }
+    }
+
+    /// The underlying event.
+    pub fn handle(&self) -> &EventHandle {
+        &self.handle
+    }
+
+    /// Closes the phase explicitly (dropping the span does the same).
+    pub fn end(self) {}
+}
+
+impl Drop for PhaseSpan {
+    fn drop(&mut self) {
+        self.handle.fire(Signal::Ok);
     }
 }
 

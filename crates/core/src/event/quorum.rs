@@ -191,7 +191,11 @@ impl QuorumEvent {
         let label = self.handle.label();
         let waited = rt.now() - self.handle.created_at();
         metrics
-            .histogram(Key::tagged("event.quorum.wait", self.handle.node().0, label))
+            .histogram(Key::tagged(
+                "event.quorum.wait",
+                self.handle.node().0,
+                label,
+            ))
             .record(waited);
         for child in self.state.borrow().children.iter() {
             if child.fired().is_none() {

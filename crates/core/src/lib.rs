@@ -55,8 +55,8 @@ pub mod trace;
 pub mod verify;
 
 pub use event::{
-    AndEvent, EventHandle, EventId, EventKind, Notify, OrEvent, QuorumEvent, Signal, TimerEvent,
-    TypedEvent, ValueEvent, WaitResult, Watchable,
+    AndEvent, EventHandle, EventId, EventKind, Notify, OrEvent, PhaseSpan, QuorumEvent, Signal,
+    TimerEvent, TypedEvent, ValueEvent, WaitResult, Watchable,
 };
-pub use runtime::{CoroId, Coroutine, Runtime};
-pub use trace::{TraceRecord, Tracer};
+pub use runtime::{set_trace_ctx, trace_ctx, CoroId, Coroutine, Runtime};
+pub use trace::{SpanId, TraceCtx, TraceRecord, Tracer};

@@ -21,7 +21,7 @@ use std::time::Duration;
 
 use simkit::{LocalBoxFuture, NodeId, Sim, SimTime};
 
-use crate::trace::{TraceRecord, Tracer};
+use crate::trace::{TraceCtx, TraceRecord, Tracer};
 
 /// Identifier of a coroutine, unique within one [`Tracer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -191,6 +191,7 @@ impl Future for DriverSleep {
 
 thread_local! {
     static CURRENT_CORO: Cell<Option<(NodeId, CoroId, &'static str)>> = const { Cell::new(None) };
+    static CURRENT_TRACE: Cell<Option<TraceCtx>> = const { Cell::new(None) };
 }
 
 /// The coroutine currently being polled, if any (node, coroutine id).
@@ -201,6 +202,24 @@ pub(crate) fn current_coro() -> Option<(NodeId, CoroId)> {
 /// The label of the coroutine currently being polled, if any.
 pub(crate) fn current_coro_label() -> Option<&'static str> {
     CURRENT_CORO.with(|c| c.get()).map(|(_, _, l)| l)
+}
+
+/// The causal context of the coroutine currently being polled, if any.
+///
+/// The context is per-coroutine state: it survives awaits, is inherited by
+/// coroutines spawned while it is set, and is stamped onto every event the
+/// coroutine creates (and every RPC it sends).
+pub fn trace_ctx() -> Option<TraceCtx> {
+    CURRENT_TRACE.with(|c| c.get())
+}
+
+/// Replaces the current coroutine's causal context.
+///
+/// Outside a coroutine poll this still sets the ambient context for the
+/// remainder of the synchronous call, which covers events created from
+/// plain callbacks; it does not persist anywhere.
+pub fn set_trace_ctx(ctx: Option<TraceCtx>) {
+    CURRENT_TRACE.with(|c| c.set(ctx));
 }
 
 /// The coroutine interface (§3.1): launch logic tasks with identity.
@@ -230,6 +249,20 @@ impl Coroutine {
         label: &'static str,
         fut: impl Future<Output = ()> + 'static,
     ) -> CoroId {
+        // A coroutine spawned while a causal context is active belongs to
+        // the same request: inherit the ambient context.
+        Self::create_traced(rt, label, trace_ctx(), fut)
+    }
+
+    /// Spawns `fut` as a labelled coroutine carrying an explicit causal
+    /// context (used by the RPC layer to resume the context an envelope
+    /// carried across nodes). `None` severs inheritance.
+    pub fn create_traced(
+        rt: &Runtime,
+        label: &'static str,
+        trace: Option<TraceCtx>,
+        fut: impl Future<Output = ()> + 'static,
+    ) -> CoroId {
         let id = rt.tracer().next_coro_id();
         let node = rt.node();
         let t = rt.now();
@@ -238,18 +271,22 @@ impl Coroutine {
             node,
             coro: id,
             label,
+            ctx: trace,
         });
         rt.spawn(Scoped {
             ctx: (node, id, label),
+            trace: Cell::new(trace),
             fut,
         });
         id
     }
 }
 
-/// Wrapper future that exposes coroutine identity during polls.
+/// Wrapper future that exposes coroutine identity (and carries the
+/// coroutine's causal context) during polls.
 struct Scoped<F> {
     ctx: (NodeId, CoroId, &'static str),
+    trace: Cell<Option<TraceCtx>>,
     fut: F,
 }
 
@@ -259,12 +296,16 @@ impl<F: Future> Future for Scoped<F> {
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<F::Output> {
         // SAFETY: we never move `fut` out of the pinned wrapper; this is
         // standard structural pinning of the only non-`Unpin` field.
-        let (ctx, fut) = unsafe {
+        let (ctx, trace, fut) = unsafe {
             let this = self.get_unchecked_mut();
-            (this.ctx, Pin::new_unchecked(&mut this.fut))
+            (this.ctx, &this.trace, Pin::new_unchecked(&mut this.fut))
         };
         let prev = CURRENT_CORO.with(|c| c.replace(Some(ctx)));
+        let prev_trace = CURRENT_TRACE.with(|c| c.replace(trace.get()));
         let out = fut.poll(cx);
+        // Read the ambient slot back so a mid-poll `set_trace_ctx` sticks
+        // to this coroutine across awaits.
+        trace.set(CURRENT_TRACE.with(|c| c.replace(prev_trace)));
         CURRENT_CORO.with(|c| c.set(prev));
         out
     }
@@ -332,6 +373,61 @@ mod tests {
             let v = rt.rand_range(10, 20);
             assert!((10..20).contains(&v));
         }
+    }
+
+    #[test]
+    fn trace_ctx_sticks_to_coroutine_and_is_inherited() {
+        use crate::trace::SpanId;
+        let sim = Sim::new(1);
+        let rt = Runtime::new_sim(sim.clone(), NodeId(0));
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let s = seen.clone();
+        let rt2 = rt.clone();
+        let ctx = TraceCtx {
+            trace_id: 7,
+            parent_span: SpanId::NONE,
+        };
+        Coroutine::create(&rt, "outer", async move {
+            assert_eq!(trace_ctx(), None);
+            set_trace_ctx(Some(ctx));
+            // Spawned while the ctx is set: the child inherits it.
+            let s2 = s.clone();
+            Coroutine::create(&rt2, "inner", async move {
+                s2.borrow_mut().push(("inner", trace_ctx()));
+            });
+            // The ctx survives this coroutine's own awaits.
+            rt2.sleep(Duration::from_millis(1)).await;
+            s.borrow_mut().push(("outer", trace_ctx()));
+        });
+        sim.run();
+        assert_eq!(
+            *seen.borrow(),
+            vec![("inner", Some(ctx)), ("outer", Some(ctx))]
+        );
+        // The ambient slot is clean outside any poll.
+        assert_eq!(trace_ctx(), None);
+    }
+
+    #[test]
+    fn create_traced_sets_and_severs_context() {
+        use crate::trace::SpanId;
+        let sim = Sim::new(1);
+        let rt = Runtime::new_sim(sim.clone(), NodeId(0));
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let ctx = TraceCtx {
+            trace_id: 3,
+            parent_span: SpanId::coro(CoroId(99)),
+        };
+        let s1 = seen.clone();
+        Coroutine::create_traced(&rt, "with", Some(ctx), async move {
+            s1.borrow_mut().push(trace_ctx());
+        });
+        let s2 = seen.clone();
+        Coroutine::create_traced(&rt, "without", None, async move {
+            s2.borrow_mut().push(trace_ctx());
+        });
+        sim.run();
+        assert_eq!(*seen.borrow(), vec![Some(ctx), None]);
     }
 
     #[test]

@@ -259,11 +259,45 @@ fn collect_groups(
             push(out, vec![target], 1, 1, 1, EdgeKind::Singular);
         }
         EventKind::Quorum => {
-            let (targets, local) = split_children(events, &info.children);
             let n_children = info.children.len();
             let (k, _n) = wait_quorum
                 .or(info.quorum_meta)
                 .unwrap_or((n_children / 2 + 1, n_children));
+            // An all-mode quorum over compound children — a quorum of
+            // quorums — requires every child individually, so each nested
+            // quorum keeps its own threshold (recovered from the
+            // `parent_meta` snapshots in `ChildAdded` records). Partial
+            // (k < n) outer thresholds over compound children stay
+            // flattened below: the flat WaitGroup form cannot express
+            // "k of these sub-requirements".
+            let compound: Vec<EventId> = info
+                .children
+                .iter()
+                .copied()
+                .filter(|c| {
+                    matches!(
+                        events.get(c).map(|i| i.kind),
+                        Some(EventKind::Quorum | EventKind::And | EventKind::Or)
+                    )
+                })
+                .collect();
+            if k == n_children && !compound.is_empty() {
+                for c in &compound {
+                    let meta = events.get(c).and_then(|i| i.quorum_meta);
+                    collect_groups(events, *c, meta, waiter, coro, coro_label, t, out);
+                }
+                let simple: Vec<EventId> = info
+                    .children
+                    .iter()
+                    .copied()
+                    .filter(|c| !compound.contains(c))
+                    .collect();
+                let (targets, local) = split_children(events, &simple);
+                let k_remote = simple.len().saturating_sub(local);
+                push(out, targets, k_remote, k, n_children, EdgeKind::Quorum);
+                return;
+            }
+            let (targets, local) = split_children(events, &info.children);
             // Local children (own disk write, self vote) are assumed to
             // succeed; the remote requirement shrinks accordingly.
             let k_remote = k.saturating_sub(local);

@@ -15,16 +15,79 @@ use std::collections::HashMap;
 use std::rc::Rc;
 use std::time::Duration;
 
-use depfast_metrics::{Key, MetricsRegistry};
+use depfast_metrics::{Counter, Key, MetricsRegistry};
 use simkit::{NodeId, SimTime};
 
 use crate::event::{EventId, EventKind, Signal, WaitResult};
 use crate::runtime::CoroId;
 
+/// Identifier of a span in a request's causal tree.
+///
+/// Spans are not a third id space: every span *is* either an event or a
+/// coroutine, so a `SpanId` is an [`EventId`] or a [`CoroId`] with one
+/// discriminator bit. `SpanId(0)` is reserved as "no span" for the wire
+/// encoding (the first event id maps to span 2, the first coroutine id to
+/// span 1, so 0 is never produced).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The "no span" sentinel used on the wire (`0`).
+    pub const NONE: SpanId = SpanId(0);
+
+    /// The span identifying event `e`.
+    pub fn event(e: EventId) -> SpanId {
+        SpanId((e.0 + 1) << 1)
+    }
+
+    /// The span identifying coroutine `c`.
+    pub fn coro(c: CoroId) -> SpanId {
+        SpanId(((c.0 + 1) << 1) | 1)
+    }
+
+    /// The event this span denotes, if it is an event span.
+    pub fn as_event(self) -> Option<EventId> {
+        (self.0 != 0 && self.0 & 1 == 0).then(|| EventId((self.0 >> 1) - 1))
+    }
+
+    /// The coroutine this span denotes, if it is a coroutine span.
+    pub fn as_coro(self) -> Option<CoroId> {
+        (self.0 != 0 && self.0 & 1 == 1).then(|| CoroId((self.0 >> 1) - 1))
+    }
+}
+
+/// Causal context of one client operation, propagated from the KV client
+/// through RPC envelopes into the Raft drivers (§3.3's trace analysis,
+/// taken from per-event records to per-*request* trees).
+///
+/// The context travels ambiently: every coroutine carries at most one, the
+/// runtime restores it around polls, and [`crate::trace_ctx`] /
+/// [`crate::set_trace_ctx`] read and replace the current coroutine's
+/// context. RPC envelopes carry it across nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceCtx {
+    /// The client operation this work belongs to.
+    pub trace_id: u64,
+    /// The span that caused the current work (an RPC event, a parent
+    /// coroutine, ...). [`SpanId::NONE`] at the root.
+    pub parent_span: SpanId,
+}
+
 /// One trace record. Records are self-contained: analysis never needs the
 /// live event objects.
 #[derive(Debug, Clone)]
 pub enum TraceRecord {
+    /// A new request trace was started (at the KV client, typically).
+    TraceBegin {
+        /// Virtual time.
+        t: SimTime,
+        /// Node the request originates from.
+        node: NodeId,
+        /// The allocated trace id.
+        trace_id: u64,
+        /// What the request is (e.g. `"kv_request"`).
+        label: &'static str,
+    },
     /// A coroutine was launched.
     CoroutineStart {
         /// Virtual time.
@@ -35,6 +98,8 @@ pub enum TraceRecord {
         coro: CoroId,
         /// Label given to [`Coroutine::create`](crate::Coroutine::create).
         label: &'static str,
+        /// Causal context inherited at spawn, if any.
+        ctx: Option<TraceCtx>,
     },
     /// An event was created.
     EventCreated {
@@ -50,6 +115,19 @@ pub enum TraceRecord {
         kind: EventKind,
         /// Waiting-point label.
         label: &'static str,
+        /// Causal context active at creation, if any.
+        ctx: Option<TraceCtx>,
+    },
+    /// Links a proposal's completion event to the replication round
+    /// (quorum event) that carries it — the hop critical-path analysis
+    /// walks from a committed command into the quorum's children.
+    RoundLink {
+        /// Virtual time.
+        t: SimTime,
+        /// The proposal's completion event.
+        proposal: EventId,
+        /// The replication round's quorum event.
+        round: EventId,
     },
     /// A child was added to a compound event.
     ChildAdded {
@@ -139,12 +217,19 @@ pub struct RpcSampleKey {
     pub label: &'static str,
 }
 
+/// Default cap on full-record collection (~a few hundred MB worst case);
+/// see [`Tracer::set_record_capacity`].
+pub const DEFAULT_RECORD_CAPACITY: usize = 4_000_000;
+
 struct TraceInner {
     record_full: bool,
     records: Vec<TraceRecord>,
+    capacity: usize,
+    dropped: Counter,
     samples: HashMap<RpcSampleKey, RpcSample>,
     next_event: u64,
     next_coro: u64,
+    next_trace: u64,
     metrics: MetricsRegistry,
 }
 
@@ -176,9 +261,13 @@ impl Tracer {
             inner: Rc::new(RefCell::new(TraceInner {
                 record_full: false,
                 records: Vec::new(),
+                capacity: DEFAULT_RECORD_CAPACITY,
+                dropped: metrics.counter(Key::global("trace.dropped")),
                 samples: HashMap::new(),
                 next_event: 0,
                 next_coro: 0,
+                // Trace id 0 is the wire's "untraced" sentinel.
+                next_trace: 1,
                 metrics,
             })),
         }
@@ -215,13 +304,34 @@ impl Tracer {
         CoroId(id)
     }
 
+    /// Allocates a cluster-unique trace (client-operation) id. Ids start
+    /// at 1; `0` is reserved as "untraced" in wire encodings.
+    pub fn next_trace_id(&self) -> u64 {
+        let mut inner = self.inner.borrow_mut();
+        let id = inner.next_trace;
+        inner.next_trace += 1;
+        id
+    }
+
+    /// Caps full-record collection at `cap` records. Once the buffer is
+    /// full, further records are counted in the global `trace.dropped`
+    /// metric and discarded, so `--metrics` runs with full recording
+    /// cannot exhaust memory. Default: [`DEFAULT_RECORD_CAPACITY`].
+    pub fn set_record_capacity(&self, cap: usize) {
+        self.inner.borrow_mut().capacity = cap;
+    }
+
     /// Records `make()` if full recording is on. The closure keeps the
     /// disabled path allocation-free.
     pub fn record(&self, make: impl FnOnce() -> TraceRecord) {
         let mut inner = self.inner.borrow_mut();
         if inner.record_full {
-            let rec = make();
-            inner.records.push(rec);
+            if inner.records.len() < inner.capacity {
+                let rec = make();
+                inner.records.push(rec);
+            } else {
+                inner.dropped.inc();
+            }
         }
     }
 
@@ -265,8 +375,17 @@ impl Tracer {
     }
 
     /// Snapshot of all full records collected so far.
+    ///
+    /// Clones the buffer; when the trace is consumed exactly once prefer
+    /// [`Tracer::take_records`].
     pub fn records(&self) -> Vec<TraceRecord> {
         self.inner.borrow().records.clone()
+    }
+
+    /// Moves the full-record buffer out, leaving it empty. The capacity
+    /// budget resets with it: subsequent records fill a fresh buffer.
+    pub fn take_records(&self) -> Vec<TraceRecord> {
+        std::mem::take(&mut self.inner.borrow_mut().records)
     }
 
     /// Number of full records collected so far.
@@ -277,12 +396,7 @@ impl Tracer {
     /// Drains and returns the RPC latency aggregates accumulated since the
     /// last drain. The fail-slow detector calls this periodically.
     pub fn drain_rpc_samples(&self) -> Vec<(RpcSampleKey, RpcSample)> {
-        let mut out: Vec<_> = self
-            .inner
-            .borrow_mut()
-            .samples
-            .drain()
-            .collect();
+        let mut out: Vec<_> = self.inner.borrow_mut().samples.drain().collect();
         out.sort_by_key(|(k, _)| *k);
         out
     }
@@ -354,6 +468,97 @@ mod tests {
         assert_eq!(agg.max, Duration::from_millis(4));
         // Second drain is empty.
         assert!(t.drain_rpc_samples().is_empty());
+    }
+
+    #[test]
+    fn span_ids_are_disjoint_and_invertible() {
+        let e = SpanId::event(EventId(0));
+        let c = SpanId::coro(CoroId(0));
+        assert_ne!(e, c);
+        assert_ne!(e, SpanId::NONE);
+        assert_ne!(c, SpanId::NONE);
+        assert_eq!(e.as_event(), Some(EventId(0)));
+        assert_eq!(e.as_coro(), None);
+        assert_eq!(c.as_coro(), Some(CoroId(0)));
+        assert_eq!(c.as_event(), None);
+        assert_eq!(SpanId::NONE.as_event(), None);
+        assert_eq!(SpanId::NONE.as_coro(), None);
+        assert_eq!(SpanId::event(EventId(41)).as_event(), Some(EventId(41)));
+    }
+
+    #[test]
+    fn record_capacity_caps_and_counts_drops() {
+        let r = MetricsRegistry::new();
+        let t = Tracer::with_metrics(r.clone());
+        t.set_record_full(true);
+        t.set_record_capacity(3);
+        for i in 0..5 {
+            t.record(|| TraceRecord::EventFired {
+                t: SimTime::ZERO,
+                event: EventId(i),
+                signal: Signal::Ok,
+            });
+        }
+        assert_eq!(t.record_count(), 3);
+        assert_eq!(r.counter(Key::global("trace.dropped")).get(), 2);
+        // Taking the buffer frees the budget again.
+        let taken = t.take_records();
+        assert_eq!(taken.len(), 3);
+        assert_eq!(t.record_count(), 0);
+        t.record(|| TraceRecord::EventFired {
+            t: SimTime::ZERO,
+            event: EventId(9),
+            signal: Signal::Ok,
+        });
+        assert_eq!(t.record_count(), 1);
+        assert_eq!(r.counter(Key::global("trace.dropped")).get(), 2);
+    }
+
+    #[test]
+    fn take_records_moves_the_buffer() {
+        let t = Tracer::new();
+        t.set_record_full(true);
+        t.record(|| TraceRecord::EventFired {
+            t: SimTime::ZERO,
+            event: EventId(0),
+            signal: Signal::Ok,
+        });
+        assert_eq!(t.take_records().len(), 1);
+        assert!(t.take_records().is_empty());
+    }
+
+    #[test]
+    fn drained_rpc_samples_are_ordered_under_label_collisions() {
+        // Same label used by several (caller, callee) pairs, plus two
+        // labels on the same pair: the drain order must be the total
+        // (caller, callee, label) order regardless of insertion order.
+        let t = Tracer::new();
+        let lat = Duration::from_millis(1);
+        for (caller, callee, label) in [
+            (2u32, 1u32, "append"),
+            (0, 2, "vote"),
+            (0, 2, "append"),
+            (1, 0, "append"),
+            (0, 1, "append"),
+        ] {
+            t.sample_rpc(NodeId(caller), NodeId(callee), label, lat, Signal::Ok);
+        }
+        let keys: Vec<RpcSampleKey> = t.drain_rpc_samples().into_iter().map(|(k, _)| k).collect();
+        let expect: Vec<RpcSampleKey> = [
+            (0u32, 1u32, "append"),
+            (0, 2, "append"),
+            (0, 2, "vote"),
+            (1, 0, "append"),
+            (2, 1, "append"),
+        ]
+        .into_iter()
+        .map(|(caller, callee, label)| RpcSampleKey {
+            caller: NodeId(caller),
+            callee: NodeId(callee),
+            label,
+        })
+        .collect();
+        assert_eq!(keys, expect);
     }
 
     #[test]

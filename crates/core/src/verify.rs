@@ -51,10 +51,7 @@ impl std::fmt::Display for Violation {
 /// with `"raft"`). Returns one aggregated [`Violation`] per distinct
 /// (waiter, target, coroutine label, event label), ordered
 /// deterministically.
-pub fn check_fail_slow_tolerance(
-    spg: &Spg,
-    is_critical: impl Fn(&str) -> bool,
-) -> Vec<Violation> {
+pub fn check_fail_slow_tolerance(spg: &Spg, is_critical: impl Fn(&str) -> bool) -> Vec<Violation> {
     let mut agg: BTreeMap<(u32, u32, &'static str, &'static str), u64> = BTreeMap::new();
     for g in &spg.groups {
         if g.kind != EdgeKind::Singular || !is_critical(g.coro_label) {
@@ -119,10 +116,7 @@ pub fn propagation_impact(spg: &Spg, slow: &BTreeSet<NodeId>) -> BTreeSet<NodeId
 ///
 /// Independence across targets is an approximation (shared-fate faults
 /// correlate); the result is an analytic estimate, not a bound.
-pub fn propagation_probability(
-    spg: &Spg,
-    base: &BTreeMap<NodeId, f64>,
-) -> BTreeMap<NodeId, f64> {
+pub fn propagation_probability(spg: &Spg, base: &BTreeMap<NodeId, f64>) -> BTreeMap<NodeId, f64> {
     // Collect every node and seed with its base probability.
     let mut prob: BTreeMap<NodeId, f64> = BTreeMap::new();
     for g in &spg.groups {
@@ -340,12 +334,67 @@ mod tests {
     }
 
     #[test]
+    fn propagation_with_nested_quorums_from_a_real_trace() {
+        // Quorum-of-quorums, reconstructed from trace records (not
+        // hand-built groups): a coordinator on node 0 waits for *all* of
+        // two per-shard majorities, each 2-of-3 over RPCs to that shard's
+        // replicas. The inner thresholds are recovered from the
+        // `parent_meta` snapshots in `ChildAdded` records.
+        use crate::event::{EventHandle, EventKind, QuorumEvent, QuorumMode};
+        use crate::runtime::{Coroutine, Runtime};
+        use crate::spg;
+        use simkit::Sim;
+        use std::time::Duration;
+
+        let sim = Sim::new(1);
+        let rt = Runtime::new_sim(sim.clone(), NodeId(0));
+        rt.tracer().set_record_full(true);
+        let outer = QuorumEvent::labeled(&rt, QuorumMode::All, "xshard");
+        for shard in 0..2u32 {
+            let inner = QuorumEvent::labeled(&rt, QuorumMode::Majority, "shard");
+            for replica in 1..=3u32 {
+                let target = NodeId(shard * 3 + replica);
+                let ev =
+                    EventHandle::with_sampling(&rt, EventKind::Rpc { target }, "prepare", false);
+                inner.add(&ev);
+            }
+            outer.add(&inner);
+        }
+        let o = outer.clone();
+        Coroutine::create(&rt, "txn:coordinator", async move {
+            o.wait_timeout(Duration::from_millis(5)).await;
+        });
+        sim.run();
+
+        let records = rt.tracer().take_records();
+        let s = spg::build(&records);
+        // One 2-of-3 quorum group per shard; no singular edges.
+        let quorums: Vec<_> = s
+            .groups
+            .iter()
+            .filter(|g| g.kind == EdgeKind::Quorum && g.targets.len() == 3)
+            .collect();
+        assert_eq!(quorums.len(), 2, "groups: {:?}", s.groups);
+        assert!(quorums.iter().all(|g| g.k == 2));
+        assert!(check_fail_slow_tolerance(&s, |_| true).is_empty());
+
+        // One slow replica per shard: both inner majorities absorb it.
+        let slow: BTreeSet<NodeId> = [NodeId(1), NodeId(4)].into();
+        assert_eq!(propagation_impact(&s, &slow), slow.clone());
+        // A broken majority in *either* shard stalls the coordinator,
+        // even though 4 of the 6 replicas overall are healthy.
+        let slow: BTreeSet<NodeId> = [NodeId(1), NodeId(2)].into();
+        let impacted = propagation_impact(&s, &slow);
+        assert!(impacted.contains(&NodeId(0)), "impacted: {impacted:?}");
+    }
+
+    #[test]
     fn client_impacted_via_slow_leader_despite_quorum_cluster() {
         // Figure 2's observation: clients wait 1/1 on leaders. A slow
         // leader impacts its clients even though the quorum edges within
         // the group stay green.
         let s = spg(vec![
-            group(9, &[0], 1, EdgeKind::Singular), // client -> leader
+            group(9, &[0], 1, EdgeKind::Singular),     // client -> leader
             group(0, &[1, 2, 3], 2, EdgeKind::Quorum), // leader -> followers
         ]);
         let slow: BTreeSet<NodeId> = [NodeId(0)].into();

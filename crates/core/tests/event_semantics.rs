@@ -166,7 +166,8 @@ fn fastpath_timeout_leaves_branches_inspectable() {
     }
     let fastpath = OrEvent::of2(&rt, &fast_ok, &fast_reject);
     let fp = fastpath.clone();
-    let out = sim.block_on(async move { fp.handle().wait_timeout(Duration::from_millis(100)).await });
+    let out =
+        sim.block_on(async move { fp.handle().wait_timeout(Duration::from_millis(100)).await });
     assert_eq!(out, WaitResult::Timeout);
     assert!(!fast_ok.ready());
     assert!(!fast_reject.ready());

@@ -69,6 +69,18 @@ pub struct Suspicion {
     pub at: SimTime,
 }
 
+/// An EWMA suspicion cross-checked against critical-path blame (see
+/// [`FailSlowDetector::confirm_with_blame`]).
+#[derive(Debug, Clone)]
+pub struct Confirmation {
+    /// The suspicion being checked.
+    pub suspicion: Suspicion,
+    /// Fraction of aggregate commit blame carried by the suspected node.
+    pub blame_share: f64,
+    /// `true` when the blame share corroborates the latency verdict.
+    pub confirmed: bool,
+}
+
 #[derive(Default)]
 struct Track {
     baseline_nanos: f64,
@@ -138,7 +150,41 @@ impl FailSlowDetector {
             .borrow()
             .tracks
             .iter()
-            .map(|((n, l), t)| (*n, *l, Duration::from_nanos(t.baseline_nanos as u64), t.windows))
+            .map(|((n, l), t)| {
+                (
+                    *n,
+                    *l,
+                    Duration::from_nanos(t.baseline_nanos as u64),
+                    t.windows,
+                )
+            })
+            .collect()
+    }
+
+    /// Cross-checks every suspicion raised so far against a critical-path
+    /// blame report from the same run: a suspicion is `confirmed` when
+    /// the suspected node carries at least `min_share` of aggregate
+    /// commit blame. The two signals fail differently — EWMA latency
+    /// deviation sees *any* slowness of the peer, while blame only sees
+    /// slowness that reached committed commands' critical paths — so an
+    /// unconfirmed suspicion is exactly the case the paper's quorum
+    /// structure is designed to produce: a fail-slow node that the
+    /// system provably did not wait for.
+    pub fn confirm_with_blame(
+        &self,
+        report: &depfast_trace_analysis::BlameReport,
+        min_share: f64,
+    ) -> Vec<Confirmation> {
+        self.history()
+            .into_iter()
+            .map(|suspicion| {
+                let blame_share = report.node_share(suspicion.node);
+                Confirmation {
+                    confirmed: blame_share >= min_share,
+                    blame_share,
+                    suspicion,
+                }
+            })
             .collect()
     }
 
@@ -187,9 +233,7 @@ impl FailSlowDetector {
                 }
                 let baseline = track.baseline_nanos;
                 let suspected = st.suspects.contains(&callee);
-                if !suspected
-                    && mean > baseline * cfg.factor
-                    && mean > cfg.floor.as_nanos() as f64
+                if !suspected && mean > baseline * cfg.factor && mean > cfg.floor.as_nanos() as f64
                 {
                     st.suspects.insert(callee);
                     let s = Suspicion {
@@ -333,6 +377,62 @@ mod tests {
         }
         step(&sim, cfg.poll);
         assert!(det.suspects().is_empty());
+    }
+
+    #[test]
+    fn blame_report_confirms_or_clears_suspicions() {
+        let (sim, tracer, det, cfg) = setup();
+        for _ in 0..8 {
+            feed(&tracer, 1, 1, 50);
+            step(&sim, cfg.poll);
+        }
+        feed(&tracer, 1, 40, 50);
+        step(&sim, cfg.poll);
+        assert_eq!(det.history().len(), 1);
+
+        // Blame report where node 1 carries most critical-path blame:
+        // the latency verdict is corroborated.
+        let mut guilty = depfast_trace_analysis::BlameReport {
+            commits: 1,
+            total: Duration::from_millis(10),
+            ..Default::default()
+        };
+        guilty.by.insert(
+            depfast_trace_analysis::BlameKey {
+                node: NodeId(1),
+                layer: "rpc",
+            },
+            Duration::from_millis(8),
+        );
+        guilty.by.insert(
+            depfast_trace_analysis::BlameKey {
+                node: NodeId(0),
+                layer: "apply",
+            },
+            Duration::from_millis(2),
+        );
+        let confirmations = det.confirm_with_blame(&guilty, 0.5);
+        assert_eq!(confirmations.len(), 1);
+        assert!(confirmations[0].confirmed);
+        assert!((confirmations[0].blame_share - 0.8).abs() < 1e-9);
+
+        // Blame report where the suspect never reached a critical path
+        // (the DepFast quorum absorbed it): suspicion not confirmed.
+        let mut absorbed = depfast_trace_analysis::BlameReport {
+            commits: 1,
+            total: Duration::from_millis(10),
+            ..Default::default()
+        };
+        absorbed.by.insert(
+            depfast_trace_analysis::BlameKey {
+                node: NodeId(0),
+                layer: "disk",
+            },
+            Duration::from_millis(10),
+        );
+        let confirmations = det.confirm_with_blame(&absorbed, 0.5);
+        assert!(!confirmations[0].confirmed);
+        assert_eq!(confirmations[0].blame_share, 0.0);
     }
 
     #[test]

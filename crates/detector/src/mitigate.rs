@@ -62,8 +62,7 @@ pub fn spawn_leader_mitigation(
                 if !suspect.is_leader() {
                     return; // Someone already took over.
                 }
-                let caught_up =
-                    suspect.match_index(target.id) + 8 >= suspect.log.last_index();
+                let caught_up = suspect.match_index(target.id) + 8 >= suspect.log.last_index();
                 if caught_up {
                     DepFastRaft::force_campaign(&target);
                     s.sleep(Duration::from_millis(400)).await;
@@ -116,8 +115,7 @@ mod tests {
                 ..RaftCfg::default()
             },
         ));
-        let cores: Vec<Rc<RaftCore>> =
-            cl.raft.servers.iter().map(|s| s.core().clone()).collect();
+        let cores: Vec<Rc<RaftCore>> = cl.raft.servers.iter().map(|s| s.core().clone()).collect();
         let detector = FailSlowDetector::spawn(
             &sim,
             &cl.raft.tracer,

@@ -12,7 +12,13 @@ use depfast_raft::cluster::RaftKind;
 use depfast_raft::core::{RaftCfg, RaftCore};
 use simkit::{NodeId, Sim, World, WorldCfg};
 
-fn setup() -> (Sim, World, Rc<KvCluster>, FailSlowDetector, Vec<Rc<RaftCore>>) {
+fn setup() -> (
+    Sim,
+    World,
+    Rc<KvCluster>,
+    FailSlowDetector,
+    Vec<Rc<RaftCore>>,
+) {
     let sim = Sim::new(51);
     let world = World::new(
         sim.clone(),

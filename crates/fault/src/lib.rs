@@ -130,9 +130,7 @@ impl FaultGuard {
             FaultKind::DiskSlow { .. } => self.world.set_disk_bw_factor(self.node, 1.0),
             FaultKind::DiskContention { .. } => {}
             FaultKind::MemContention { .. } => self.world.reset_mem_limit(self.node),
-            FaultKind::NetSlow { .. } => {
-                self.world.set_egress_delay(self.node, Duration::ZERO)
-            }
+            FaultKind::NetSlow { .. } => self.world.set_egress_delay(self.node, Duration::ZERO),
         }
     }
 }
@@ -162,7 +160,10 @@ pub fn inject(sim: &Sim, world: &World, node: NodeId, kind: FaultKind) -> FaultG
             });
         }
         FaultKind::DiskSlow { bw_factor } => world.set_disk_bw_factor(node, bw_factor),
-        FaultKind::DiskContention { write_bytes, period } => {
+        FaultKind::DiskContention {
+            write_bytes,
+            period,
+        } => {
             let w = world.clone();
             let s = sim.clone();
             let stop2 = stop.clone();
@@ -266,7 +267,9 @@ mod tests {
             let s2 = sim.clone();
             sim.block_on(async move {
                 let t0 = s2.now();
-                w2.disk(NodeId(0), DiskOp::Fsync { bytes: 4096 }).await.unwrap();
+                w2.disk(NodeId(0), DiskOp::Fsync { bytes: 4096 })
+                    .await
+                    .unwrap();
                 s2.now() - t0
             })
         };
@@ -284,7 +287,9 @@ mod tests {
         let s3 = sim.clone();
         let t_contended = sim.block_on(async move {
             let t0 = s3.now();
-            w3.disk(NodeId(0), DiskOp::Fsync { bytes: 4096 }).await.unwrap();
+            w3.disk(NodeId(0), DiskOp::Fsync { bytes: 4096 })
+                .await
+                .unwrap();
             s3.now() - t0
         });
         assert!(

@@ -70,6 +70,13 @@ impl KvClient {
         self.client_id
     }
 
+    /// The runtime of the client's host node. Drivers should run the
+    /// client loop as a `depfast::Coroutine` on this runtime so the
+    /// causal context set per operation stays scoped to the session.
+    pub fn runtime(&self) -> &depfast::Runtime {
+        self.ep.runtime()
+    }
+
     /// Last known leader.
     pub fn known_leader(&self) -> Option<NodeId> {
         self.leader.get()
@@ -101,6 +108,22 @@ impl KvClient {
             value,
         };
         let payload = req.to_bytes();
+        // Root of this operation's causal trace. Retries reuse the trace
+        // id: they are attempts at the *same* client operation.
+        let tracer = self.ep.runtime().tracer();
+        let trace_id = tracer.next_trace_id();
+        let node = self.ep.node();
+        let t = self.ep.runtime().now();
+        tracer.record(|| depfast::TraceRecord::TraceBegin {
+            t,
+            node,
+            trace_id,
+            label: "kv_request",
+        });
+        depfast::set_trace_ctx(Some(depfast::TraceCtx {
+            trace_id,
+            parent_span: depfast::SpanId::NONE,
+        }));
         let mut target = self
             .leader
             .get()

@@ -36,7 +36,15 @@ impl KvCluster {
         n_clients: usize,
         cfg: RaftCfg,
     ) -> Self {
-        Self::build_tuned(sim, world, kind, n_servers, n_clients, cfg, Duration::from_micros(30))
+        Self::build_tuned(
+            sim,
+            world,
+            kind,
+            n_servers,
+            n_clients,
+            cfg,
+            Duration::from_micros(30),
+        )
     }
 
     /// [`KvCluster::build`] with an explicit per-request serve CPU cost
@@ -169,10 +177,7 @@ mod tests {
         sim.block_on(async move {
             for i in 0..10u8 {
                 cl2.clients[0]
-                    .put(
-                        Bytes::from(vec![b'k', i]),
-                        Bytes::from(vec![b'v', i]),
-                    )
+                    .put(Bytes::from(vec![b'k', i]), Bytes::from(vec![b'v', i]))
                     .await
                     .unwrap();
             }

@@ -52,9 +52,7 @@ impl KvServer {
                         kv.put(req.key.clone(), req.value.clone());
                         KvResponse::ok(None)
                     }
-                    crate::command::KvOp::Get => {
-                        KvResponse::ok(kv.get(&req.key).cloned())
-                    }
+                    crate::command::KvOp::Get => KvResponse::ok(kv.get(&req.key).cloned()),
                     crate::command::KvOp::Delete => {
                         kv.delete(&req.key);
                         KvResponse::ok(None)

@@ -262,11 +262,9 @@ impl MetricsRegistry {
     /// The histogram registered under `key` (created on first use).
     pub fn histogram(&self, key: Key) -> HistogramHandle {
         let mut inner = self.inner.borrow_mut();
-        match inner
-            .metrics
-            .entry(key)
-            .or_insert_with(|| Metric::Histogram(HistogramHandle(Rc::new(RefCell::new(Histogram::new())))))
-        {
+        match inner.metrics.entry(key).or_insert_with(|| {
+            Metric::Histogram(HistogramHandle(Rc::new(RefCell::new(Histogram::new()))))
+        }) {
             Metric::Histogram(h) => h.clone(),
             _ => panic!("metric {key} already registered with a different kind"),
         }
@@ -420,8 +418,12 @@ mod tests {
     #[test]
     fn tags_separate_series_under_one_name() {
         let r = MetricsRegistry::new();
-        r.node(2).histogram_tagged("rpc.latency", "append").record_ns(10);
-        r.node(2).histogram_tagged("rpc.latency", "vote").record_ns(20);
+        r.node(2)
+            .histogram_tagged("rpc.latency", "append")
+            .record_ns(10);
+        r.node(2)
+            .histogram_tagged("rpc.latency", "vote")
+            .record_ns(20);
         let found = r.histograms_named("rpc.latency");
         assert_eq!(found.len(), 2);
         assert!(found.iter().all(|(k, _)| k.node == Some(2)));

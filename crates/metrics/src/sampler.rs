@@ -86,12 +86,8 @@ impl Sampler {
         let mut prev: Option<&SampleRow> = None;
         for row in &self.rows {
             for (k, v) in &row.values {
-                let prev_v = prev.and_then(|p| {
-                    p.values
-                        .iter()
-                        .find(|(pk, _)| pk == k)
-                        .map(|(_, pv)| *pv)
-                });
+                let prev_v =
+                    prev.and_then(|p| p.values.iter().find(|(pk, _)| pk == k).map(|(_, pv)| *pv));
                 let delta = v.scalar() - prev_v.map_or(0, |p| p.scalar());
                 let mean_ns = match (v, prev_v) {
                     (MetricValue::Histogram(h), prev) => {
@@ -187,6 +183,9 @@ mod tests {
         let csv = s.to_csv();
         // Second interval: +250 ops, histogram windowed mean (3000+5000)/2.
         assert!(csv.contains("0.020,ops,0,,counter,350,250,"), "csv:\n{csv}");
-        assert!(csv.contains("0.020,lat,0,,histogram,3,2,4000"), "csv:\n{csv}");
+        assert!(
+            csv.contains("0.020,lat,0,,histogram,3,2,4000"),
+            "csv:\n{csv}"
+        );
     }
 }

@@ -124,16 +124,23 @@ impl BacklogRaft {
                 let mut entries = Vec::with_capacity(batch.len());
                 for (i, (payload, ev)) in batch.into_iter().enumerate() {
                     let index = start + i as u64;
-                    entries.push(Entry { term, index, payload });
+                    entries.push(Entry {
+                        term,
+                        index,
+                        payload,
+                    });
                     core.pending.borrow_mut().insert(index, ev);
                 }
                 let hi = start + entries.len() as u64 - 1;
+                let phase = depfast::PhaseSpan::begin(&core.rt, "wal_append");
                 let io = core.log.append(&entries);
                 if !io.handle().wait().await.is_ready() {
                     break;
                 }
+                phase.end();
                 // Push full copies onto every follower queue — unbounded,
                 // charged to leader memory with amplification.
+                let phase = depfast::PhaseSpan::begin(&core.rt, "queue_push");
                 for q in &queues {
                     let mut fq = q.borrow_mut();
                     for e in &entries {
@@ -150,17 +157,22 @@ impl BacklogRaft {
                         w.wake();
                     }
                 }
+                phase.end();
                 if hi > core.commit.get() {
+                    let phase = depfast::PhaseSpan::begin(&core.rt, "commit_wait");
                     core.commit
                         .when_at_least(hi)
                         .wait_timeout(opts.commit_wait)
                         .await;
+                    phase.end();
                 }
                 // Apply on the main loop (the swap penalty from the
                 // growing buffers slows this directly).
+                let phase = depfast::PhaseSpan::begin(&core.rt, "apply");
                 if core.apply_committed_inline().await.is_err() {
                     break;
                 }
+                phase.end();
             }
         });
     }
@@ -202,7 +214,9 @@ impl BacklogRaft {
                     };
                     // Retry until this chunk is acknowledged.
                     loop {
-                        let ev = c.ep.proxy(peer).call_t(APPEND_ENTRIES, "append_entries", &req);
+                        let ev =
+                            c.ep.proxy(peer)
+                                .call_t(APPEND_ENTRIES, "append_entries", &req);
                         let c2 = c.clone();
                         let classified = classified_reply::<AppendResp>(
                             &c.rt,
@@ -229,8 +243,7 @@ impl BacklogRaft {
                         }
                     }
                     // Chunk acknowledged: release its memory charge.
-                    let released: u64 =
-                        chunk.iter().map(|e| e.size() * opts.amplification).sum();
+                    let released: u64 = chunk.iter().map(|e| e.size() * opts.amplification).sum();
                     let waker = {
                         let mut fq = q.borrow_mut();
                         fq.charged = fq.charged.saturating_sub(released);

@@ -70,20 +70,19 @@ impl CallbackRaft {
 
     fn install_probe_service(core: &Rc<RaftCore>) {
         let c = core.clone();
-        core.ep
-            .register(FLOW_PROBE, "raft:handle_probe", move |_from, _p, responder| {
+        core.ep.register(
+            FLOW_PROBE,
+            "raft:handle_probe",
+            move |_from, _p, responder| {
                 let c = c.clone();
                 Coroutine::create(&c.rt.clone(), "raft:handle_probe", async move {
                     // Status computation on the (possibly slow) follower.
-                    if c.world
-                        .cpu(c.id, Duration::from_micros(200))
-                        .await
-                        .is_ok()
-                    {
+                    if c.world.cpu(c.id, Duration::from_micros(200)).await.is_ok() {
                         responder.reply_t(&c.log.last_index());
                     }
                 });
-            });
+            },
+        );
     }
 
     fn spawn_message_loop(core: &Rc<RaftCore>, opts: CallbackOpts) {
@@ -135,7 +134,10 @@ impl CallbackRaft {
                         );
                         // THE SINGULAR WAIT: the whole message loop stalls
                         // on the slow follower, up to probe_timeout.
+                        let phase =
+                            depfast::PhaseSpan::begin_blaming(&core.rt, "flow_probe", laggard);
                         ev.handle().wait_timeout(opts.probe_timeout).await;
+                        phase.end();
                     }
                 }
 
@@ -144,14 +146,20 @@ impl CallbackRaft {
                 let mut entries = Vec::with_capacity(batch.len());
                 for (i, (payload, ev)) in batch.into_iter().enumerate() {
                     let index = start + i as u64;
-                    entries.push(Entry { term, index, payload });
+                    entries.push(Entry {
+                        term,
+                        index,
+                        payload,
+                    });
                     core.pending.borrow_mut().insert(index, ev);
                 }
                 if !entries.is_empty() {
+                    let phase = depfast::PhaseSpan::begin(&core.rt, "wal_append");
                     let io = core.log.append(&entries);
                     if !io.handle().wait().await.is_ready() {
                         break;
                     }
+                    phase.end();
                 }
                 let hi = core.log.last_index();
 
@@ -181,15 +189,19 @@ impl CallbackRaft {
                     }
                 }
                 if hi > core.commit.get() {
+                    let phase = depfast::PhaseSpan::begin(&core.rt, "commit_wait");
                     core.commit
                         .when_at_least(hi)
                         .wait_timeout(opts.commit_wait)
                         .await;
+                    phase.end();
                 }
                 // Apply callbacks run on this same loop.
+                let phase = depfast::PhaseSpan::begin(&core.rt, "apply");
                 if core.apply_committed_inline().await.is_err() {
                     break;
                 }
+                phase.end();
             }
         });
     }
@@ -296,7 +308,7 @@ mod tests {
         tracer.set_record_full(true);
         drive(&sim, &cl, 200);
         tracer.set_record_full(false);
-        let spg = depfast::spg::build(&tracer.records());
+        let spg = depfast::spg::build(&tracer.take_records());
         let violations =
             depfast::verify::check_fail_slow_tolerance(&spg, |l| l.starts_with("raft:"));
         assert!(

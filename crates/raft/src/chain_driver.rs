@@ -74,8 +74,8 @@ impl ChainRaft {
                 };
                 Coroutine::create(&c.rt.clone(), "chain:forward", async move {
                     let entry_count = req.entries.len();
-                    let cpu = c.cfg.append_cpu_base
-                        + c.cfg.append_cpu_per_entry * entry_count as u32;
+                    let cpu =
+                        c.cfg.append_cpu_base + c.cfg.append_cpu_per_entry * entry_count as u32;
                     if c.world.cpu(c.id, cpu).await.is_err() {
                         return;
                     }
@@ -101,7 +101,9 @@ impl ChainRaft {
                     // Relay to the successor and wait for its ack — the
                     // chain's singular dependence, by design.
                     if let Some(next) = Self::successor(&c) {
-                        let ev = c.ep.proxy(next).call_t(CHAIN_FORWARD, "chain_forward", &req);
+                        let ev =
+                            c.ep.proxy(next)
+                                .call_t(CHAIN_FORWARD, "chain_forward", &req);
                         let ok = classified_reply::<AppendResp>(
                             &c.rt,
                             &ev,
@@ -109,7 +111,10 @@ impl ChainRaft {
                             "chain_forward",
                             |resp| resp.is_some_and(|r| r.success),
                         );
-                        if !ok.wait_timeout(opts.hop_timeout).await.is_ready() {
+                        let phase = depfast::PhaseSpan::begin_blaming(&c.rt, "hop_wait", next);
+                        let hop = ok.wait_timeout(opts.hop_timeout).await;
+                        phase.end();
+                        if !hop.is_ready() {
                             responder.reply_t(&AppendResp {
                                 term: c.log.current_term(),
                                 success: false,
@@ -150,14 +155,20 @@ impl ChainRaft {
                 let mut entries = Vec::with_capacity(batch.len());
                 for (i, (payload, ev)) in batch.into_iter().enumerate() {
                     let index = start + i as u64;
-                    entries.push(Entry { term, index, payload });
+                    entries.push(Entry {
+                        term,
+                        index,
+                        payload,
+                    });
                     core.pending.borrow_mut().insert(index, ev);
                 }
                 let hi = start + entries.len() as u64 - 1;
+                let phase = depfast::PhaseSpan::begin(&core.rt, "wal_append");
                 let io = core.log.append(&entries);
                 if !io.handle().wait().await.is_ready() {
                     break;
                 }
+                phase.end();
                 let Some(next) = Self::successor(&core) else {
                     core.set_commit(hi); // Single-node chain.
                     continue;
@@ -170,20 +181,22 @@ impl ChainRaft {
                     entries: to_wire(&entries),
                     commit: core.commit.get(),
                 };
-                let ev = core.ep.proxy(next).call_t(CHAIN_FORWARD, "chain_forward", &req);
-                let ok = classified_reply::<AppendResp>(
-                    &core.rt,
-                    &ev,
-                    next,
-                    "chain_forward",
-                    |resp| resp.is_some_and(|r| r.success),
-                );
+                let ev = core
+                    .ep
+                    .proxy(next)
+                    .call_t(CHAIN_FORWARD, "chain_forward", &req);
+                let ok =
+                    classified_reply::<AppendResp>(&core.rt, &ev, next, "chain_forward", |resp| {
+                        resp.is_some_and(|r| r.success)
+                    });
                 // The head waits on ONE successor — a red SPG edge. (The
                 // successor is itself waiting on its own successor: the
                 // whole chain is on the critical path.)
+                let phase = depfast::PhaseSpan::begin_blaming(&core.rt, "hop_wait", next);
                 if ok.wait_timeout(opts.hop_timeout).await.is_ready() {
                     core.set_commit(hi);
                 }
+                phase.end();
             }
         });
     }
@@ -266,13 +279,22 @@ mod tests {
         cl.tracer.set_record_full(true);
         drive(&sim, &cl, 10);
         cl.tracer.set_record_full(false);
-        let spg = depfast::spg::build(&cl.tracer.records());
+        let spg = depfast::spg::build(&cl.tracer.take_records());
         let violations =
             depfast::verify::check_fail_slow_tolerance(&spg, |l| l.starts_with("chain:"));
         // Head waits on middle, middle waits on tail: two singular hops.
-        let pairs: Vec<(u32, u32)> = violations.iter().map(|v| (v.waiter.0, v.target.0)).collect();
-        assert!(pairs.contains(&(0, 1)), "head->middle hop flagged: {pairs:?}");
-        assert!(pairs.contains(&(1, 2)), "middle->tail hop flagged: {pairs:?}");
+        let pairs: Vec<(u32, u32)> = violations
+            .iter()
+            .map(|v| (v.waiter.0, v.target.0))
+            .collect();
+        assert!(
+            pairs.contains(&(0, 1)),
+            "head->middle hop flagged: {pairs:?}"
+        );
+        assert!(
+            pairs.contains(&(1, 2)),
+            "middle->tail hop flagged: {pairs:?}"
+        );
     }
 
     #[test]
@@ -281,12 +303,14 @@ mod tests {
         cl.tracer.set_record_full(true);
         drive(&sim, &cl, 10);
         cl.tracer.set_record_full(false);
-        let spg = depfast::spg::build(&cl.tracer.records());
+        let spg = depfast::spg::build(&cl.tracer.take_records());
         // Slow TAIL impacts every chain member — the §3.3 tradeoff,
         // quantified from a real trace.
-        let impacted =
-            depfast::verify::propagation_impact(&spg, &[NodeId(2)].into());
+        let impacted = depfast::verify::propagation_impact(&spg, &[NodeId(2)].into());
         assert!(impacted.contains(&NodeId(0)), "head impacted: {impacted:?}");
-        assert!(impacted.contains(&NodeId(1)), "middle impacted: {impacted:?}");
+        assert!(
+            impacted.contains(&NodeId(1)),
+            "middle impacted: {impacted:?}"
+        );
     }
 }

@@ -495,7 +495,11 @@ impl RaftCore {
         if lo > hi {
             return Ok(());
         }
-        let entries = self.log.read(lo, hi + 1).await.map_err(|_| simkit::Crashed)?;
+        let entries = self
+            .log
+            .read(lo, hi + 1)
+            .await
+            .map_err(|_| simkit::Crashed)?;
         for e in entries {
             self.world.cpu(self.id, self.cfg.apply_cpu).await?;
             let reply = {
@@ -702,12 +706,14 @@ pub async fn handle_append(
 /// it, a fail-slow follower that cannot process heartbeats campaigns at
 /// ever-higher terms and repeatedly deposes the working leader.
 pub async fn handle_prevote(core: &Rc<RaftCore>, req: VoteReq) -> Option<VoteResp> {
-    core.world.cpu(core.id, core.cfg.append_cpu_base).await.ok()?;
+    core.world
+        .cpu(core.id, core.cfg.append_cpu_base)
+        .await
+        .ok()?;
     let current = core.log.current_term();
     let fresh = {
         let st = core.st.borrow();
-        st.role == Role::Leader
-            || core.rt.now() - st.last_heartbeat < core.cfg.election_timeout.0
+        st.role == Role::Leader || core.rt.now() - st.last_heartbeat < core.cfg.election_timeout.0
     };
     let up_to_date = {
         let my_last = core.log.last_index();
@@ -722,7 +728,10 @@ pub async fn handle_prevote(core: &Rc<RaftCore>, req: VoteReq) -> Option<VoteRes
 
 /// Follower-side `RequestVote` (returns `None` if the node crashed).
 pub async fn handle_vote(core: &Rc<RaftCore>, req: VoteReq) -> Option<VoteResp> {
-    core.world.cpu(core.id, core.cfg.append_cpu_base).await.ok()?;
+    core.world
+        .cpu(core.id, core.cfg.append_cpu_base)
+        .await
+        .ok()?;
     let current = core.log.current_term();
     if req.term < current {
         return Some(VoteResp {
@@ -873,8 +882,16 @@ mod tests {
     fn commit_advance_uses_median_match() {
         let (sim, _w, core) = one_node();
         core.log.append(&[
-            Entry { term: 1, index: 1, payload: Bytes::new() },
-            Entry { term: 1, index: 2, payload: Bytes::new() },
+            Entry {
+                term: 1,
+                index: 1,
+                payload: Bytes::new(),
+            },
+            Entry {
+                term: 1,
+                index: 2,
+                payload: Bytes::new(),
+            },
         ]);
         sim.run();
         core.note_match(NodeId(1), 1);
@@ -890,12 +907,20 @@ mod tests {
     fn commit_only_counts_current_term_entries() {
         let (sim, _w, core) = one_node();
         // Entry from an older term (term 0 < current term 1).
-        core.log.append(&[Entry { term: 0, index: 1, payload: Bytes::new() }]);
+        core.log.append(&[Entry {
+            term: 0,
+            index: 1,
+            payload: Bytes::new(),
+        }]);
         sim.run();
         core.note_match(NodeId(1), 1);
         core.note_match(NodeId(2), 1);
         core.advance_commit_from_matches();
-        assert_eq!(core.commit.get(), 0, "old-term entry must not commit by counting");
+        assert_eq!(
+            core.commit.get(),
+            0,
+            "old-term entry must not commit by counting"
+        );
     }
 
     #[test]
@@ -914,7 +939,11 @@ mod tests {
     fn note_reject_backs_up_next_index() {
         let (sim, _w, core) = one_node();
         for i in 1..=10 {
-            core.log.append(&[Entry { term: 1, index: i, payload: Bytes::new() }]);
+            core.log.append(&[Entry {
+                term: 1,
+                index: i,
+                payload: Bytes::new(),
+            }]);
         }
         sim.run();
         core.note_became_leader();

@@ -157,13 +157,16 @@ impl DepFastRaft {
                     continue;
                 }
                 // Charge leader-side proposal processing.
+                let propose_phase = depfast::PhaseSpan::begin(&core.rt, "propose");
                 let cpu = core.cfg.propose_cpu * batch.len() as u32;
                 if core.world.cpu(core.id, cpu).await.is_err() {
                     break;
                 }
+                propose_phase.end();
                 let term = core.log.current_term();
                 let start = core.log.last_index() + 1;
                 let mut entries = Vec::with_capacity(batch.len());
+                let mut proposal_ids = Vec::with_capacity(batch.len());
                 for (i, (payload, ev)) in batch.into_iter().enumerate() {
                     let index = start + i as u64;
                     entries.push(Entry {
@@ -171,6 +174,7 @@ impl DepFastRaft {
                         index,
                         payload,
                     });
+                    proposal_ids.push(ev.handle().id());
                     core.pending.borrow_mut().insert(index, ev);
                 }
                 let hi = start + entries.len() as u64 - 1;
@@ -179,6 +183,17 @@ impl DepFastRaft {
                 // The round's single waiting point: majority of {own disk}
                 // ∪ {classified peer acks}.
                 let quorum = QuorumEvent::labeled(&core.rt, QuorumMode::Majority, "replicate");
+                // Tie each batched proposal to this round so critical-path
+                // analysis can walk commit → round → k-th quorum child.
+                let round_id = quorum.handle().id();
+                let t_link = core.rt.now();
+                for pid in proposal_ids {
+                    core.rt.tracer().record(|| depfast::TraceRecord::RoundLink {
+                        t: t_link,
+                        proposal: pid,
+                        round: round_id,
+                    });
+                }
                 quorum.add(&local_io);
                 let cancel = CancelToken::new();
                 for peer in core.peers.clone() {
@@ -282,7 +297,8 @@ impl DepFastRaft {
         // A fixed Count threshold, not Majority-of-current-children: the
         // self ack below is already fired, and a dynamic majority would
         // resolve at n = 1 the moment it is added.
-        let quorum = QuorumEvent::labeled(&core.rt, QuorumMode::Count(core.majority()), "read_index");
+        let quorum =
+            QuorumEvent::labeled(&core.rt, QuorumMode::Count(core.majority()), "read_index");
         let self_ack = depfast::Notify::labeled(&core.rt, "self_ack");
         self_ack.set(Signal::Ok);
         quorum.add(&self_ack);
@@ -301,21 +317,24 @@ impl DepFastRaft {
                 .proxy(peer)
                 .call_t(APPEND_ENTRIES, "read_index", &req);
             let c2 = core.clone();
-            let ok = classified_reply::<AppendResp>(&core.rt, &ev, peer, "read_index", move |r| {
-                match r {
-                    Some(r) if r.term > c2.log.current_term() => {
-                        c2.step_down(r.term, None);
-                        false
-                    }
-                    Some(r) => r.term == term,
-                    None => false,
-                }
-            });
+            let ok =
+                classified_reply::<AppendResp>(
+                    &core.rt,
+                    &ev,
+                    peer,
+                    "read_index",
+                    move |r| match r {
+                        Some(r) if r.term > c2.log.current_term() => {
+                            c2.step_down(r.term, None);
+                            false
+                        }
+                        Some(r) => r.term == term,
+                        None => false,
+                    },
+                );
             quorum.add(&ok);
         }
-        let out = quorum
-            .wait_timeout(core.cfg.replicate_timeout)
-            .await;
+        let out = quorum.wait_timeout(core.cfg.replicate_timeout).await;
         out.is_ready() && core.log.current_term() == term && core.st.borrow().role == Role::Leader
     }
 
@@ -378,16 +397,21 @@ impl DepFastRaft {
                 .proxy(peer)
                 .call_t(REQUEST_VOTE, "request_vote", &req);
             let c2 = core.clone();
-            let ok = classified_reply::<VoteResp>(&core.rt, &ev, peer, "request_vote", move |r| {
-                match r {
-                    Some(r) if r.term > term => {
-                        c2.step_down(r.term, None);
-                        false
-                    }
-                    Some(r) => r.granted,
-                    None => false,
-                }
-            });
+            let ok =
+                classified_reply::<VoteResp>(
+                    &core.rt,
+                    &ev,
+                    peer,
+                    "request_vote",
+                    move |r| match r {
+                        Some(r) if r.term > term => {
+                            c2.step_down(r.term, None);
+                            false
+                        }
+                        Some(r) => r.granted,
+                        None => false,
+                    },
+                );
             granted.add(&ok);
             // The rejection quorum sees the inverse signal.
             let rej = depfast::EventHandle::with_sampling(

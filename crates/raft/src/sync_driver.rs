@@ -81,16 +81,22 @@ impl SyncRaft {
                 let mut entries = Vec::with_capacity(batch.len());
                 for (i, (payload, ev)) in batch.into_iter().enumerate() {
                     let index = start + i as u64;
-                    entries.push(Entry { term, index, payload });
+                    entries.push(Entry {
+                        term,
+                        index,
+                        payload,
+                    });
                     core.pending.borrow_mut().insert(index, ev);
                 }
                 if !entries.is_empty() {
+                    let phase = depfast::PhaseSpan::begin(&core.rt, "wal_append");
                     let io = core.log.append(&entries);
                     // Synchronous wait on the local WAL: the region thread
                     // does nothing else meanwhile.
                     if !io.handle().wait().await.is_ready() {
                         break;
                     }
+                    phase.end();
                 }
                 let hi = core.log.last_index();
 
@@ -102,7 +108,9 @@ impl SyncRaft {
                     let (to_send, miss_bytes) = core.log.read_raw(lo, send_hi);
                     if miss_bytes > 0 {
                         // THE ROOT CAUSE: the evicted-entry disk read runs
-                        // inline on the region thread.
+                        // inline on the region thread. Blame the follower
+                        // whose lag forced the read below the cache floor.
+                        let phase = depfast::PhaseSpan::begin_blaming(&core.rt, "cold_read", peer);
                         if core
                             .world
                             .disk(core.id, DiskOp::Read { bytes: miss_bytes })
@@ -111,6 +119,7 @@ impl SyncRaft {
                         {
                             return;
                         }
+                        phase.end();
                     }
                     let req = AppendReq {
                         term,
@@ -152,15 +161,19 @@ impl SyncRaft {
                 if hi > core.commit.get() {
                     // Wait for this round's entries to commit before the
                     // next intake (single-threaded pipeline of depth one).
+                    let phase = depfast::PhaseSpan::begin(&core.rt, "commit_wait");
                     core.commit
                         .when_at_least(hi)
                         .wait_timeout(opts.commit_wait)
                         .await;
+                    phase.end();
                 }
                 // Apply on the region thread itself.
+                let phase = depfast::PhaseSpan::begin(&core.rt, "apply");
                 if core.apply_committed_inline().await.is_err() {
                     break;
                 }
+                phase.end();
             }
         });
     }
@@ -169,11 +182,11 @@ impl SyncRaft {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use simkit::NodeId;
     use crate::cluster::{build_cluster, RaftKind};
     use crate::core::RaftCfg;
     use bytes::Bytes;
     use depfast_storage::LogStoreCfg;
+    use simkit::NodeId;
     use simkit::{Sim, World, WorldCfg};
 
     fn cluster(cache_bytes: u64) -> (Sim, World, crate::cluster::RaftCluster) {

@@ -45,12 +45,9 @@ pub fn broadcast(
     let cancel = CancelToken::new();
     let mut replies = Vec::with_capacity(peers.len());
     for peer in peers {
-        let ev = ep.proxy(*peer).call_cancellable(
-            method,
-            label,
-            payload.clone(),
-            cancel.clone(),
-        );
+        let ev = ep
+            .proxy(*peer)
+            .call_cancellable(method, label, payload.clone(), cancel.clone());
         quorum.add(&ev);
         replies.push((*peer, ev));
     }

@@ -364,7 +364,8 @@ impl Future for PopMsg {
             // Blocked on credits with traffic pending: arm a wake at the
             // oldest credit's expiry so a partition cannot wedge the link.
             if let Some(t) = inner.outstanding.front() {
-                self.sim.schedule_wake(*t + CREDIT_TIMEOUT, cx.waker().clone());
+                self.sim
+                    .schedule_wake(*t + CREDIT_TIMEOUT, cx.waker().clone());
             }
         }
         inner.waker = Some(cx.waker().clone());
@@ -375,8 +376,8 @@ impl Future for PopMsg {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::Cell;
     use simkit::{Sim, WorldCfg};
+    use std::cell::Cell;
 
     fn setup() -> (Sim, World, Runtime) {
         let sim = Sim::new(1);

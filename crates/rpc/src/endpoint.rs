@@ -15,7 +15,7 @@ use std::task::{Context, Poll, Waker};
 use std::time::Duration;
 
 use bytes::Bytes;
-use depfast::event::EventKind;
+use depfast::event::{EventKind, Watchable};
 use depfast::runtime::{Coroutine, Runtime};
 use depfast::TypedEvent;
 use simkit::{NodeId, World};
@@ -61,14 +61,39 @@ pub(crate) struct Envelope {
     pub is_reply: bool,
     pub rpc_id: u64,
     pub method: u32,
+    /// Causal-trace id of the client operation this message serves
+    /// (`0` = untraced).
+    pub trace_id: u64,
+    /// Span that caused this message (the RPC event on the caller for
+    /// requests, the service coroutine for replies; `0` = none).
+    pub parent_span: u64,
     pub payload: Bytes,
 }
 wire_struct!(Envelope {
     is_reply,
     rpc_id,
     method,
+    trace_id,
+    parent_span,
     payload
 });
+
+/// Encodes the ambient [`TraceCtx`] for the wire (`(0, 0)` = untraced),
+/// with `parent_span` replaced by the given span.
+fn wire_ctx(parent: depfast::SpanId) -> (u64, u64) {
+    match depfast::trace_ctx() {
+        Some(ctx) => (ctx.trace_id, parent.0),
+        None => (0, 0),
+    }
+}
+
+/// Decodes a wire context back into a [`TraceCtx`].
+fn unwire_ctx(trace_id: u64, parent_span: u64) -> Option<depfast::TraceCtx> {
+    (trace_id != 0 || parent_span != 0).then_some(depfast::TraceCtx {
+        trace_id,
+        parent_span: depfast::SpanId(parent_span),
+    })
+}
 
 type Service = Rc<dyn Fn(NodeId, Bytes, Responder)>;
 
@@ -137,7 +162,9 @@ impl Endpoint {
             if let Some(inner) = weak.upgrade() {
                 let mut inbox = inner.inbox.borrow_mut();
                 inbox.push_back(msg);
-                inner.inbox_peak.set(inner.inbox_peak.get().max(inbox.len()));
+                inner
+                    .inbox_peak
+                    .set(inner.inbox_peak.get().max(inbox.len()));
                 drop(inbox);
                 if let Some(w) = inner.inbox_waker.borrow_mut().take() {
                     w.wake();
@@ -227,10 +254,15 @@ impl Endpoint {
             .pending
             .borrow_mut()
             .insert(rpc_id, event.clone());
+        // The request carries the caller's causal context; its parent span
+        // is the RPC event itself, so the callee's work hangs under it.
+        let (trace_id, parent_span) = wire_ctx(depfast::SpanId::event(event.handle().id()));
         let env = Envelope {
             is_reply: false,
             rpc_id,
             method,
+            trace_id,
+            parent_span,
             payload,
         };
         let ev = event.clone();
@@ -252,11 +284,13 @@ impl Endpoint {
     }
 
     /// Sends a reply for `rpc_id` back to `peer`.
-    fn reply(&self, peer: NodeId, rpc_id: u64, payload: Bytes) {
+    fn reply(&self, peer: NodeId, rpc_id: u64, payload: Bytes, ctx: (u64, u64)) {
         let env = Envelope {
             is_reply: true,
             rpc_id,
             method: 0,
+            trace_id: ctx.0,
+            parent_span: ctx.1,
             payload,
         };
         self.conn(peer).enqueue(
@@ -279,7 +313,13 @@ impl Endpoint {
                     inner: ep.inner.clone(),
                 }
                 .await;
-                if ep.inner.world.cpu(ep.inner.node, ep.inner.cfg.rx_cpu).await.is_err() {
+                if ep
+                    .inner
+                    .world
+                    .cpu(ep.inner.node, ep.inner.cfg.rx_cpu)
+                    .await
+                    .is_err()
+                {
                     break; // Node crashed: stop serving.
                 }
                 ep.return_credit(msg.from);
@@ -318,14 +358,19 @@ impl Endpoint {
         let Some((label, svc)) = svc else {
             return; // Unknown method: drop (caller times out).
         };
+        let ctx = unwire_ctx(env.trace_id, env.parent_span);
         let responder = Responder {
             ep: self.clone(),
             to: from,
             rpc_id: env.rpc_id,
+            ctx: (env.trace_id, env.parent_span),
         };
         let payload = env.payload;
         let f = svc.clone();
-        Coroutine::create(&self.inner.rt, label, async move {
+        // The service coroutine resumes the caller's causal context, so
+        // everything it does — and everything it spawns — stays in the
+        // request's trace tree.
+        Coroutine::create_traced(&self.inner.rt, label, ctx, async move {
             f(from, payload, responder);
         });
     }
@@ -336,12 +381,14 @@ pub struct Responder {
     ep: Endpoint,
     to: NodeId,
     rpc_id: u64,
+    /// Wire-encoded trace context of the request, echoed on the reply.
+    ctx: (u64, u64),
 }
 
 impl Responder {
     /// Sends the reply payload.
     pub fn reply(self, payload: Bytes) {
-        self.ep.reply(self.to, self.rpc_id, payload);
+        self.ep.reply(self.to, self.rpc_id, payload, self.ctx);
     }
 
     /// Sends a typed reply.
@@ -408,9 +455,47 @@ mod tests {
     }
 
     #[test]
+    fn trace_ctx_crosses_the_wire_into_the_service_coroutine() {
+        use depfast::{set_trace_ctx, trace_ctx, SpanId, TraceCtx};
+        let (sim, _world, eps) = cluster(2);
+        let seen = Rc::new(RefCell::new(None));
+        let s = seen.clone();
+        eps[1].register(77, "svc:probe", move |_, _, r| {
+            *s.borrow_mut() = Some(trace_ctx());
+            r.reply(Bytes::new());
+        });
+        let caller = eps[0].clone();
+        let rt = caller.runtime().clone();
+        let sent_span = Rc::new(Cell::new(SpanId::NONE));
+        let sp = sent_span.clone();
+        Coroutine::create(&rt, "client", async move {
+            set_trace_ctx(Some(TraceCtx {
+                trace_id: 42,
+                parent_span: SpanId::NONE,
+            }));
+            let ev = caller.proxy(NodeId(1)).call(77, "probe", Bytes::new());
+            sp.set(SpanId::event(ev.handle().id()));
+            ev.handle().wait().await;
+        });
+        sim.run();
+        // The service saw the caller's trace id, parented under the RPC
+        // event the caller is waiting on.
+        let got = seen.borrow().expect("service ran");
+        assert_eq!(
+            got,
+            Some(TraceCtx {
+                trace_id: 42,
+                parent_span: sent_span.get(),
+            })
+        );
+    }
+
+    #[test]
     fn request_reply_round_trip() {
         let (sim, _world, eps) = cluster(2);
-        let ev = eps[0].proxy(NodeId(1)).call(ECHO, "echo", Bytes::from_static(b"ping"));
+        let ev = eps[0]
+            .proxy(NodeId(1))
+            .call(ECHO, "echo", Bytes::from_static(b"ping"));
         let ev2 = ev.clone();
         let out = sim.block_on(async move { ev2.handle().wait().await });
         assert!(out.is_ready());
@@ -420,9 +505,7 @@ mod tests {
     #[test]
     fn typed_round_trip() {
         let (sim, _world, eps) = cluster(2);
-        let ev = eps[0]
-            .proxy(NodeId(1))
-            .call_t(DOUBLE, "double", &21u64);
+        let ev = eps[0].proxy(NodeId(1)).call_t(DOUBLE, "double", &21u64);
         let ev2 = ev.clone();
         sim.block_on(async move { ev2.handle().wait().await });
         let reply: u64 = u64::from_bytes(&ev.take().unwrap()).unwrap();
@@ -434,11 +517,8 @@ mod tests {
         let (sim, world, eps) = cluster(2);
         world.crash(NodeId(1));
         let ev = eps[0].proxy(NodeId(1)).call(ECHO, "echo", Bytes::new());
-        let out = sim.block_on(async move {
-            ev.handle()
-                .wait_timeout(Duration::from_millis(100))
-                .await
-        });
+        let out =
+            sim.block_on(async move { ev.handle().wait_timeout(Duration::from_millis(100)).await });
         assert!(out.is_timeout());
     }
 
@@ -446,11 +526,8 @@ mod tests {
     fn unknown_method_times_out() {
         let (sim, _world, eps) = cluster(2);
         let ev = eps[0].proxy(NodeId(1)).call(999, "nope", Bytes::new());
-        let out = sim.block_on(async move {
-            ev.handle()
-                .wait_timeout(Duration::from_millis(50))
-                .await
-        });
+        let out =
+            sim.block_on(async move { ev.handle().wait_timeout(Duration::from_millis(50)).await });
         assert!(out.is_timeout());
     }
 
@@ -460,7 +537,9 @@ mod tests {
         // Make node 1 CPU-starved so its pump drains slowly.
         world.set_cpu_quota(NodeId(1), 0.01);
         for _ in 0..3000 {
-            eps[0].proxy(NodeId(1)).call(ECHO, "echo", Bytes::from_static(b"x"));
+            eps[0]
+                .proxy(NodeId(1))
+                .call(ECHO, "echo", Bytes::from_static(b"x"));
         }
         sim.run_until_time(simkit::SimTime::from_millis(200));
         let conn = eps[0].conn(NodeId(1));

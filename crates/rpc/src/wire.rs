@@ -227,7 +227,10 @@ mod tests {
 
     #[test]
     fn none_option_round_trips() {
-        let s = Sample { d: None, ..sample() };
+        let s = Sample {
+            d: None,
+            ..sample()
+        };
         assert_eq!(Sample::from_bytes(&s.to_bytes()), Some(s));
     }
 

@@ -66,7 +66,9 @@ fn malformed_frames_are_dropped() {
 #[test]
 fn unmatched_replies_are_ignored() {
     let (sim, _world, eps) = cluster(2);
-    let ev = eps[0].proxy(NodeId(1)).call(ECHO, "echo", Bytes::from_static(b"a"));
+    let ev = eps[0]
+        .proxy(NodeId(1))
+        .call(ECHO, "echo", Bytes::from_static(b"a"));
     sim.run_until_time(sim.now() + Duration::from_millis(100));
     assert!(ev.handle().ready());
     // Forge a stale reply for the already-completed id.
@@ -124,7 +126,11 @@ fn reply_routing_is_exact_under_interleaving() {
 fn crash_mid_flight_times_out_cleanly() {
     let (sim, world, eps) = cluster(2);
     let evs: Vec<_> = (0..50)
-        .map(|_| eps[0].proxy(NodeId(1)).call(ECHO, "echo", Bytes::from(vec![0u8; 64])))
+        .map(|_| {
+            eps[0]
+                .proxy(NodeId(1))
+                .call(ECHO, "echo", Bytes::from(vec![0u8; 64]))
+        })
         .collect();
     world.crash(NodeId(1));
     let mut timeouts = 0;

@@ -132,7 +132,10 @@ impl MemoryModel {
     /// Releases `bytes` of usage (saturating: freeing more than allocated
     /// clamps to the baseline rather than underflowing).
     pub fn free(&mut self, bytes: u64) {
-        self.used = self.used.saturating_sub(bytes).max(self.cfg.baseline.min(self.used));
+        self.used = self
+            .used
+            .saturating_sub(bytes)
+            .max(self.cfg.baseline.min(self.used));
     }
 
     /// Usage as a fraction of the current limit (may exceed 1.0 after the

@@ -161,7 +161,10 @@ impl NetModel {
             delay += self.cfg.hiccup_delay;
         }
         let at = now + delay;
-        let tail = self.fifo_tail.entry((from.0, to.0)).or_insert(SimTime::ZERO);
+        let tail = self
+            .fifo_tail
+            .entry((from.0, to.0))
+            .or_insert(SimTime::ZERO);
         let deliver = at.max(*tail);
         *tail = deliver;
         Some(deliver)
@@ -261,9 +264,7 @@ mod tests {
         let mut hiccups = 0;
         for _ in 0..1000 {
             // Use distinct links to avoid FIFO coupling.
-            let t = n
-                .delivery_time(SimTime::ZERO, A, B, 0, &mut rng)
-                .unwrap();
+            let t = n.delivery_time(SimTime::ZERO, A, B, 0, &mut rng).unwrap();
             if t >= SimTime::from_millis(100) {
                 hiccups += 1;
             }

@@ -106,7 +106,8 @@ impl NodeStats {
 
     fn observe_mem(&self, mem: &MemoryModel) {
         self.mem_used.set(mem.used() as i64);
-        self.mem_slowdown_milli.set((mem.slowdown() * 1000.0) as i64);
+        self.mem_slowdown_milli
+            .set((mem.slowdown() * 1000.0) as i64);
     }
 }
 
@@ -323,7 +324,9 @@ impl World {
 
     /// Sets the cgroup-style CPU quota of `node` (Table 1, "CPU (slow)").
     pub fn set_cpu_quota(&self, node: NodeId, quota: f64) {
-        self.inner.borrow_mut().nodes[node.0 as usize].cpu.set_quota(quota);
+        self.inner.borrow_mut().nodes[node.0 as usize]
+            .cpu
+            .set_quota(quota);
     }
 
     /// Sets or clears CPU contention on `node` (Table 1, "CPU (contention)").
@@ -387,12 +390,16 @@ impl World {
 
     /// Total bytes written to `node`'s disk so far.
     pub fn disk_bytes_written(&self, node: NodeId) -> u64 {
-        self.inner.borrow().nodes[node.0 as usize].disk.bytes_written()
+        self.inner.borrow().nodes[node.0 as usize]
+            .disk
+            .bytes_written()
     }
 
     /// Isolated (no-queueing) service time of `op` on `node`'s disk.
     pub fn disk_service_time(&self, node: NodeId, op: DiskOp) -> Duration {
-        self.inner.borrow().nodes[node.0 as usize].disk.service_time(op)
+        self.inner.borrow().nodes[node.0 as usize]
+            .disk
+            .service_time(op)
     }
 
     /// Current effective CPU rate multiplier of `node`.
@@ -403,7 +410,9 @@ impl World {
     /// CPU utilization of `node` over a window ending now (fraction of
     /// all cores busy, assuming the node was busy only within `window`).
     pub fn cpu_utilization(&self, node: NodeId, window: std::time::Duration) -> f64 {
-        self.inner.borrow().nodes[node.0 as usize].cpu.utilization(window)
+        self.inner.borrow().nodes[node.0 as usize]
+            .cpu
+            .utilization(window)
     }
 }
 

@@ -239,7 +239,9 @@ impl LogStore {
     fn evict(inner: &mut LogInner, budget: u64) {
         while inner.cached_bytes > budget {
             let idx = (inner.cache_low - inner.first_index) as usize;
-            let Some(e) = inner.entries.get(idx) else { break };
+            let Some(e) = inner.entries.get(idx) else {
+                break;
+            };
             inner.cached_bytes -= e.size();
             inner.cache_low += 1;
         }
@@ -266,8 +268,7 @@ impl LogStore {
             } else {
                 inner.cache_misses += 1;
                 let miss_hi = hi.min(inner.cache_low);
-                let bytes: u64 = inner.entries
-                    [(lo - first) as usize..(miss_hi - first) as usize]
+                let bytes: u64 = inner.entries[(lo - first) as usize..(miss_hi - first) as usize]
                     .iter()
                     .map(Entry::size)
                     .sum();
@@ -295,7 +296,8 @@ impl LogStore {
         if lo >= hi {
             return (Vec::new(), 0);
         }
-        let slice: Vec<Entry> = inner.entries[(lo - first) as usize..(hi - first) as usize].to_vec();
+        let slice: Vec<Entry> =
+            inner.entries[(lo - first) as usize..(hi - first) as usize].to_vec();
         if lo >= inner.cache_low {
             inner.cache_hits += 1;
             (slice, 0)
@@ -417,7 +419,11 @@ mod tests {
         assert_eq!(log.last_index(), 2);
         assert_eq!(log.term_at(3), 0);
         // Re-append from 3 works.
-        log.append(&[Entry { term: 2, index: 3, payload: Bytes::new() }]);
+        log.append(&[Entry {
+            term: 2,
+            index: 3,
+            payload: Bytes::new(),
+        }]);
         assert_eq!(log.last_index(), 3);
         assert_eq!(log.term_at(3), 2);
     }

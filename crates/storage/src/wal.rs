@@ -121,8 +121,16 @@ impl Wal {
                 .await;
                 let Some(batch) = batch else { break };
                 let total: u64 = batch.iter().map(|(b, _)| *b).sum();
-                let ok = wal.world.disk(wal.node, DiskOp::Write { bytes: total }).await.is_ok()
-                    && wal.world.disk(wal.node, DiskOp::Fsync { bytes: total }).await.is_ok();
+                let ok = wal
+                    .world
+                    .disk(wal.node, DiskOp::Write { bytes: total })
+                    .await
+                    .is_ok()
+                    && wal
+                        .world
+                        .disk(wal.node, DiskOp::Fsync { bytes: total })
+                        .await
+                        .is_ok();
                 {
                     let mut inner = wal.inner.borrow_mut();
                     if ok {
@@ -229,11 +237,7 @@ mod tests {
         world.crash(NodeId(0));
         let out = sim.block_on({
             let ev = ev.clone();
-            async move {
-                ev.handle()
-                    .wait_timeout(Duration::from_millis(100))
-                    .await
-            }
+            async move { ev.handle().wait_timeout(Duration::from_millis(100)).await }
         });
         // Either the flusher noticed the crash (Failed) or nothing ran.
         assert!(!out.is_ready());

@@ -1,0 +1,335 @@
+//! Chrome `trace_event` export (load in `chrome://tracing` or Perfetto).
+
+use std::collections::BTreeSet;
+
+use depfast::{CoroId, EventId};
+
+use crate::index::TraceIndex;
+
+/// Timestamps are microseconds with fractional part; integer math keeps
+/// the rendering byte-stable.
+fn fmt_us(nanos: u64) -> String {
+    format!("{}.{:03}", nanos / 1_000, nanos % 1_000)
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Track (tid) of an event: its creating coroutine's lane, or lane 0 for
+/// events created outside any coroutine.
+fn tid_of(coro: Option<CoroId>) -> u64 {
+    coro.map(|c| c.0 + 1).unwrap_or(0)
+}
+
+/// Renders the indexed trace as Chrome `trace_event` JSON.
+///
+/// Every event that both started and fired becomes a complete (`"X"`)
+/// slice on `pid = node`, `tid = coroutine`; request roots become
+/// instants; proposal→round links become flow (`"s"`/`"f"`) arrows. The
+/// output is a pure function of the records, so deterministic
+/// simulations export byte-identical files.
+pub fn chrome_trace(index: &TraceIndex) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    let mut push = |out: &mut String, line: String| {
+        if !std::mem::take(&mut first) {
+            out.push_str(",\n");
+        }
+        out.push_str(&line);
+    };
+
+    // Metadata: name processes after nodes, threads after coroutines.
+    let mut nodes: BTreeSet<u32> = index.events.values().map(|e| e.node.0).collect();
+    nodes.extend(index.coros.values().map(|c| c.node.0));
+    nodes.extend(index.begins.iter().map(|(_, n, _, _)| n.0));
+    for node in nodes {
+        push(
+            &mut out,
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{node},\"name\":\"process_name\",\
+                 \"args\":{{\"name\":\"node {node}\"}}}}"
+            ),
+        );
+    }
+    let mut coros: Vec<(&CoroId, &crate::index::CoroInfo)> = index.coros.iter().collect();
+    coros.sort_by_key(|(id, _)| **id);
+    for (id, info) in coros {
+        push(
+            &mut out,
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{},\"tid\":{},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                info.node.0,
+                tid_of(Some(*id)),
+                escape(info.label)
+            ),
+        );
+    }
+
+    // Request roots.
+    for (t, node, trace_id, label) in &index.begins {
+        push(
+            &mut out,
+            format!(
+                "{{\"ph\":\"i\",\"pid\":{},\"tid\":0,\"ts\":{},\"s\":\"p\",\
+                 \"name\":\"{}\",\"args\":{{\"trace\":{}}}}}",
+                node.0,
+                fmt_us(t.as_nanos()),
+                escape(label),
+                trace_id
+            ),
+        );
+    }
+
+    // Completed spans, in event-id order for determinism.
+    let mut ids: Vec<EventId> = index.events.keys().copied().collect();
+    ids.sort();
+    for id in &ids {
+        let info = &index.events[id];
+        let Some((end, _)) = index.fired.get(id) else {
+            continue;
+        };
+        let begin = info.t.as_nanos();
+        let dur = end.as_nanos().saturating_sub(begin);
+        let trace = info
+            .ctx
+            .map(|c| format!(",\"trace\":{}", c.trace_id))
+            .unwrap_or_default();
+        push(
+            &mut out,
+            format!(
+                "{{\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{},\"dur\":{},\
+                 \"name\":\"{}\",\"cat\":\"{}\",\"args\":{{\"event\":{}{}}}}}",
+                info.node.0,
+                tid_of(info.coro),
+                fmt_us(begin),
+                fmt_us(dur),
+                escape(info.label),
+                info.kind.name(),
+                id.0,
+                trace
+            ),
+        );
+    }
+
+    // Flow arrows: proposal → replication round.
+    let mut links: Vec<(EventId, EventId)> = index.round_of.iter().map(|(p, r)| (*p, *r)).collect();
+    links.sort();
+    for (proposal, round) in links {
+        let (Some(p), Some(r)) = (index.events.get(&proposal), index.events.get(&round)) else {
+            continue;
+        };
+        push(
+            &mut out,
+            format!(
+                "{{\"ph\":\"s\",\"pid\":{},\"tid\":{},\"ts\":{},\"id\":{},\
+                 \"name\":\"commit_path\",\"cat\":\"flow\"}}",
+                p.node.0,
+                tid_of(p.coro),
+                fmt_us(p.t.as_nanos()),
+                proposal.0
+            ),
+        );
+        push(
+            &mut out,
+            format!(
+                "{{\"ph\":\"f\",\"bp\":\"e\",\"pid\":{},\"tid\":{},\"ts\":{},\"id\":{},\
+                 \"name\":\"commit_path\",\"cat\":\"flow\"}}",
+                r.node.0,
+                tid_of(r.coro),
+                fmt_us(r.t.as_nanos()),
+                proposal.0
+            ),
+        );
+    }
+
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depfast::event::Signal;
+    use depfast::{EventKind, TraceRecord};
+    use simkit::{NodeId, SimTime};
+
+    /// Minimal JSON well-formedness check (objects, arrays, strings,
+    /// numbers, literals) — enough to catch malformed export.
+    fn check_json(s: &str) -> Result<(), String> {
+        let b = s.as_bytes();
+        let mut i = 0usize;
+        fn ws(b: &[u8], i: &mut usize) {
+            while *i < b.len() && (b[*i] as char).is_ascii_whitespace() {
+                *i += 1;
+            }
+        }
+        fn value(b: &[u8], i: &mut usize) -> Result<(), String> {
+            ws(b, i);
+            match b.get(*i) {
+                Some(b'{') => {
+                    *i += 1;
+                    ws(b, i);
+                    if b.get(*i) == Some(&b'}') {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    loop {
+                        value(b, i)?; // key (validated as a string below)
+                        ws(b, i);
+                        if b.get(*i) != Some(&b':') {
+                            return Err(format!("expected ':' at {i}"));
+                        }
+                        *i += 1;
+                        value(b, i)?;
+                        ws(b, i);
+                        match b.get(*i) {
+                            Some(b',') => *i += 1,
+                            Some(b'}') => {
+                                *i += 1;
+                                return Ok(());
+                            }
+                            _ => return Err(format!("expected ',' or '}}' at {i}")),
+                        }
+                    }
+                }
+                Some(b'[') => {
+                    *i += 1;
+                    ws(b, i);
+                    if b.get(*i) == Some(&b']') {
+                        *i += 1;
+                        return Ok(());
+                    }
+                    loop {
+                        value(b, i)?;
+                        ws(b, i);
+                        match b.get(*i) {
+                            Some(b',') => *i += 1,
+                            Some(b']') => {
+                                *i += 1;
+                                return Ok(());
+                            }
+                            _ => return Err(format!("expected ',' or ']' at {i}")),
+                        }
+                    }
+                }
+                Some(b'"') => {
+                    *i += 1;
+                    while let Some(c) = b.get(*i) {
+                        match c {
+                            b'"' => {
+                                *i += 1;
+                                return Ok(());
+                            }
+                            b'\\' => *i += 2,
+                            _ => *i += 1,
+                        }
+                    }
+                    Err("unterminated string".into())
+                }
+                Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                    while b
+                        .get(*i)
+                        .is_some_and(|c| c.is_ascii_digit() || b".-+eE".contains(c))
+                    {
+                        *i += 1;
+                    }
+                    Ok(())
+                }
+                _ => {
+                    for lit in ["true", "false", "null"] {
+                        if b[*i..].starts_with(lit.as_bytes()) {
+                            *i += lit.len();
+                            return Ok(());
+                        }
+                    }
+                    Err(format!("unexpected byte at {i}"))
+                }
+            }
+        }
+        value(b, &mut i)?;
+        ws(b, &mut i);
+        if i != b.len() {
+            return Err(format!("trailing garbage at {i}"));
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn export_is_valid_json_with_expected_slices() {
+        let records = vec![
+            TraceRecord::TraceBegin {
+                t: SimTime::from_nanos(50),
+                node: NodeId(3),
+                trace_id: 1,
+                label: "kv_request",
+            },
+            TraceRecord::CoroutineStart {
+                t: SimTime::ZERO,
+                node: NodeId(0),
+                coro: depfast::CoroId(0),
+                label: "raft:replicate",
+                ctx: None,
+            },
+            TraceRecord::EventCreated {
+                t: SimTime::from_nanos(100),
+                node: NodeId(0),
+                coro: Some(depfast::CoroId(0)),
+                event: depfast::EventId(0),
+                kind: EventKind::Rpc { target: NodeId(1) },
+                label: "append_entries",
+                ctx: Some(depfast::TraceCtx {
+                    trace_id: 1,
+                    parent_span: depfast::SpanId::NONE,
+                }),
+            },
+            TraceRecord::EventFired {
+                t: SimTime::from_nanos(2600),
+                event: depfast::EventId(0),
+                signal: Signal::Ok,
+            },
+        ];
+        let json = chrome_trace(&TraceIndex::build(&records));
+        check_json(&json).expect("valid JSON");
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":0.100"));
+        assert!(json.contains("\"dur\":2.500"));
+        assert!(json.contains("\"name\":\"append_entries\""));
+        assert!(json.contains("\"trace\":1"));
+        assert!(json.contains("node 0"));
+        assert!(json.contains("raft:replicate"));
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let records = vec![
+            TraceRecord::EventCreated {
+                t: SimTime::from_nanos(1),
+                node: NodeId(0),
+                coro: None,
+                event: depfast::EventId(7),
+                kind: EventKind::Io,
+                label: "wal",
+                ctx: None,
+            },
+            TraceRecord::EventFired {
+                t: SimTime::from_nanos(5),
+                event: depfast::EventId(7),
+                signal: Signal::Ok,
+            },
+        ];
+        let a = chrome_trace(&TraceIndex::build(&records));
+        let b = chrome_trace(&TraceIndex::build(&records));
+        assert_eq!(a, b);
+    }
+}

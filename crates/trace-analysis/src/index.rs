@@ -1,0 +1,122 @@
+//! A queryable index over a raw record stream.
+
+use std::collections::HashMap;
+
+use depfast::event::Signal;
+use depfast::{CoroId, EventId, EventKind, TraceCtx, TraceRecord};
+use simkit::{NodeId, SimTime};
+
+/// Creation-time facts about one event.
+#[derive(Debug, Clone, Copy)]
+pub struct EventInfo {
+    /// When the event was created.
+    pub t: SimTime,
+    /// Owning node.
+    pub node: NodeId,
+    /// Creating coroutine, if any.
+    pub coro: Option<CoroId>,
+    /// Structural kind.
+    pub kind: EventKind,
+    /// Waiting-point label.
+    pub label: &'static str,
+    /// Causal context active at creation.
+    pub ctx: Option<TraceCtx>,
+}
+
+/// Facts about one coroutine launch.
+#[derive(Debug, Clone, Copy)]
+pub struct CoroInfo {
+    pub(crate) node: NodeId,
+    pub(crate) label: &'static str,
+}
+
+/// Index over one trace: events by id, fire times, compound-event
+/// structure, proposal→round links.
+#[derive(Default)]
+pub struct TraceIndex {
+    /// Creation records by event id.
+    pub events: HashMap<EventId, EventInfo>,
+    /// Fire time and outcome by event id.
+    pub fired: HashMap<EventId, (SimTime, Signal)>,
+    /// Children of each compound event, in add order.
+    pub children: HashMap<EventId, Vec<EventId>>,
+    /// Last `(k, n)` snapshot seen for each quorum-like event.
+    pub quorum_meta: HashMap<EventId, (usize, usize)>,
+    /// Replication round (quorum event) of each linked proposal.
+    pub round_of: HashMap<EventId, EventId>,
+    pub(crate) coros: HashMap<CoroId, CoroInfo>,
+    pub(crate) begins: Vec<(SimTime, NodeId, u64, &'static str)>,
+}
+
+impl TraceIndex {
+    /// Builds the index from a record stream.
+    pub fn build(records: &[TraceRecord]) -> Self {
+        let mut ix = TraceIndex::default();
+        for rec in records {
+            match rec {
+                TraceRecord::TraceBegin {
+                    t,
+                    node,
+                    trace_id,
+                    label,
+                } => ix.begins.push((*t, *node, *trace_id, label)),
+                TraceRecord::CoroutineStart {
+                    node, coro, label, ..
+                } => {
+                    ix.coros.insert(*coro, CoroInfo { node: *node, label });
+                }
+                TraceRecord::EventCreated {
+                    t,
+                    node,
+                    coro,
+                    event,
+                    kind,
+                    label,
+                    ctx,
+                } => {
+                    ix.events.insert(
+                        *event,
+                        EventInfo {
+                            t: *t,
+                            node: *node,
+                            coro: *coro,
+                            kind: *kind,
+                            label,
+                            ctx: *ctx,
+                        },
+                    );
+                }
+                TraceRecord::RoundLink {
+                    proposal, round, ..
+                } => {
+                    ix.round_of.insert(*proposal, *round);
+                }
+                TraceRecord::ChildAdded {
+                    parent,
+                    child,
+                    parent_meta,
+                    ..
+                } => {
+                    ix.children.entry(*parent).or_default().push(*child);
+                    if let Some(meta) = parent_meta {
+                        ix.quorum_meta.insert(*parent, *meta);
+                    }
+                }
+                TraceRecord::EventFired { t, event, signal } => {
+                    // Keep the first fire; re-fires don't change readiness.
+                    ix.fired.entry(*event).or_insert((*t, *signal));
+                }
+                TraceRecord::WaitBegin { .. } | TraceRecord::WaitEnd { .. } => {}
+            }
+        }
+        ix
+    }
+
+    /// When `event` fired with [`Signal::Ok`], if it did.
+    pub fn ok_fire_time(&self, event: EventId) -> Option<SimTime> {
+        match self.fired.get(&event) {
+            Some((t, Signal::Ok)) => Some(*t),
+            _ => None,
+        }
+    }
+}

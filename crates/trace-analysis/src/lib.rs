@@ -1,0 +1,57 @@
+//! Offline analysis of DepFast causal traces.
+//!
+//! The runtime records per-event trace points ([`depfast::TraceRecord`])
+//! and threads a per-client-operation [`depfast::TraceCtx`] through
+//! coroutines and RPC envelopes, so one committed command's work forms a
+//! tree of spans across nodes. This crate turns those raw records into:
+//!
+//! - a **blame report** ([`blame_report`]): for every committed command,
+//!   the wall-clock interval from proposal to completion is decomposed
+//!   into critical-path segments and each segment is charged to a
+//!   `(node, layer)` pair — the node whose slowness the segment's
+//!   duration evidences, and the layer (disk, rpc, queue, apply, or a
+//!   driver-annotated phase) it was spent in;
+//! - a **Chrome trace** ([`chrome_trace`]): the span trees as
+//!   `trace_event` JSON loadable in `chrome://tracing` or Perfetto;
+//! - a **portable dump format** ([`serialize_records`] /
+//!   [`parse_records`]): a line-based encoding of the raw records so the
+//!   `depfast-trace` binary can analyze a recorded run without
+//!   re-running the simulation.
+//!
+//! Everything here is a pure function of the record stream: a
+//! deterministic simulation therefore yields byte-identical reports and
+//! trace files across same-seed runs.
+//!
+//! # Blame semantics
+//!
+//! Two decomposition modes cover the two driver shapes in this repo:
+//!
+//! - **Round mode** (DepFastRaft): the driver links each proposal to its
+//!   replication round's quorum event ([`depfast::TraceRecord::RoundLink`]).
+//!   The proposal window splits into *queue* (proposal created → round
+//!   created, charged to the leader), *round* (round created → round
+//!   fired, charged to the **k-th-arriving** successful quorum child —
+//!   the child that actually made the quorum ready; earlier arrivals
+//!   were not the bottleneck and later ones were not waited for), and
+//!   *apply* (round fired → proposal fired, charged to the leader).
+//! - **Phase mode** (Sync/Backlog/Callback/Chain): without round links,
+//!   the proposal window is intersected with the leader's
+//!   driver-annotated phase spans ([`depfast::PhaseSpan`]); each overlap
+//!   is charged to the phase's blame node and label, the uncovered
+//!   residual to the leader as `other`.
+//!
+//! Concurrent commands share phases and rounds, so blame measures
+//! *request-seconds* of critical-path exposure, not exclusive wall
+//! clock; shares (fractions of the aggregate) are the meaningful unit.
+
+#![warn(missing_docs)]
+
+mod blame;
+mod chrome;
+mod index;
+mod serial;
+
+pub use blame::{blame_report, BlameKey, BlameReport};
+pub use chrome::chrome_trace;
+pub use index::{EventInfo, TraceIndex};
+pub use serial::{parse_records, serialize_records};

@@ -1,0 +1,473 @@
+//! A portable line-based dump format for raw trace records, so analysis
+//! binaries can work from a recorded file instead of re-running the
+//! simulation. One record per line, tab-separated fields, first field is
+//! the record tag. `-` encodes "absent"; causal contexts are encoded as
+//! `trace_id` + `parent_span` with `0 0` meaning "none" (trace ids start
+//! at 1 and span 0 is [`depfast::SpanId::NONE`]).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use depfast::event::{Signal, WaitResult};
+use depfast::{CoroId, EventId, EventKind, SpanId, TraceCtx, TraceRecord};
+use simkit::{NodeId, SimTime};
+
+/// Labels parsed from a dump must be `&'static str` like the originals;
+/// they are interned once per distinct string and leaked deliberately
+/// (the set of labels in a trace is small and fixed by the code).
+fn intern(s: &str) -> &'static str {
+    thread_local! {
+        static POOL: RefCell<HashMap<String, &'static str>> = RefCell::new(HashMap::new());
+    }
+    POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if let Some(v) = pool.get(s) {
+            return *v;
+        }
+        let v: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        pool.insert(s.to_owned(), v);
+        v
+    })
+}
+
+fn ctx_fields(ctx: &Option<TraceCtx>) -> (u64, u64) {
+    match ctx {
+        Some(c) => (c.trace_id, c.parent_span.0),
+        None => (0, 0),
+    }
+}
+
+fn kind_fields(kind: EventKind) -> (&'static str, String) {
+    match kind {
+        EventKind::Rpc { target } => ("rpc", target.0.to_string()),
+        EventKind::Phase { blame } => ("phase", blame.0.to_string()),
+        k => (k.name(), "-".to_string()),
+    }
+}
+
+fn opt_coro(c: &Option<CoroId>) -> String {
+    c.map(|c| c.0.to_string()).unwrap_or_else(|| "-".into())
+}
+
+fn opt_meta(m: &Option<(usize, usize)>) -> String {
+    match m {
+        Some((k, n)) => format!("{k}\t{n}"),
+        None => "-\t-".into(),
+    }
+}
+
+/// Serializes records into the dump format.
+pub fn serialize_records(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for rec in records {
+        match rec {
+            TraceRecord::TraceBegin {
+                t,
+                node,
+                trace_id,
+                label,
+            } => {
+                writeln!(
+                    out,
+                    "begin\t{}\t{}\t{}\t{}",
+                    t.as_nanos(),
+                    node.0,
+                    trace_id,
+                    label
+                )
+            }
+            TraceRecord::CoroutineStart {
+                t,
+                node,
+                coro,
+                label,
+                ctx,
+            } => {
+                let (tid, span) = ctx_fields(ctx);
+                writeln!(
+                    out,
+                    "coro\t{}\t{}\t{}\t{}\t{}\t{}",
+                    t.as_nanos(),
+                    node.0,
+                    coro.0,
+                    label,
+                    tid,
+                    span
+                )
+            }
+            TraceRecord::EventCreated {
+                t,
+                node,
+                coro,
+                event,
+                kind,
+                label,
+                ctx,
+            } => {
+                let (kname, karg) = kind_fields(*kind);
+                let (tid, span) = ctx_fields(ctx);
+                writeln!(
+                    out,
+                    "event\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                    t.as_nanos(),
+                    node.0,
+                    opt_coro(coro),
+                    event.0,
+                    kname,
+                    karg,
+                    label,
+                    tid,
+                    span
+                )
+            }
+            TraceRecord::RoundLink { t, proposal, round } => {
+                writeln!(out, "link\t{}\t{}\t{}", t.as_nanos(), proposal.0, round.0)
+            }
+            TraceRecord::ChildAdded {
+                t,
+                parent,
+                child,
+                parent_meta,
+            } => {
+                writeln!(
+                    out,
+                    "child\t{}\t{}\t{}\t{}",
+                    t.as_nanos(),
+                    parent.0,
+                    child.0,
+                    opt_meta(parent_meta)
+                )
+            }
+            TraceRecord::EventFired { t, event, signal } => {
+                let s = match signal {
+                    Signal::Ok => "ok",
+                    Signal::Err => "err",
+                };
+                writeln!(out, "fired\t{}\t{}\t{}", t.as_nanos(), event.0, s)
+            }
+            TraceRecord::WaitBegin {
+                t,
+                node,
+                coro,
+                event,
+                coro_label,
+                quorum,
+            } => {
+                writeln!(
+                    out,
+                    "wbegin\t{}\t{}\t{}\t{}\t{}\t{}",
+                    t.as_nanos(),
+                    node.0,
+                    opt_coro(coro),
+                    event.0,
+                    coro_label,
+                    opt_meta(quorum)
+                )
+            }
+            TraceRecord::WaitEnd {
+                t,
+                node,
+                coro,
+                event,
+                result,
+                waited,
+            } => {
+                let r = match result {
+                    WaitResult::Ready => "ready",
+                    WaitResult::Failed => "failed",
+                    WaitResult::Timeout => "timeout",
+                };
+                writeln!(
+                    out,
+                    "wend\t{}\t{}\t{}\t{}\t{}\t{}",
+                    t.as_nanos(),
+                    node.0,
+                    opt_coro(coro),
+                    event.0,
+                    r,
+                    waited.as_nanos()
+                )
+            }
+        }
+        .expect("writing to a String cannot fail");
+    }
+    out
+}
+
+struct Line<'a> {
+    no: usize,
+    fields: Vec<&'a str>,
+    at: usize,
+}
+
+impl<'a> Line<'a> {
+    fn next(&mut self) -> Result<&'a str, String> {
+        let f = self
+            .fields
+            .get(self.at)
+            .ok_or_else(|| format!("line {}: missing field {}", self.no, self.at))?;
+        self.at += 1;
+        Ok(f)
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        let no = self.no;
+        self.next()?
+            .parse()
+            .map_err(|e| format!("line {no}: bad number: {e}"))
+    }
+
+    fn time(&mut self) -> Result<SimTime, String> {
+        Ok(SimTime::from_nanos(self.u64()?))
+    }
+
+    fn node(&mut self) -> Result<NodeId, String> {
+        Ok(NodeId(self.u64()? as u32))
+    }
+
+    fn opt_coro(&mut self) -> Result<Option<CoroId>, String> {
+        let f = self.next()?;
+        if f == "-" {
+            return Ok(None);
+        }
+        let no = self.no;
+        f.parse()
+            .map(|v| Some(CoroId(v)))
+            .map_err(|e| format!("line {no}: bad coro id: {e}"))
+    }
+
+    fn opt_meta(&mut self) -> Result<Option<(usize, usize)>, String> {
+        let (k, n) = (self.next()?, self.next()?);
+        if k == "-" || n == "-" {
+            return Ok(None);
+        }
+        let no = self.no;
+        let parse = |s: &str| {
+            s.parse::<usize>()
+                .map_err(|e| format!("line {no}: bad quorum meta: {e}"))
+        };
+        Ok(Some((parse(k)?, parse(n)?)))
+    }
+
+    fn ctx(&mut self) -> Result<Option<TraceCtx>, String> {
+        let (tid, span) = (self.u64()?, self.u64()?);
+        Ok((tid != 0 || span != 0).then_some(TraceCtx {
+            trace_id: tid,
+            parent_span: SpanId(span),
+        }))
+    }
+}
+
+/// Parses a dump produced by [`serialize_records`].
+pub fn parse_records(text: &str) -> Result<Vec<TraceRecord>, String> {
+    let mut records = Vec::new();
+    for (no, raw) in text.lines().enumerate() {
+        if raw.is_empty() {
+            continue;
+        }
+        let mut line = Line {
+            no: no + 1,
+            fields: raw.split('\t').collect(),
+            at: 0,
+        };
+        let tag = line.next()?;
+        let rec = match tag {
+            "begin" => TraceRecord::TraceBegin {
+                t: line.time()?,
+                node: line.node()?,
+                trace_id: line.u64()?,
+                label: intern(line.next()?),
+            },
+            "coro" => TraceRecord::CoroutineStart {
+                t: line.time()?,
+                node: line.node()?,
+                coro: CoroId(line.u64()?),
+                label: intern(line.next()?),
+                ctx: line.ctx()?,
+            },
+            "event" => {
+                let t = line.time()?;
+                let node = line.node()?;
+                let coro = line.opt_coro()?;
+                let event = EventId(line.u64()?);
+                let kname = line.next()?;
+                let karg = line.next()?;
+                let kind = match kname {
+                    "notify" => EventKind::Notify,
+                    "value" => EventKind::Value,
+                    "timer" => EventKind::Timer,
+                    "io" => EventKind::Io,
+                    "quorum" => EventKind::Quorum,
+                    "and" => EventKind::And,
+                    "or" => EventKind::Or,
+                    "rpc" => EventKind::Rpc {
+                        target: NodeId(
+                            karg.parse()
+                                .map_err(|e| format!("line {}: bad rpc target: {e}", line.no))?,
+                        ),
+                    },
+                    "phase" => EventKind::Phase {
+                        blame: NodeId(
+                            karg.parse()
+                                .map_err(|e| format!("line {}: bad phase blame: {e}", line.no))?,
+                        ),
+                    },
+                    other => return Err(format!("line {}: unknown kind {other:?}", line.no)),
+                };
+                TraceRecord::EventCreated {
+                    t,
+                    node,
+                    coro,
+                    event,
+                    kind,
+                    label: intern(line.next()?),
+                    ctx: line.ctx()?,
+                }
+            }
+            "link" => TraceRecord::RoundLink {
+                t: line.time()?,
+                proposal: EventId(line.u64()?),
+                round: EventId(line.u64()?),
+            },
+            "child" => TraceRecord::ChildAdded {
+                t: line.time()?,
+                parent: EventId(line.u64()?),
+                child: EventId(line.u64()?),
+                parent_meta: line.opt_meta()?,
+            },
+            "fired" => TraceRecord::EventFired {
+                t: line.time()?,
+                event: EventId(line.u64()?),
+                signal: match line.next()? {
+                    "ok" => Signal::Ok,
+                    "err" => Signal::Err,
+                    other => return Err(format!("line {}: unknown signal {other:?}", line.no)),
+                },
+            },
+            "wbegin" => TraceRecord::WaitBegin {
+                t: line.time()?,
+                node: line.node()?,
+                coro: line.opt_coro()?,
+                event: EventId(line.u64()?),
+                coro_label: intern(line.next()?),
+                quorum: line.opt_meta()?,
+            },
+            "wend" => TraceRecord::WaitEnd {
+                t: line.time()?,
+                node: line.node()?,
+                coro: line.opt_coro()?,
+                event: EventId(line.u64()?),
+                result: match line.next()? {
+                    "ready" => WaitResult::Ready,
+                    "failed" => WaitResult::Failed,
+                    "timeout" => WaitResult::Timeout,
+                    other => return Err(format!("line {}: unknown result {other:?}", line.no)),
+                },
+                waited: std::time::Duration::from_nanos(line.u64()?),
+            },
+            other => return Err(format!("line {}: unknown record tag {other:?}", line.no)),
+        };
+        records.push(rec);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn sample() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord::TraceBegin {
+                t: SimTime::from_nanos(10),
+                node: NodeId(3),
+                trace_id: 1,
+                label: "kv_request",
+            },
+            TraceRecord::CoroutineStart {
+                t: SimTime::from_nanos(11),
+                node: NodeId(0),
+                coro: CoroId(4),
+                label: "raft:replicate",
+                ctx: Some(TraceCtx {
+                    trace_id: 1,
+                    parent_span: SpanId::event(EventId(9)),
+                }),
+            },
+            TraceRecord::EventCreated {
+                t: SimTime::from_nanos(12),
+                node: NodeId(0),
+                coro: Some(CoroId(4)),
+                event: EventId(5),
+                kind: EventKind::Rpc { target: NodeId(2) },
+                label: "append_entries",
+                ctx: None,
+            },
+            TraceRecord::EventCreated {
+                t: SimTime::from_nanos(12),
+                node: NodeId(1),
+                coro: None,
+                event: EventId(6),
+                kind: EventKind::Phase { blame: NodeId(2) },
+                label: "cold_read",
+                ctx: None,
+            },
+            TraceRecord::RoundLink {
+                t: SimTime::from_nanos(13),
+                proposal: EventId(2),
+                round: EventId(5),
+            },
+            TraceRecord::ChildAdded {
+                t: SimTime::from_nanos(14),
+                parent: EventId(5),
+                child: EventId(6),
+                parent_meta: Some((2, 3)),
+            },
+            TraceRecord::EventFired {
+                t: SimTime::from_nanos(15),
+                event: EventId(5),
+                signal: Signal::Err,
+            },
+            TraceRecord::WaitBegin {
+                t: SimTime::from_nanos(16),
+                node: NodeId(0),
+                coro: None,
+                event: EventId(5),
+                coro_label: "?",
+                quorum: None,
+            },
+            TraceRecord::WaitEnd {
+                t: SimTime::from_nanos(17),
+                node: NodeId(0),
+                coro: Some(CoroId(4)),
+                event: EventId(5),
+                result: WaitResult::Timeout,
+                waited: Duration::from_nanos(123),
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips_every_variant() {
+        let original = sample();
+        let text = serialize_records(&original);
+        let parsed = parse_records(&text).expect("parses");
+        // TraceRecord has no PartialEq; compare via re-serialization.
+        assert_eq!(text, serialize_records(&parsed));
+        assert_eq!(parsed.len(), original.len());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_records("nonsense\t1\t2\n").is_err());
+        assert!(parse_records("fired\t1\n").is_err());
+        assert!(parse_records("fired\t1\t2\tmaybe\n").is_err());
+    }
+
+    #[test]
+    fn empty_lines_are_skipped() {
+        assert!(parse_records("\n\n").expect("ok").is_empty());
+    }
+}

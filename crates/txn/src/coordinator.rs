@@ -106,7 +106,10 @@ impl TxnClient {
         let mut by_shard: HashMap<usize, Vec<TxnWrite>> = HashMap::new();
         for (key, value) in writes {
             let shard = shard_of(&key, self.shards.len());
-            by_shard.entry(shard).or_default().push(TxnWrite { key, value });
+            by_shard
+                .entry(shard)
+                .or_default()
+                .push(TxnWrite { key, value });
         }
         let participants: Vec<usize> = by_shard.keys().copied().collect();
 
@@ -159,10 +162,7 @@ impl TxnClient {
         let outcome = OrEvent::labeled(&self.rt, "txn_phase1");
         outcome.add(&all_prepared);
         outcome.add(&any_abort);
-        outcome
-            .handle()
-            .wait_timeout(self.prepare_timeout)
-            .await;
+        outcome.handle().wait_timeout(self.prepare_timeout).await;
 
         // ---- Phase 2: commit or abort everywhere. ------------------------
         if all_prepared.ready() {
@@ -290,11 +290,8 @@ mod tests {
     fn single_shard_transaction_works() {
         let (sim, _w, cl) = setup(1, 1);
         let cl2 = cl.clone();
-        let out = sim.block_on(async move {
-            cl2.clients[0]
-                .transact(vec![(b("k"), b("v"))])
-                .await
-        });
+        let out =
+            sim.block_on(async move { cl2.clients[0].transact(vec![(b("k"), b("v"))]).await });
         assert_eq!(out, Ok(true));
     }
 
@@ -308,7 +305,11 @@ mod tests {
         let t0 = sim.now();
         let out = sim.block_on(async move {
             cl2.clients[0]
-                .transact(vec![(b("aa"), b("1")), (b("bb"), b("2")), (b("cc"), b("3"))])
+                .transact(vec![
+                    (b("aa"), b("1")),
+                    (b("bb"), b("2")),
+                    (b("cc"), b("3")),
+                ])
                 .await
         });
         assert_eq!(out, Ok(true));

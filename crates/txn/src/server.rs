@@ -165,7 +165,10 @@ mod tests {
             TxnVote::Yes
         );
         assert_eq!(st.apply(&TxnCmd::Commit { txn: 1 }), TxnVote::Yes);
-        assert_eq!(st.data.get(&Bytes::from_static(b"a")), Some(&Bytes::from_static(b"1")));
+        assert_eq!(
+            st.data.get(&Bytes::from_static(b"a")),
+            Some(&Bytes::from_static(b"1"))
+        );
         assert!(st.locks.is_empty());
         assert_eq!(st.commits, 1);
     }

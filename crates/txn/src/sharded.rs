@@ -80,7 +80,7 @@ impl ShardedCluster {
             shards,
             clients,
             client_nodes,
-        tracer,
+            tracer,
         }
     }
 

@@ -75,7 +75,11 @@ pub fn run_workload(
         let rec = rec.clone();
         let sim2 = sim.clone();
         let mut gen = OpGen::new(spec, cfg.seed.wrapping_add(i as u64 * 7919));
-        sim.spawn(async move {
+        // Each client loop is a proper coroutine so the causal context a
+        // `KvClient` operation sets stays scoped to this session instead
+        // of leaking through the ambient slot into unrelated tasks.
+        let rt = cluster.clients[i].runtime().clone();
+        depfast::Coroutine::create(&rt, "ycsb:client", async move {
             let client = &cluster.clients[i];
             loop {
                 let now = sim2.now();
@@ -85,9 +89,7 @@ pub fn run_workload(
                 let (kind, key, value) = gen.next_op();
                 let t0 = sim2.now();
                 let result = match kind {
-                    OpKind::Update | OpKind::Insert => {
-                        client.put(key, value).await.map(|_| ())
-                    }
+                    OpKind::Update | OpKind::Insert => client.put(key, value).await.map(|_| ()),
                     OpKind::Read => client.get(key).await.map(|_| ()),
                 };
                 let t1 = sim2.now();
@@ -151,7 +153,9 @@ mod tests {
             &sim,
             &world,
             &cluster,
-            WorkloadSpec::update_heavy().with_records(1000).with_value_size(128),
+            WorkloadSpec::update_heavy()
+                .with_records(1000)
+                .with_value_size(128),
             DriverCfg {
                 warmup: Duration::from_millis(500),
                 measure: Duration::from_secs(2),

@@ -14,7 +14,10 @@ use depfast_raft::cluster::RaftKind;
 
 fn main() {
     let fault = FaultKind::CpuSlow { quota: 0.05 };
-    println!("Injecting {:?} into one follower of each 3-node cluster...\n", fault.name());
+    println!(
+        "Injecting {:?} into one follower of each 3-node cluster...\n",
+        fault.name()
+    );
     println!(
         "{:<32} {:>14} {:>14} {:>9} {:>10} {:>10}",
         "System", "healthy req/s", "faulty req/s", "tput", "avg lat", "p99 lat"

@@ -60,7 +60,11 @@ fn main() {
                     let mut ok = 0u32;
                     for i in 0..ops_per_client {
                         let key = Bytes::from(format!("{c}:{i}"));
-                        if cl.clients[c].put(key, Bytes::from(vec![0u8; 64])).await.is_ok() {
+                        if cl.clients[c]
+                            .put(key, Bytes::from(vec![0u8; 64]))
+                            .await
+                            .is_ok()
+                        {
                             ok += 1;
                         }
                     }

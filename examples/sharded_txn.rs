@@ -50,9 +50,18 @@ fn main() {
         let t0 = s.now();
         let committed = cl.clients[0]
             .transact(vec![
-                (Bytes::from_static(b"account:alice"), Bytes::from_static(b"900")),
-                (Bytes::from_static(b"account:bob"), Bytes::from_static(b"1100")),
-                (Bytes::from_static(b"audit:log:1"), Bytes::from_static(b"alice->bob:100")),
+                (
+                    Bytes::from_static(b"account:alice"),
+                    Bytes::from_static(b"900"),
+                ),
+                (
+                    Bytes::from_static(b"account:bob"),
+                    Bytes::from_static(b"1100"),
+                ),
+                (
+                    Bytes::from_static(b"audit:log:1"),
+                    Bytes::from_static(b"alice->bob:100"),
+                ),
             ])
             .await;
         println!(
@@ -80,10 +89,15 @@ fn main() {
         shard,
         cluster.servers[shard]
             .iter()
-            .map(|r| r.local_get(&key).map(|v| String::from_utf8_lossy(&v).into_owned()))
+            .map(|r| r
+                .local_get(&key)
+                .map(|v| String::from_utf8_lossy(&v).into_owned()))
             .collect::<Vec<_>>()
     );
     let commits: u64 = cluster.servers.iter().flatten().map(|s| s.commits()).sum();
     let aborts: u64 = cluster.servers.iter().flatten().map(|s| s.aborts()).sum();
-    println!("cluster-wide: {commits} shard-commits, {aborts} shard-aborts, virtual time {}", sim.now());
+    println!(
+        "cluster-wide: {commits} shard-commits, {aborts} shard-aborts, virtual time {}",
+        sim.now()
+    );
 }

@@ -31,8 +31,7 @@ fn propose_ok(sim: &Sim, cl: &depfast_raft::cluster::RaftCluster, node: usize) -
 }
 
 fn current_leader(cl: &depfast_raft::cluster::RaftCluster, w: &World) -> Option<usize> {
-    (0..cl.servers.len())
-        .find(|i| !w.is_crashed(NodeId(*i as u32)) && cl.servers[*i].is_leader())
+    (0..cl.servers.len()).find(|i| !w.is_crashed(NodeId(*i as u32)) && cl.servers[*i].is_leader())
 }
 
 /// A leader cut off from both followers stops committing; the majority
@@ -68,7 +67,10 @@ fn partitioned_leader_loses_leadership_majority_continues() {
     w.heal(NodeId(0), NodeId(1));
     w.heal(NodeId(0), NodeId(2));
     sim.run_until_time(sim.now() + Duration::from_secs(3));
-    assert!(!cl.servers[0].is_leader(), "old leader must have stepped down");
+    assert!(
+        !cl.servers[0].is_leader(),
+        "old leader must have stepped down"
+    );
     let last = cl.servers[new_leader].core().log.last_index();
     assert_eq!(
         cl.servers[0].core().log.last_index(),

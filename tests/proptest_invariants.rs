@@ -15,7 +15,11 @@ use simkit::{NodeId, Sim};
 use std::time::Duration;
 
 fn arb_entry() -> impl Strategy<Value = Entry> {
-    (any::<u64>(), any::<u64>(), prop::collection::vec(any::<u8>(), 0..64))
+    (
+        any::<u64>(),
+        any::<u64>(),
+        prop::collection::vec(any::<u8>(), 0..64),
+    )
         .prop_map(|(term, index, payload)| Entry {
             term,
             index,

@@ -179,7 +179,8 @@ fn depfast_soak_across_random_faults() {
         inject_at(&sim, &w, target, fault, Duration::from_millis(50), None);
         let committed = drive(&sim, &cl, 40, 256);
         assert_eq!(
-            committed, 40,
+            committed,
+            40,
             "seed {seed} fault {:?} broke DepFastRaft commits",
             fault.name()
         );

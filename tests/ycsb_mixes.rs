@@ -55,11 +55,7 @@ fn all_letter_workloads_complete() {
         ("F", mixes::workload_f()),
     ] {
         let stats = run(spec);
-        assert!(
-            stats.ops > 200,
-            "workload {name}: only {} ops",
-            stats.ops
-        );
+        assert!(stats.ops > 200, "workload {name}: only {} ops", stats.ops);
         assert_eq!(stats.errors, 0, "workload {name}");
         assert!(!stats.server_crashed, "workload {name}");
     }

@@ -147,10 +147,7 @@ pub mod rngs {
     impl RngCore for SmallRng {
         fn next_u64(&mut self) -> u64 {
             let [s0, s1, s2, s3] = self.s;
-            let result = s0
-                .wrapping_add(s3)
-                .rotate_left(23)
-                .wrapping_add(s0);
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
             let t = s1 << 17;
             let mut s2 = s2 ^ s0;
             let mut s3 = s3 ^ s1;
@@ -182,7 +179,9 @@ mod tests {
     fn different_seeds_diverge() {
         let mut a = SmallRng::seed_from_u64(1);
         let mut b = SmallRng::seed_from_u64(2);
-        let same = (0..16).filter(|_| a.random::<u64>() == b.random::<u64>()).count();
+        let same = (0..16)
+            .filter(|_| a.random::<u64>() == b.random::<u64>())
+            .count();
         assert!(same < 4);
     }
 
