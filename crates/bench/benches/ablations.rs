@@ -16,6 +16,7 @@ use std::time::Duration;
 use bytes::Bytes;
 use depfast::event::{QuorumEvent, QuorumMode, Watchable};
 use depfast::runtime::Runtime;
+use depfast_bench::baseline::{RunRecord, Suite};
 use depfast_bench::Table;
 use depfast_rpc::broadcast::broadcast;
 use depfast_rpc::endpoint::{Endpoint, Registry, RpcCfg};
@@ -181,7 +182,7 @@ fn ablation_buffers() {
     let _ = t.write_csv("ablation_buffers");
 }
 
-fn ablation_entrycache() {
+fn ablation_entrycache(suite: &mut Suite) {
     use depfast_bench::{run_experiment, ExperimentCfg, FaultTarget};
     use depfast_fault::FaultKind;
     use depfast_raft::cluster::RaftKind;
@@ -228,6 +229,18 @@ fn ablation_entrycache() {
                 delay: Duration::from_millis(400),
             },
         )));
+        let driver = format!("SyncRaft cache={cache_kib}KiB");
+        suite.runs.push(RunRecord::from_stats(
+            &driver, "none", "", &healthy, None, None,
+        ));
+        suite.runs.push(RunRecord::from_stats(
+            &driver,
+            "net_slow",
+            "",
+            &slow,
+            Some(healthy.throughput),
+            None,
+        ));
         t.row(vec![
             cache_kib.to_string(),
             format!("{:.0}", healthy.throughput),
@@ -286,8 +299,8 @@ fn run_experiment_with_cache(
 
 /// Chain replication vs quorum replication under a slow *tail* — the
 /// §2.1/§3.3 tradeoff, measured.
-fn ablation_chain_vs_quorum() {
-    use depfast_bench::{run_experiment, ExperimentCfg, FaultTarget};
+fn ablation_chain_vs_quorum(suite: &mut Suite) {
+    use depfast_bench::{run_experiment_profiled, ExperimentCfg, FaultTarget};
     use depfast_fault::FaultKind;
     use depfast_raft::cluster::RaftKind;
 
@@ -304,7 +317,7 @@ fn ablation_chain_vs_quorum() {
     );
     for kind in [RaftKind::DepFast, RaftKind::Chain] {
         let make = |fault| {
-            run_experiment(&ExperimentCfg {
+            run_experiment_profiled(&ExperimentCfg {
                 kind,
                 n_clients: 128,
                 warmup: Duration::from_secs(1),
@@ -314,14 +327,24 @@ fn ablation_chain_vs_quorum() {
                 ..ExperimentCfg::default()
             })
         };
-        let healthy = make(None);
+        let healthy_run = make(None);
         // The slow member is node 2: DepFastRaft's follower, ChainRaft's tail.
-        let slow = make(Some((
+        let slow_run = make(Some((
             FaultTarget::Followers(vec![2]),
             FaultKind::NetSlow {
                 delay: Duration::from_millis(400),
             },
         )));
+        suite
+            .runs
+            .push(RunRecord::from_profiled(&healthy_run, "none", "", None));
+        suite.runs.push(RunRecord::from_profiled(
+            &slow_run,
+            "net_slow",
+            "",
+            Some(healthy_run.stats.throughput),
+        ));
+        let (healthy, slow) = (healthy_run.stats, slow_run.stats);
         t.row(vec![
             kind.name().to_string(),
             format!("{:.0}", healthy.throughput),
@@ -338,8 +361,13 @@ fn ablation_chain_vs_quorum() {
 fn main() {
     ablation_wait_style();
     ablation_buffers();
-    ablation_entrycache();
-    ablation_chain_vs_quorum();
+    let mut suite = Suite::new("ablations", depfast_bench::ExperimentCfg::default().seed);
+    ablation_entrycache(&mut suite);
+    ablation_chain_vs_quorum(&mut suite);
+    match depfast_bench::write_repo_artifact("BENCH_ablations.json", &suite.to_json()) {
+        Ok(p) => println!("[bench-json] {}", p.display()),
+        Err(e) => eprintln!("[ablations] cannot write BENCH_ablations.json: {e}"),
+    }
     // Quiet the unused warning for QuorumEvent import used in docs.
     let _ = QuorumEvent::majority as fn(&Runtime) -> QuorumEvent;
 }

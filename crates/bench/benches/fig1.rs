@@ -31,14 +31,17 @@
 
 use std::time::Duration;
 
+use depfast_bench::baseline::{RunRecord, Suite};
 use depfast_bench::{
-    format_ms, run_experiment, run_experiment_instrumented, run_experiment_traced,
-    write_metrics_csv, ExperimentCfg, Table,
+    format_ms, repo_root, run_experiment_instrumented, run_experiment_profiled,
+    run_experiment_traced, slug, write_metrics_csv, write_repo_artifact, ExperimentCfg, Table,
 };
 use depfast_fault::FaultKind;
+use depfast_profile::Profiler;
 use depfast_raft::cluster::RaftKind;
 use depfast_trace_analysis as trace_analysis;
 use depfast_ycsb::driver::RunStats;
+use simkit::NodeId;
 
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)
@@ -47,17 +50,23 @@ fn env_u64(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
-/// Runs one experiment; with `--metrics`, also dumps its sampled
-/// time series to `target/depfast-bench/fig1_metrics_<run>.csv`.
-fn run_one(cfg: &ExperimentCfg, metrics: bool, run_name: &str) -> RunStats {
+/// Runs one experiment with the wait-state profiler attached (its site
+/// rollup lands in `BENCH_fig1.json`); with `--metrics`, instead samples
+/// the metric registry and dumps the time series to
+/// `target/depfast-bench/fig1_metrics_<run>.csv`.
+fn run_one(cfg: &ExperimentCfg, metrics: bool, run_name: &str) -> (RunStats, Option<Profiler>) {
     if !metrics {
-        return run_experiment(cfg);
+        let run = run_experiment_profiled(cfg);
+        return (run.stats, Some(run.profiler));
     }
     let run = run_experiment_instrumented(cfg, Duration::from_millis(100));
     if let Ok(p) = write_metrics_csv("fig1", run_name, &run.sampler.to_csv()) {
         println!("[csv] {}", p.display());
     }
-    run.stats
+    if let Ok(p) = depfast_bench::write_metrics_json("fig1", run_name, &run.metrics.to_json()) {
+        println!("[json] {}", p.display());
+    }
+    (run.stats, None)
 }
 
 /// `--flag <value>` extraction from the bench's raw argv.
@@ -87,22 +96,78 @@ fn trace_export(chrome: Option<String>, raw: Option<String>) {
         "[fig1] traced run (DepFastRaft, disk-slow follower 2, seed {})...",
         cfg.seed
     );
-    let (stats, records) = run_experiment_traced(&cfg);
+    let run = run_experiment_traced(&cfg);
     eprintln!(
         "[fig1] {} records, {:.0} req/s over the traced window",
-        records.len(),
-        stats.throughput
+        run.records.len(),
+        run.stats.throughput
     );
-    let index = trace_analysis::TraceIndex::build(&records);
+    if run.dropped > 0 {
+        eprintln!(
+            "[fig1] WARNING: trace ring buffer dropped {} record(s); blame shares \
+             below are computed from a truncated stream",
+            run.dropped
+        );
+    }
+    let index = trace_analysis::TraceIndex::build(&run.records);
     print!("{}", trace_analysis::blame_report(&index).table(12));
     if let Some(path) = chrome {
         std::fs::write(&path, trace_analysis::chrome_trace(&index)).expect("write chrome trace");
         println!("[chrome-trace] {path} (open in Perfetto or chrome://tracing)");
     }
     if let Some(path) = raw {
-        std::fs::write(&path, trace_analysis::serialize_records(&records))
-            .expect("write raw trace");
+        std::fs::write(
+            &path,
+            trace_analysis::serialize_dump(&run.records, run.dropped),
+        )
+        .expect("write raw trace");
         println!("[trace-out] {path} (analyze with `cargo run -p depfast-bench --bin depfast-trace -- {path}`)");
+    }
+}
+
+/// The `--profile` mode: one short, fixed-seed, profiled run per system
+/// with a disk-slow follower (node 2), exporting folded stacks + SVG
+/// flamegraphs. Deterministic: same seed ⇒ byte-identical files.
+fn profile_mode() {
+    let dir = repo_root().join("target/depfast-bench");
+    std::fs::create_dir_all(&dir).expect("create output dir");
+    for kind in [
+        RaftKind::DepFast,
+        RaftKind::Sync,
+        RaftKind::Backlog,
+        RaftKind::Callback,
+    ] {
+        let cfg = ExperimentCfg {
+            kind,
+            n_clients: 32,
+            warmup: Duration::from_millis(500),
+            measure: Duration::from_secs(1),
+            records: 10_000,
+            fault: Some((
+                depfast_bench::FaultTarget::Followers(vec![2]),
+                FaultKind::DiskSlow { bw_factor: 0.008 },
+            )),
+            ..ExperimentCfg::default()
+        };
+        eprintln!(
+            "[fig1] profiled run ({}, disk-slow follower 2, seed {})...",
+            kind.name(),
+            cfg.seed
+        );
+        let run = run_experiment_profiled(&cfg);
+        let stem = format!("fig1_profile_{}", slug(kind.name()));
+        let folded_path = dir.join(format!("{stem}.folded"));
+        let svg_path = dir.join(format!("{stem}.svg"));
+        std::fs::write(&folded_path, run.profiler.folded()).expect("write folded stacks");
+        std::fs::write(&svg_path, run.profiler.svg()).expect("write SVG flamegraph");
+        println!(
+            "{:<28} {:>6.0} req/s  node-2 disk share {:>5.1}%  [folded] {}  [svg] {}",
+            kind.name(),
+            run.stats.throughput,
+            run.profiler.node_site_share(NodeId(2), "disk") * 100.0,
+            folded_path.display(),
+            svg_path.display()
+        );
     }
 }
 
@@ -113,12 +178,19 @@ fn main() {
         trace_export(chrome, raw);
         return;
     }
+    if std::env::args().any(|a| a == "--profile") {
+        profile_mode();
+        return;
+    }
     let metrics = std::env::args().any(|a| a == "--metrics");
     let measure = Duration::from_secs(env_u64("FIG1_MEASURE_SECS", 10));
     let clients = env_u64("FIG1_CLIENTS", 256) as usize;
     let systems = [RaftKind::Sync, RaftKind::Backlog, RaftKind::Callback];
     let mem_limit = depfast_bench::experiment::mem_contention_limit();
     let faults = FaultKind::table1(mem_limit);
+    let mut suite = Suite::new("fig1", ExperimentCfg::default().seed);
+    suite.config("clients", clients as f64);
+    suite.config("measure_secs", measure.as_secs_f64());
 
     let mut tput = Table::new(
         "Figure 1a: normalized throughput (legacy RSMs, one fail-slow follower)",
@@ -141,7 +213,16 @@ fn main() {
             ..ExperimentCfg::default()
         };
         eprintln!("[fig1] {} baseline...", kind.name());
-        let base = run_one(&base_cfg, metrics, &format!("{}_no_slowness", kind.name()));
+        let (base, base_prof) =
+            run_one(&base_cfg, metrics, &format!("{}_no_slowness", kind.name()));
+        suite.runs.push(RunRecord::from_stats(
+            kind.name(),
+            "none",
+            "",
+            &base,
+            None,
+            base_prof.as_ref(),
+        ));
         let rows = |t: &mut Table, cond: &str, value: String, norm: String| {
             t.row(vec![kind.name().to_string(), cond.to_string(), value, norm]);
         };
@@ -165,7 +246,7 @@ fn main() {
         );
         for fault in faults {
             eprintln!("[fig1] {} + {}...", kind.name(), fault.name());
-            let stats = run_one(
+            let (stats, prof) = run_one(
                 &ExperimentCfg {
                     fault: Some((ExperimentCfg::followers(1), fault)),
                     ..base_cfg.clone()
@@ -173,6 +254,14 @@ fn main() {
                 metrics,
                 &format!("{}_{}", kind.name(), fault.name()),
             );
+            suite.runs.push(RunRecord::from_stats(
+                kind.name(),
+                fault.name(),
+                "",
+                &stats,
+                Some(base.throughput),
+                prof.as_ref(),
+            ));
             if stats.server_crashed {
                 for t in [&mut tput, &mut avg, &mut p99] {
                     t.row(vec![
@@ -221,6 +310,10 @@ fn main() {
         if let Ok(p) = t.write_csv(name) {
             println!("[csv] {}", p.display());
         }
+    }
+    match write_repo_artifact("BENCH_fig1.json", &suite.to_json()) {
+        Ok(p) => println!("[bench-json] {}", p.display()),
+        Err(e) => eprintln!("[fig1] cannot write BENCH_fig1.json: {e}"),
     }
     println!(
         "\nPaper reference (Fig 1 / §2.2): throughput drops up to 17-41%, avg latency +21-50%, \

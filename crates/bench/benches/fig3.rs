@@ -22,10 +22,13 @@
 
 use std::time::Duration;
 
+use depfast_bench::baseline::{RunRecord, Suite};
 use depfast_bench::{
-    format_ms, run_experiment, run_experiment_instrumented, write_metrics_csv, ExperimentCfg, Table,
+    format_ms, repo_root, run_experiment_instrumented, run_experiment_profiled, slug,
+    write_metrics_csv, write_repo_artifact, ExperimentCfg, Table,
 };
 use depfast_fault::FaultKind;
+use depfast_profile::Profiler;
 use depfast_raft::cluster::RaftKind;
 use depfast_ycsb::driver::RunStats;
 
@@ -36,20 +39,70 @@ fn env_u64(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
-/// Runs one experiment; with `--metrics`, also dumps its sampled
-/// time series to `target/depfast-bench/fig3_metrics_<run>.csv`.
-fn run_one(cfg: &ExperimentCfg, metrics: bool, run_name: &str) -> RunStats {
+/// Runs one experiment with the wait-state profiler attached (its site
+/// rollup lands in `BENCH_fig3.json`); with `--metrics`, instead samples
+/// the metric registry and dumps the time series to
+/// `target/depfast-bench/fig3_metrics_<run>.csv`.
+fn run_one(cfg: &ExperimentCfg, metrics: bool, run_name: &str) -> (RunStats, Option<Profiler>) {
     if !metrics {
-        return run_experiment(cfg);
+        let run = run_experiment_profiled(cfg);
+        return (run.stats, Some(run.profiler));
     }
     let run = run_experiment_instrumented(cfg, Duration::from_millis(100));
     if let Ok(p) = write_metrics_csv("fig3", run_name, &run.sampler.to_csv()) {
         println!("[csv] {}", p.display());
     }
-    run.stats
+    if let Ok(p) = depfast_bench::write_metrics_json("fig3", run_name, &run.metrics.to_json()) {
+        println!("[json] {}", p.display());
+    }
+    (run.stats, None)
+}
+
+/// The `--profile` mode: one short, fixed-seed, profiled DepFastRaft run
+/// per cluster shape with a disk-slow follower minority, exporting
+/// folded stacks + SVG flamegraphs. Deterministic: same seed ⇒
+/// byte-identical files.
+fn profile_mode() {
+    let dir = repo_root().join("target/depfast-bench");
+    std::fs::create_dir_all(&dir).expect("create output dir");
+    for (n_servers, slow_followers) in [(3usize, 1usize), (5, 2)] {
+        let cfg = ExperimentCfg {
+            kind: RaftKind::DepFast,
+            n_servers,
+            n_clients: 32,
+            warmup: Duration::from_millis(500),
+            measure: Duration::from_secs(1),
+            records: 10_000,
+            fault: Some((
+                ExperimentCfg::followers(slow_followers),
+                FaultKind::DiskSlow { bw_factor: 0.008 },
+            )),
+            ..ExperimentCfg::default()
+        };
+        eprintln!(
+            "[fig3] profiled run ({n_servers} nodes, {slow_followers} disk-slow follower(s), seed {})...",
+            cfg.seed
+        );
+        let run = run_experiment_profiled(&cfg);
+        let stem = format!("fig3_profile_{}", slug(&format!("{n_servers}_nodes")));
+        let folded_path = dir.join(format!("{stem}.folded"));
+        let svg_path = dir.join(format!("{stem}.svg"));
+        std::fs::write(&folded_path, run.profiler.folded()).expect("write folded stacks");
+        std::fs::write(&svg_path, run.profiler.svg()).expect("write SVG flamegraph");
+        println!(
+            "{n_servers} nodes  {:>6.0} req/s  [folded] {}  [svg] {}",
+            run.stats.throughput,
+            folded_path.display(),
+            svg_path.display()
+        );
+    }
 }
 
 fn main() {
+    if std::env::args().any(|a| a == "--profile") {
+        profile_mode();
+        return;
+    }
     let metrics = std::env::args().any(|a| a == "--metrics");
     let measure = Duration::from_secs(env_u64("FIG3_MEASURE_SECS", 10));
     let clients = env_u64("FIG3_CLIENTS", 256) as usize;
@@ -70,6 +123,9 @@ fn main() {
         ],
     );
     let mut worst_drift: f64 = 0.0;
+    let mut suite = Suite::new("fig3", ExperimentCfg::default().seed);
+    suite.config("clients", clients as f64);
+    suite.config("measure_secs", measure.as_secs_f64());
 
     for (n_servers, slow_followers) in [(3usize, 1usize), (5, 2)] {
         let base_cfg = ExperimentCfg {
@@ -80,11 +136,20 @@ fn main() {
             ..ExperimentCfg::default()
         };
         eprintln!("[fig3] {n_servers} nodes baseline...");
-        let base = run_one(
+        let (base, base_prof) = run_one(
             &base_cfg,
             metrics,
             &format!("{n_servers}_nodes_no_slowness"),
         );
+        let cluster = format!("{n_servers}_nodes");
+        suite.runs.push(RunRecord::from_stats(
+            RaftKind::DepFast.name(),
+            "none",
+            &cluster,
+            &base,
+            None,
+            base_prof.as_ref(),
+        ));
         table.row(vec![
             format!("{n_servers} Nodes"),
             "No Slowness".into(),
@@ -100,7 +165,7 @@ fn main() {
                 "[fig3] {n_servers} nodes + {} on {slow_followers} follower(s)...",
                 fault.name()
             );
-            let stats = run_one(
+            let (stats, prof) = run_one(
                 &ExperimentCfg {
                     fault: Some((ExperimentCfg::followers(slow_followers), fault)),
                     ..base_cfg.clone()
@@ -108,6 +173,14 @@ fn main() {
                 metrics,
                 &format!("{n_servers}_nodes_{}", fault.name()),
             );
+            suite.runs.push(RunRecord::from_stats(
+                RaftKind::DepFast.name(),
+                fault.name(),
+                &cluster,
+                &stats,
+                Some(base.throughput),
+                prof.as_ref(),
+            ));
             let drift = |v: f64, b: f64| (v - b) / b;
             let d_t = drift(stats.throughput, base.throughput);
             let d_a = drift(
@@ -136,6 +209,10 @@ fn main() {
     table.print();
     if let Ok(p) = table.write_csv("fig3") {
         println!("[csv] {}", p.display());
+    }
+    match write_repo_artifact("BENCH_fig3.json", &suite.to_json()) {
+        Ok(p) => println!("[bench-json] {}", p.display()),
+        Err(e) => eprintln!("[fig3] cannot write BENCH_fig3.json: {e}"),
     }
     println!(
         "\nWorst absolute drift across all conditions and metrics: {:.1}% \

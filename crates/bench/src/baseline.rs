@@ -1,0 +1,489 @@
+//! Machine-readable perf baselines and the regression gate.
+//!
+//! Every bench emitter rolls its runs into a [`Suite`] — one record per
+//! (driver, fault, cluster) cell with throughput, latency quantiles,
+//! normalized drift and the wait-state profiler's site rollup — and
+//! writes it as `BENCH_<suite>.json` at the repo root via
+//! [`crate::write_repo_artifact`]. The `bench-gate` binary re-runs a
+//! small-seed suite and [`compare`]s it against the committed
+//! `BENCH_baseline.json` under tolerance bands, exiting nonzero on
+//! regression; CI runs that on every push.
+//!
+//! Simulated time is deterministic, so the numbers only move when the
+//! code's behavior moves — the tolerance bands exist for intentional
+//! drift (tuning, new instrumentation on the simulated CPU), not for
+//! noise.
+
+use crate::experiment::ProfiledRun;
+use crate::json::Json;
+use depfast_profile::Profiler;
+use depfast_ycsb::driver::RunStats;
+
+/// Format marker embedded in every artifact.
+pub const SCHEMA: &str = "depfast-bench/v1";
+
+/// One (driver, fault, cluster) measurement cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Raft driver name (`RaftKind::name()`).
+    pub driver: String,
+    /// Fault-class name, `"none"` for the healthy baseline.
+    pub fault: String,
+    /// Cluster shape discriminator (e.g. `"3_nodes"`); empty when the
+    /// suite has only one shape.
+    pub cluster: String,
+    /// Committed operations in the measurement window.
+    pub ops: u64,
+    /// Requests per second.
+    pub throughput: f64,
+    /// Mean latency, milliseconds.
+    pub mean_ms: f64,
+    /// Median latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// Whether a server crashed during the run (RethinkDB-style leaders
+    /// do, under CPU faults).
+    pub crashed: bool,
+    /// Throughput normalized to the same driver+cluster healthy run
+    /// (1.0 for the baseline itself).
+    pub drift: f64,
+    /// Wait-state profiler rollup: total nanoseconds per site, summed
+    /// across nodes and phases. Empty when the run was not profiled.
+    pub profile: Vec<(String, u64)>,
+}
+
+impl RunRecord {
+    /// Builds a record from workload statistics. `base_throughput` is the
+    /// same driver+cluster healthy-run throughput (drift denominator).
+    pub fn from_stats(
+        driver: &str,
+        fault: &str,
+        cluster: &str,
+        stats: &RunStats,
+        base_throughput: Option<f64>,
+        profiler: Option<&Profiler>,
+    ) -> RunRecord {
+        let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+        let mut profile = std::collections::BTreeMap::<String, u64>::new();
+        if let Some(p) = profiler {
+            for line in p.lines() {
+                *profile.entry(line.site).or_insert(0) += line.nanos;
+            }
+        }
+        RunRecord {
+            driver: driver.to_string(),
+            fault: fault.to_string(),
+            cluster: cluster.to_string(),
+            ops: stats.ops,
+            throughput: stats.throughput,
+            mean_ms: ms(stats.latency.mean),
+            p50_ms: ms(stats.latency.p50),
+            p99_ms: ms(stats.latency.p99),
+            crashed: stats.server_crashed,
+            drift: match base_throughput {
+                Some(b) if b > 0.0 => stats.throughput / b,
+                _ => 1.0,
+            },
+            profile: profile.into_iter().collect(),
+        }
+    }
+
+    /// Convenience over [`RunRecord::from_stats`] for profiled runs.
+    pub fn from_profiled(
+        run: &ProfiledRun,
+        fault: &str,
+        cluster: &str,
+        base_throughput: Option<f64>,
+    ) -> RunRecord {
+        RunRecord::from_stats(
+            &run.profiler.driver(),
+            fault,
+            cluster,
+            &run.stats,
+            base_throughput,
+            Some(&run.profiler),
+        )
+    }
+
+    /// The record's identity within a suite.
+    pub fn key(&self) -> String {
+        format!("{} | {} | {}", self.driver, self.cluster, self.fault)
+    }
+
+    fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("driver", Json::Str(self.driver.clone()));
+        o.set("fault", Json::Str(self.fault.clone()));
+        o.set("cluster", Json::Str(self.cluster.clone()));
+        o.set("ops", Json::Num(self.ops as f64));
+        o.set("throughput", Json::Num(round2(self.throughput)));
+        o.set("mean_ms", Json::Num(round4(self.mean_ms)));
+        o.set("p50_ms", Json::Num(round4(self.p50_ms)));
+        o.set("p99_ms", Json::Num(round4(self.p99_ms)));
+        o.set("crashed", Json::Bool(self.crashed));
+        o.set("drift", Json::Num(round4(self.drift)));
+        let mut sites = Vec::new();
+        for (site, nanos) in &self.profile {
+            let mut s = Json::obj();
+            s.set("site", Json::Str(site.clone()));
+            s.set("ns", Json::Num(*nanos as f64));
+            sites.push(s);
+        }
+        o.set("profile", Json::Arr(sites));
+        o
+    }
+
+    fn from_json(v: &Json) -> Result<RunRecord, String> {
+        let str_field = |k: &str| {
+            v.str(k)
+                .map(str::to_string)
+                .ok_or_else(|| format!("run record missing string field {k:?}"))
+        };
+        let num_field = |k: &str| {
+            v.num(k)
+                .ok_or_else(|| format!("run record missing numeric field {k:?}"))
+        };
+        let mut profile = Vec::new();
+        for s in v.get("profile").and_then(Json::as_arr).unwrap_or(&[]) {
+            profile.push((
+                s.str("site").unwrap_or("").to_string(),
+                s.num("ns").unwrap_or(0.0) as u64,
+            ));
+        }
+        Ok(RunRecord {
+            driver: str_field("driver")?,
+            fault: str_field("fault")?,
+            cluster: str_field("cluster")?,
+            ops: num_field("ops")? as u64,
+            throughput: num_field("throughput")?,
+            mean_ms: num_field("mean_ms")?,
+            p50_ms: num_field("p50_ms")?,
+            p99_ms: num_field("p99_ms")?,
+            crashed: matches!(v.get("crashed"), Some(Json::Bool(true))),
+            drift: v.num("drift").unwrap_or(1.0),
+            profile,
+        })
+    }
+}
+
+/// A full bench suite: provenance plus one [`RunRecord`] per cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Suite {
+    /// Suite name (`fig1`, `fig3`, `ablations`, `gate`).
+    pub suite: String,
+    /// Determinism seed the runs used.
+    pub seed: u64,
+    /// Free-form config provenance (clients, measure window, …).
+    pub config: Vec<(String, f64)>,
+    /// The measurement cells.
+    pub runs: Vec<RunRecord>,
+}
+
+impl Suite {
+    /// An empty suite.
+    pub fn new(suite: &str, seed: u64) -> Suite {
+        Suite {
+            suite: suite.to_string(),
+            seed,
+            config: Vec::new(),
+            runs: Vec::new(),
+        }
+    }
+
+    /// Records one config provenance entry.
+    pub fn config(&mut self, key: &str, value: f64) {
+        self.config.push((key.to_string(), value));
+    }
+
+    /// Serializes the suite (deterministic bytes for identical content).
+    pub fn to_json(&self) -> String {
+        let mut o = Json::obj();
+        o.set("schema", Json::Str(SCHEMA.to_string()));
+        o.set("suite", Json::Str(self.suite.clone()));
+        o.set("seed", Json::Num(self.seed as f64));
+        let mut cfg = Json::obj();
+        for (k, v) in &self.config {
+            cfg.set(k, Json::Num(*v));
+        }
+        o.set("config", cfg);
+        o.set(
+            "runs",
+            Json::Arr(self.runs.iter().map(RunRecord::to_json).collect()),
+        );
+        o.pretty()
+    }
+
+    /// Parses a suite previously written by [`Suite::to_json`].
+    pub fn parse(text: &str) -> Result<Suite, String> {
+        let v = Json::parse(text)?;
+        match v.str("schema") {
+            Some(SCHEMA) => {}
+            Some(other) => return Err(format!("unsupported schema {other:?}")),
+            None => return Err("not a bench suite (no schema field)".into()),
+        }
+        let mut config = Vec::new();
+        if let Some(Json::Obj(pairs)) = v.get("config") {
+            for (k, val) in pairs {
+                if let Some(n) = val.as_f64() {
+                    config.push((k.clone(), n));
+                }
+            }
+        }
+        let mut runs = Vec::new();
+        for r in v.get("runs").and_then(Json::as_arr).unwrap_or(&[]) {
+            runs.push(RunRecord::from_json(r)?);
+        }
+        Ok(Suite {
+            suite: v.str("suite").unwrap_or("?").to_string(),
+            seed: v.num("seed").unwrap_or(0.0) as u64,
+            config,
+            runs,
+        })
+    }
+}
+
+fn round2(v: f64) -> f64 {
+    (v * 1e2).round() / 1e2
+}
+
+fn round4(v: f64) -> f64 {
+    (v * 1e4).round() / 1e4
+}
+
+/// Allowed movement before the gate fails a cell.
+///
+/// Simulated runs are deterministic, so these bands absorb *intentional*
+/// code-driven drift (a scheduler tweak, extra simulated CPU from new
+/// instrumentation), not measurement noise. Throughput is gated tighter
+/// than tail latency because the paper's claims are throughput-shaped.
+#[derive(Debug, Clone, Copy)]
+pub struct Tolerance {
+    /// Max allowed relative throughput drop (0.08 = −8%).
+    pub throughput_drop: f64,
+    /// Max allowed relative P99 rise (0.30 = +30%).
+    pub p99_rise: f64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Tolerance {
+            throughput_drop: 0.08,
+            p99_rise: 0.30,
+        }
+    }
+}
+
+/// The gate's verdict: hard failures plus informational notes.
+#[derive(Debug, Default)]
+pub struct GateOutcome {
+    /// Cells compared against the baseline.
+    pub checked: usize,
+    /// Regressions (nonempty ⇒ the gate fails).
+    pub failures: Vec<String>,
+    /// Non-failing observations (new cells, improvements).
+    pub notes: Vec<String>,
+}
+
+impl GateOutcome {
+    /// True when no cell regressed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Diffs `current` against `baseline` cell by cell.
+///
+/// A cell fails when its throughput drops more than
+/// [`Tolerance::throughput_drop`], its P99 rises more than
+/// [`Tolerance::p99_rise`], it crashes where the baseline did not, or it
+/// disappeared entirely. New cells and improvements are notes.
+pub fn compare(baseline: &Suite, current: &Suite, tol: &Tolerance) -> GateOutcome {
+    let mut out = GateOutcome::default();
+    for base in &baseline.runs {
+        let key = base.key();
+        let Some(cur) = current.runs.iter().find(|r| {
+            r.driver == base.driver && r.fault == base.fault && r.cluster == base.cluster
+        }) else {
+            out.failures
+                .push(format!("[{key}] missing from current run"));
+            continue;
+        };
+        out.checked += 1;
+        if cur.crashed && !base.crashed {
+            out.failures
+                .push(format!("[{key}] crashed (baseline did not)"));
+            continue;
+        }
+        if base.crashed {
+            // Crash cells have no meaningful numbers; matching crash
+            // behavior is all the gate asks.
+            if !cur.crashed {
+                out.notes.push(format!("[{key}] no longer crashes"));
+            }
+            continue;
+        }
+        if base.throughput > 0.0 {
+            let rel = cur.throughput / base.throughput - 1.0;
+            if rel < -tol.throughput_drop {
+                out.failures.push(format!(
+                    "[{key}] throughput {:.0} → {:.0} req/s ({:+.1}%, tolerance −{:.0}%)",
+                    base.throughput,
+                    cur.throughput,
+                    rel * 100.0,
+                    tol.throughput_drop * 100.0
+                ));
+            } else if rel > tol.throughput_drop {
+                out.notes.push(format!(
+                    "[{key}] throughput improved {:+.1}% — consider refreshing the baseline",
+                    rel * 100.0
+                ));
+            }
+        }
+        if base.p99_ms > 0.0 {
+            let rel = cur.p99_ms / base.p99_ms - 1.0;
+            if rel > tol.p99_rise {
+                out.failures.push(format!(
+                    "[{key}] p99 {:.2} → {:.2} ms ({:+.1}%, tolerance +{:.0}%)",
+                    base.p99_ms,
+                    cur.p99_ms,
+                    rel * 100.0,
+                    tol.p99_rise * 100.0
+                ));
+            }
+        }
+    }
+    for cur in &current.runs {
+        let known = baseline
+            .runs
+            .iter()
+            .any(|b| b.driver == cur.driver && b.fault == cur.fault && b.cluster == cur.cluster);
+        if !known {
+            out.notes
+                .push(format!("[{}] new cell, not in baseline", cur.key()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(driver: &str, fault: &str, tput: f64, p99: f64) -> RunRecord {
+        RunRecord {
+            driver: driver.into(),
+            fault: fault.into(),
+            cluster: String::new(),
+            ops: (tput * 2.0) as u64,
+            throughput: tput,
+            mean_ms: p99 / 2.0,
+            p50_ms: p99 / 4.0,
+            p99_ms: p99,
+            crashed: false,
+            drift: 1.0,
+            profile: vec![("cpu".into(), 1_000_000), ("disk:device".into(), 2_000_000)],
+        }
+    }
+
+    fn suite(runs: Vec<RunRecord>) -> Suite {
+        let mut s = Suite::new("gate", 7);
+        s.config("clients", 64.0);
+        s.runs = runs;
+        s
+    }
+
+    #[test]
+    fn suite_json_round_trips() {
+        let s = suite(vec![
+            record("DepFastRaft", "none", 5000.0, 8.0),
+            record("SyncRaft (TiDB-style)", "disk_slow", 2100.5, 40.25),
+        ]);
+        let text = s.to_json();
+        assert_eq!(text, s.to_json(), "serialization must be deterministic");
+        let back = Suite::parse(&text).unwrap();
+        assert_eq!(back, s);
+        // Rounding happens at serialization, so a parse → serialize cycle
+        // is idempotent even for values with more precision than stored.
+        let mut ragged = s.clone();
+        ragged.runs[0].mean_ms = 2.0 / 3.0;
+        let rag_text = ragged.to_json();
+        let reparsed = Suite::parse(&rag_text).unwrap();
+        assert_eq!(reparsed.to_json(), rag_text);
+    }
+
+    #[test]
+    fn parse_rejects_foreign_json() {
+        assert!(Suite::parse("{\"schema\": \"other/v9\"}").is_err());
+        assert!(Suite::parse("[1,2,3]").is_err());
+    }
+
+    #[test]
+    fn identical_runs_pass_the_gate() {
+        let s = suite(vec![record("d", "none", 5000.0, 8.0)]);
+        let out = compare(&s, &s, &Tolerance::default());
+        assert!(out.passed(), "{:?}", out.failures);
+        assert_eq!(out.checked, 1);
+    }
+
+    #[test]
+    fn ten_percent_throughput_regression_fails() {
+        let base = suite(vec![record("d", "none", 5000.0, 8.0)]);
+        let cur = suite(vec![record("d", "none", 4500.0, 8.0)]);
+        let out = compare(&base, &cur, &Tolerance::default());
+        assert!(!out.passed());
+        assert!(out.failures[0].contains("throughput"), "{:?}", out.failures);
+    }
+
+    #[test]
+    fn small_drift_inside_the_band_passes() {
+        let base = suite(vec![record("d", "none", 5000.0, 8.0)]);
+        let cur = suite(vec![record("d", "none", 4800.0, 9.0)]);
+        let out = compare(&base, &cur, &Tolerance::default());
+        assert!(out.passed(), "{:?}", out.failures);
+    }
+
+    #[test]
+    fn p99_blowup_fails() {
+        let base = suite(vec![record("d", "none", 5000.0, 8.0)]);
+        let cur = suite(vec![record("d", "none", 5000.0, 12.0)]);
+        let out = compare(&base, &cur, &Tolerance::default());
+        assert!(!out.passed());
+        assert!(out.failures[0].contains("p99"), "{:?}", out.failures);
+    }
+
+    #[test]
+    fn new_crash_fails_and_missing_cell_fails() {
+        let mut crashed = record("d", "cpu_slow", 0.0, 0.0);
+        crashed.crashed = true;
+        let base = suite(vec![
+            record("d", "none", 5000.0, 8.0),
+            record("d", "disk_slow", 4000.0, 10.0),
+        ]);
+        let cur = suite(vec![{
+            let mut r = record("d", "none", 5000.0, 8.0);
+            r.crashed = true;
+            r
+        }]);
+        let out = compare(&base, &cur, &Tolerance::default());
+        assert_eq!(out.failures.len(), 2, "{:?}", out.failures);
+        assert!(out.failures.iter().any(|f| f.contains("crashed")));
+        assert!(out.failures.iter().any(|f| f.contains("missing")));
+        // A cell that crashed in the baseline and still crashes is fine.
+        let base2 = suite(vec![crashed.clone()]);
+        let cur2 = suite(vec![crashed]);
+        assert!(compare(&base2, &cur2, &Tolerance::default()).passed());
+    }
+
+    #[test]
+    fn improvements_and_new_cells_are_notes_not_failures() {
+        let base = suite(vec![record("d", "none", 5000.0, 8.0)]);
+        let cur = suite(vec![
+            record("d", "none", 6000.0, 8.0),
+            record("d", "mem_contention", 3000.0, 20.0),
+        ]);
+        let out = compare(&base, &cur, &Tolerance::default());
+        assert!(out.passed(), "{:?}", out.failures);
+        assert_eq!(out.notes.len(), 2, "{:?}", out.notes);
+    }
+}

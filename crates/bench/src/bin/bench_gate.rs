@@ -1,0 +1,182 @@
+//! `bench-gate` — the perf regression gate.
+//!
+//! ```text
+//! bench-gate                      # run the small-seed suite, diff vs BENCH_baseline.json
+//! bench-gate --write-baseline     # run the suite and (re)write BENCH_baseline.json
+//! bench-gate --current <file>     # diff a pre-recorded suite instead of running
+//! bench-gate --baseline <file>    # diff against a different baseline file
+//! bench-gate --out <file>         # where to write the fresh suite (default BENCH_gate.json)
+//! ```
+//!
+//! The suite is a fixed-seed, small configuration — [DepFastRaft,
+//! SyncRaft] × [healthy, disk-slow follower] — so it finishes in CI time
+//! while still covering the paper's central contrast. Runs are profiled
+//! (wait-state site rollups land in the JSON) and deterministic, so a
+//! diff against the committed baseline only moves when code behavior
+//! moves. Exit codes: 0 pass, 1 regression, 2 usage/IO error.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use depfast_bench::baseline::{compare, RunRecord, Suite, Tolerance};
+use depfast_bench::{repo_root, run_experiment_profiled, ExperimentCfg, FaultTarget};
+use depfast_fault::FaultKind;
+use depfast_raft::cluster::RaftKind;
+
+const BASELINE_FILE: &str = "BENCH_baseline.json";
+const GATE_FILE: &str = "BENCH_gate.json";
+const GATE_SEED: u64 = 20210531;
+
+fn gate_cfg(kind: RaftKind, fault: Option<(FaultTarget, FaultKind)>) -> ExperimentCfg {
+    ExperimentCfg {
+        kind,
+        n_clients: 64,
+        seed: GATE_SEED,
+        warmup: Duration::from_millis(600),
+        measure: Duration::from_secs(2),
+        records: 10_000,
+        fault,
+        ..ExperimentCfg::default()
+    }
+}
+
+/// Runs the gate suite: two drivers, healthy and disk-slow follower 2.
+fn run_gate_suite() -> Suite {
+    let mut suite = Suite::new("gate", GATE_SEED);
+    suite.config("clients", 64.0);
+    suite.config("warmup_ms", 600.0);
+    suite.config("measure_secs", 2.0);
+    suite.config("records", 10_000.0);
+    for kind in [RaftKind::DepFast, RaftKind::Sync] {
+        eprintln!("[bench-gate] {} healthy...", kind.name());
+        let base = run_experiment_profiled(&gate_cfg(kind, None));
+        eprintln!("[bench-gate] {} + disk-slow follower...", kind.name());
+        let slow = run_experiment_profiled(&gate_cfg(
+            kind,
+            Some((
+                FaultTarget::Followers(vec![2]),
+                FaultKind::DiskSlow { bw_factor: 0.008 },
+            )),
+        ));
+        let base_tput = base.stats.throughput;
+        suite
+            .runs
+            .push(RunRecord::from_profiled(&base, "none", "", None));
+        suite.runs.push(RunRecord::from_profiled(
+            &slow,
+            "disk_slow",
+            "",
+            Some(base_tput),
+        ));
+    }
+    suite
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn load_suite(path: &std::path::Path) -> Result<Suite, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Suite::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: bench-gate [--write-baseline] [--current <file>] [--baseline <file>] [--out <file>]"
+        );
+        return ExitCode::from(2);
+    }
+    let root = repo_root();
+    let baseline_path = arg_value(&args, "--baseline")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| root.join(BASELINE_FILE));
+
+    if args.iter().any(|a| a == "--write-baseline") {
+        let suite = run_gate_suite();
+        if let Err(e) = std::fs::write(&baseline_path, suite.to_json()) {
+            eprintln!("bench-gate: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "[bench-gate] baseline written to {}",
+            baseline_path.display()
+        );
+        for r in &suite.runs {
+            println!(
+                "  {:<45} {:>7.0} req/s  p99 {:>7.2} ms  drift {:.2}",
+                r.key(),
+                r.throughput,
+                r.p99_ms,
+                r.drift
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let current = match arg_value(&args, "--current") {
+        Some(path) => match load_suite(std::path::Path::new(&path)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("bench-gate: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => {
+            let suite = run_gate_suite();
+            let out = arg_value(&args, "--out")
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(|| root.join(GATE_FILE));
+            match std::fs::write(&out, suite.to_json()) {
+                Ok(()) => println!("[bench-gate] fresh suite written to {}", out.display()),
+                Err(e) => eprintln!(
+                    "bench-gate: cannot write {}: {e} (continuing)",
+                    out.display()
+                ),
+            }
+            suite
+        }
+    };
+
+    let baseline = match load_suite(&baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "bench-gate: {e}\nhint: commit one with `cargo run -p depfast-bench --bin bench-gate -- --write-baseline`"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let tol = Tolerance::default();
+    let outcome = compare(&baseline, &current, &tol);
+    println!(
+        "[bench-gate] {} cell(s) checked against {} (tolerance: throughput −{:.0}%, p99 +{:.0}%)",
+        outcome.checked,
+        baseline_path.display(),
+        tol.throughput_drop * 100.0,
+        tol.p99_rise * 100.0
+    );
+    for note in &outcome.notes {
+        println!("  note: {note}");
+    }
+    if outcome.passed() {
+        println!("[bench-gate] PASS");
+        ExitCode::SUCCESS
+    } else {
+        for failure in &outcome.failures {
+            println!("  FAIL: {failure}");
+        }
+        println!(
+            "[bench-gate] FAIL ({} regression(s))",
+            outcome.failures.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -11,7 +11,7 @@
 //! per-layer blame table; with `--chrome`, additionally converts the
 //! dump to Chrome `trace_event` JSON for Perfetto.
 
-use depfast_trace_analysis::{blame_report, chrome_trace, parse_records, TraceIndex};
+use depfast_trace_analysis::{blame_report, chrome_trace, dump_dropped, parse_records, TraceIndex};
 
 fn usage() -> ! {
     eprintln!("usage: depfast-trace <dump.trace> [--top N] [--chrome <out.json>]");
@@ -60,6 +60,13 @@ fn main() {
             std::process::exit(1);
         }
     };
+    let dropped = dump_dropped(&text);
+    if dropped > 0 {
+        eprintln!(
+            "depfast-trace: WARNING: this dump's ring buffer dropped {dropped} record(s); \
+             blame shares are computed from a truncated stream"
+        );
+    }
     let index = TraceIndex::build(&records);
     print!("{}", blame_report(&index).table(top));
     if let Some(path) = chrome_out {

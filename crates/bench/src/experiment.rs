@@ -9,7 +9,8 @@ use std::time::Duration;
 
 use depfast_fault::FaultKind;
 use depfast_kv::KvCluster;
-use depfast_metrics::{MetricsRegistry, Sampler};
+use depfast_metrics::{Key, MetricsRegistry, Sampler};
+use depfast_profile::Profiler;
 use depfast_raft::cluster::RaftKind;
 use depfast_raft::core::RaftCfg;
 use depfast_storage::{LogStoreCfg, WalCfg};
@@ -132,16 +133,37 @@ pub struct ExperimentRun {
     pub sampler: Sampler,
 }
 
+/// The result of a fully traced experiment.
+pub struct TracedRun {
+    /// Client-side workload statistics (same as [`run_experiment`]).
+    pub stats: RunStats,
+    /// Every trace record the ring buffer retained.
+    pub records: Vec<depfast::TraceRecord>,
+    /// Records the ring buffer had to drop (`trace.dropped`). Nonzero
+    /// means blame percentages are computed from a truncated stream —
+    /// figure binaries print a warning when they see this.
+    pub dropped: u64,
+}
+
+/// The result of a profiled experiment.
+pub struct ProfiledRun {
+    /// Client-side workload statistics (same as [`run_experiment`]).
+    pub stats: RunStats,
+    /// The wait-state profile accumulated over the whole run (warm-up
+    /// included), ready for folded/SVG export.
+    pub profiler: Profiler,
+}
+
 /// Runs one experiment end to end and returns its statistics.
 pub fn run_experiment(cfg: &ExperimentCfg) -> RunStats {
-    run(cfg, None, None).stats
+    run(cfg, None, None, None).stats
 }
 
 /// Like [`run_experiment`], but additionally samples the cluster's
 /// metric registry every `sample_every` of virtual time and returns the
 /// registry plus the recorded time series, ready for CSV export.
 pub fn run_experiment_instrumented(cfg: &ExperimentCfg, sample_every: Duration) -> ExperimentRun {
-    run(cfg, Some(sample_every), None)
+    run(cfg, Some(sample_every), None, None)
 }
 
 /// Like [`run_experiment`], but with full causal tracing enabled for the
@@ -149,17 +171,32 @@ pub fn run_experiment_instrumented(cfg: &ExperimentCfg, sample_every: Duration) 
 /// ready for [`depfast_trace_analysis`]'s blame report or Chrome export.
 /// The run is deterministic, so same-seed calls return identical record
 /// streams.
-pub fn run_experiment_traced(cfg: &ExperimentCfg) -> (RunStats, Vec<depfast::TraceRecord>) {
+pub fn run_experiment_traced(cfg: &ExperimentCfg) -> TracedRun {
     let records = Rc::new(RefCell::new(Vec::new()));
-    let stats = run(cfg, None, Some(records.clone())).stats;
-    let records = records.take();
-    (stats, records)
+    let run = run(cfg, None, Some(records.clone()), None);
+    TracedRun {
+        stats: run.stats,
+        records: records.take(),
+        dropped: run.metrics.counter(Key::global("trace.dropped")).get(),
+    }
+}
+
+/// Like [`run_experiment`], but with a wait-state [`Profiler`] installed
+/// for the whole run. Profiling taps synchronous probes only — it never
+/// creates events or touches the virtual clock — so the returned
+/// statistics are identical to an unprofiled run of the same config
+/// (asserted by the `profiler_determinism` integration test).
+pub fn run_experiment_profiled(cfg: &ExperimentCfg) -> ProfiledRun {
+    let profiler = Profiler::new(cfg.kind.name());
+    let stats = run(cfg, None, None, Some(&profiler)).stats;
+    ProfiledRun { stats, profiler }
 }
 
 fn run(
     cfg: &ExperimentCfg,
     sample_every: Option<Duration>,
     trace_into: Option<Rc<RefCell<Vec<depfast::TraceRecord>>>>,
+    profiler: Option<&Profiler>,
 ) -> ExperimentRun {
     // Runs must not inherit a causal context left in the ambient slot by
     // an earlier experiment in the same process: traces would differ.
@@ -178,6 +215,9 @@ fn run(
     ));
     if trace_into.is_some() {
         cluster.raft.tracer.set_record_full(true);
+    }
+    if let Some(p) = profiler {
+        p.install(&cluster.raft.tracer, &world);
     }
     let interval = sample_every.unwrap_or(Duration::from_millis(100));
     let sampler = Rc::new(RefCell::new(Sampler::new(
@@ -222,6 +262,9 @@ fn run(
     if let Some(sink) = trace_into {
         cluster.raft.tracer.set_record_full(false);
         *sink.borrow_mut() = cluster.raft.tracer.take_records();
+    }
+    if let Some(p) = profiler {
+        p.uninstall(&cluster.raft.tracer, &world);
     }
     // The sampling task still holds a clone of the cell; swap the
     // sampler out rather than trying to unwrap the Rc.

@@ -15,11 +15,17 @@
 //! Run one with `cargo bench -p depfast-bench --bench fig1`, or everything
 //! with `cargo bench --workspace`.
 
+pub mod baseline;
 pub mod experiment;
+pub mod json;
 pub mod report;
 
+pub use baseline::{GateOutcome, RunRecord, Suite, Tolerance};
 pub use experiment::{
-    run_experiment, run_experiment_instrumented, run_experiment_traced, ExperimentCfg,
-    ExperimentRun, FaultTarget,
+    run_experiment, run_experiment_instrumented, run_experiment_profiled, run_experiment_traced,
+    ExperimentCfg, ExperimentRun, FaultTarget, ProfiledRun, TracedRun,
 };
-pub use report::{format_ms, slug, write_metrics_csv, Table};
+pub use json::Json;
+pub use report::{
+    format_ms, repo_root, slug, write_metrics_csv, write_metrics_json, write_repo_artifact, Table,
+};

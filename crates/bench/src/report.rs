@@ -37,6 +37,39 @@ pub fn write_metrics_csv(bench: &str, run_name: &str, csv: &str) -> std::io::Res
     Ok(path)
 }
 
+/// Writes a `MetricsRegistry::to_json` snapshot next to the CSV export,
+/// under `target/depfast-bench/<bench>_metrics_<run>.json`, and returns
+/// the path.
+pub fn write_metrics_json(bench: &str, run_name: &str, json: &str) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from("target/depfast-bench");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{bench}_metrics_{}.json", slug(run_name)));
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// The workspace root, resolved from this crate's manifest directory.
+///
+/// Bench binaries run with varying working directories (`cargo bench`
+/// sets the package dir, CI may use the workspace root), so artifacts
+/// that must land at the repo root — `BENCH_*.json`, folded profiles —
+/// are anchored here instead of relying on the cwd.
+pub fn repo_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(std::path::Path::parent)
+        .map(std::path::Path::to_path_buf)
+        .unwrap_or(manifest)
+}
+
+/// Writes `contents` to `<repo-root>/<name>` and returns the path.
+pub fn write_repo_artifact(name: &str, contents: &str) -> std::io::Result<PathBuf> {
+    let path = repo_root().join(name);
+    std::fs::write(&path, contents)?;
+    Ok(path)
+}
+
 /// A simple aligned text table that can also be written out as CSV.
 pub struct Table {
     title: String,
@@ -159,5 +192,16 @@ mod tests {
     #[test]
     fn format_ms_rounds() {
         assert_eq!(format_ms(Duration::from_micros(1234)), "1.23");
+    }
+
+    #[test]
+    fn repo_root_is_the_workspace_root() {
+        let root = repo_root();
+        assert!(
+            root.join("Cargo.toml").exists(),
+            "expected workspace manifest at {}",
+            root.display()
+        );
+        assert!(root.join("crates").is_dir());
     }
 }

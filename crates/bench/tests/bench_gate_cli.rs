@@ -1,0 +1,115 @@
+//! End-to-end acceptance for the `bench-gate` binary: fed two suite
+//! files, it must exit 0 when the current run matches the committed
+//! baseline and exit nonzero when the current run carries an injected
+//! 10% throughput regression. This is the same code path CI runs — the
+//! only difference there is that the current suite comes from a live
+//! fixed-seed run instead of a file.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use depfast_bench::baseline::{RunRecord, Suite};
+
+fn record(driver: &str, fault: &str, throughput: f64) -> RunRecord {
+    RunRecord {
+        driver: driver.to_string(),
+        fault: fault.to_string(),
+        cluster: "3_nodes".to_string(),
+        ops: 10_000,
+        throughput,
+        mean_ms: 2.0,
+        p50_ms: 1.5,
+        p99_ms: 6.0,
+        crashed: false,
+        drift: 1.0,
+        profile: vec![("disk:log_durable".to_string(), 123_456)],
+    }
+}
+
+fn suite(scale: f64) -> Suite {
+    let mut s = Suite::new("gate", 20210531);
+    s.config("clients", 64.0);
+    s.runs.push(record("DepFastRaft", "none", 5000.0 * scale));
+    s.runs
+        .push(record("DepFastRaft", "disk_slow", 4800.0 * scale));
+    s.runs
+        .push(record("SyncRaft (TiDB-style)", "none", 4200.0 * scale));
+    s.runs
+        .push(record("SyncRaft (TiDB-style)", "disk_slow", 2500.0 * scale));
+    s
+}
+
+fn write_suite(name: &str, s: &Suite) -> PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("depfast_gate_{}_{}.json", std::process::id(), name));
+    std::fs::write(&path, s.to_json()).expect("write suite file");
+    path
+}
+
+fn run_gate(baseline: &PathBuf, current: &PathBuf) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_bench-gate"))
+        .arg("--baseline")
+        .arg(baseline)
+        .arg("--current")
+        .arg(current)
+        .output()
+        .expect("spawn bench-gate")
+}
+
+#[test]
+fn identical_suites_pass_the_gate() {
+    let baseline = write_suite("base_ok", &suite(1.0));
+    let current = write_suite("curr_ok", &suite(1.0));
+    let out = run_gate(&baseline, &current);
+    assert!(
+        out.status.success(),
+        "gate should pass on identical suites\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_file(baseline);
+    let _ = std::fs::remove_file(current);
+}
+
+#[test]
+fn injected_ten_percent_regression_fails_the_gate() {
+    let baseline = write_suite("base_reg", &suite(1.0));
+    let current = write_suite("curr_reg", &suite(0.9));
+    let out = run_gate(&baseline, &current);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "gate must exit 1 on a 10% throughput regression\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("throughput"),
+        "failure report should name the regressed metric:\n{stdout}"
+    );
+    let _ = std::fs::remove_file(baseline);
+    let _ = std::fs::remove_file(current);
+}
+
+#[test]
+fn missing_baseline_is_a_usage_error_not_a_regression() {
+    let current = write_suite("curr_nobase", &suite(1.0));
+    let missing = std::env::temp_dir().join(format!(
+        "depfast_gate_{}_does_not_exist.json",
+        std::process::id()
+    ));
+    let out = Command::new(env!("CARGO_BIN_EXE_bench-gate"))
+        .arg("--baseline")
+        .arg(&missing)
+        .arg("--current")
+        .arg(&current)
+        .output()
+        .expect("spawn bench-gate");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "a missing baseline is exit 2 (setup problem), not exit 1 (regression)"
+    );
+    let _ = std::fs::remove_file(current);
+}

@@ -30,7 +30,8 @@ fn traced_cfg(kind: RaftKind) -> ExperimentCfg {
 
 #[test]
 fn depfast_quorum_keeps_the_disk_slow_follower_off_the_critical_path() {
-    let (stats, records) = run_experiment_traced(&traced_cfg(RaftKind::DepFast));
+    let run = run_experiment_traced(&traced_cfg(RaftKind::DepFast));
+    let (stats, records) = (run.stats, run.records);
     assert!(stats.ops > 100, "workload ran: {}", stats.ops);
     let report = blame_report(&TraceIndex::build(&records));
     assert!(report.commits > 100, "commits analyzed: {}", report.commits);
@@ -53,7 +54,8 @@ fn sync_driver_blame_lands_on_the_disk_slow_follower() {
         value_size: 4096,
         ..traced_cfg(RaftKind::Sync)
     };
-    let (stats, records) = run_experiment_traced(&cfg);
+    let run = run_experiment_traced(&cfg);
+    let (stats, records) = (run.stats, run.records);
     assert!(stats.ops > 100, "workload ran: {}", stats.ops);
     let report = blame_report(&TraceIndex::build(&records));
     assert!(report.commits > 100, "commits analyzed: {}", report.commits);
@@ -71,8 +73,8 @@ fn traced_runs_are_deterministic_and_exports_are_byte_identical() {
         measure: Duration::from_secs(1),
         ..traced_cfg(RaftKind::DepFast)
     };
-    let (_, records_a) = run_experiment_traced(&cfg);
-    let (_, records_b) = run_experiment_traced(&cfg);
+    let records_a = run_experiment_traced(&cfg).records;
+    let records_b = run_experiment_traced(&cfg).records;
     assert!(!records_a.is_empty());
     assert_eq!(
         serialize_records(&records_a),

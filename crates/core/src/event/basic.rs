@@ -162,6 +162,7 @@ struct ValueInner<T> {
 pub struct ValueEvent<T: Copy + PartialOrd> {
     rt: Runtime,
     label: &'static str,
+    kind: EventKind,
     inner: Rc<RefCell<ValueInner<T>>>,
 }
 
@@ -173,9 +174,19 @@ impl<T: Copy + PartialOrd + 'static> ValueEvent<T> {
 
     /// Creates a watched variable with a report label.
     pub fn labeled(rt: &Runtime, initial: T, label: &'static str) -> Self {
+        Self::with_kind(rt, initial, EventKind::Value, label)
+    }
+
+    /// Creates a watched variable whose threshold waits carry `kind`
+    /// instead of [`EventKind::Value`]. A watermark is often a proxy for
+    /// another resource — the WAL's durable index *is* disk completion —
+    /// and the kind is what tracing, blame, and the wait-state profiler
+    /// classify by.
+    pub fn with_kind(rt: &Runtime, initial: T, kind: EventKind, label: &'static str) -> Self {
         ValueEvent {
             rt: rt.clone(),
             label,
+            kind,
             inner: Rc::new(RefCell::new(ValueInner {
                 value: initial,
                 waiters: Vec::new(),
@@ -218,7 +229,7 @@ impl<T: Copy + PartialOrd + 'static> ValueEvent<T> {
     /// Returns an event that fires once the value reaches `threshold`
     /// (immediately if it already has).
     pub fn when_at_least(&self, threshold: T) -> EventHandle {
-        let h = EventHandle::new(&self.rt, EventKind::Value, self.label);
+        let h = EventHandle::new(&self.rt, self.kind, self.label);
         let mut inner = self.inner.borrow_mut();
         if inner.value >= threshold {
             drop(inner);

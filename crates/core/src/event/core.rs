@@ -9,8 +9,10 @@ use std::time::Duration;
 
 use simkit::{NodeId, SimTime};
 
-use crate::runtime::{current_coro, current_coro_label, trace_ctx, Runtime};
-use crate::trace::TraceRecord;
+use crate::runtime::{
+    current_coro, current_coro_label, current_phase, swap_current_phase, trace_ctx, Runtime,
+};
+use crate::trace::{TraceRecord, WaitObservation};
 
 /// Identifier of an event, unique within one [`Tracer`](crate::Tracer)
 /// (i.e. cluster-wide when runtimes share a tracer).
@@ -341,6 +343,16 @@ impl Wait {
             result,
             waited: t - begun,
         });
+        h.rt.tracer().probe_wait(|| WaitObservation {
+            node: h.rt.node(),
+            coro_label: current_coro_label().unwrap_or("?"),
+            phase: current_phase(),
+            kind: h.kind(),
+            label: h.label(),
+            quorum: h.quorum_meta(),
+            result,
+            waited: t - begun,
+        });
     }
 }
 
@@ -395,6 +407,7 @@ impl Future for Wait {
 /// each slice to the node named by `blame`.
 pub struct PhaseSpan {
     handle: EventHandle,
+    prev_phase: Option<&'static str>,
 }
 
 impl PhaseSpan {
@@ -406,8 +419,13 @@ impl PhaseSpan {
     /// Opens a phase whose duration is charged to `blame` (e.g. an inline
     /// cold read performed *for* a lagging peer).
     pub fn begin_blaming(rt: &Runtime, label: &'static str, blame: NodeId) -> Self {
+        // Besides the trace event, the span sets the coroutine's ambient
+        // phase so the wait-state profiler attributes everything awaited
+        // inside it (and every simkit resource it consumes) to `label`.
+        let prev_phase = swap_current_phase(Some(label));
         PhaseSpan {
             handle: EventHandle::with_sampling(rt, EventKind::Phase { blame }, label, false),
+            prev_phase,
         }
     }
 
@@ -422,7 +440,34 @@ impl PhaseSpan {
 
 impl Drop for PhaseSpan {
     fn drop(&mut self) {
+        swap_current_phase(self.prev_phase);
         self.handle.fire(Signal::Ok);
+    }
+}
+
+/// Lightweight RAII phase annotation that only sets the coroutine's ambient
+/// phase — no trace event is created or fired.
+///
+/// Use this to label waits for the profiler in paths where a full
+/// [`PhaseSpan`] would perturb the event-id stream or add trace volume
+/// (e.g. per-iteration waits in hot driver loops). Nesting restores the
+/// enclosing phase on drop, so guards compose with spans.
+pub struct PhaseGuard {
+    prev_phase: Option<&'static str>,
+}
+
+impl PhaseGuard {
+    /// Sets the current coroutine's ambient phase to `label` until drop.
+    pub fn enter(label: &'static str) -> Self {
+        PhaseGuard {
+            prev_phase: swap_current_phase(Some(label)),
+        }
+    }
+}
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        swap_current_phase(self.prev_phase);
     }
 }
 
@@ -489,6 +534,74 @@ mod tests {
         let hit2 = hit.clone();
         h.on_fire(move |s| *hit2.borrow_mut() = Some(s));
         assert_eq!(*hit.borrow(), Some(Signal::Ok));
+    }
+
+    #[test]
+    fn phase_annotations_nest_and_stick_across_awaits() {
+        use crate::runtime::{current_phase, Coroutine};
+        let (sim, rt) = rt();
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let s = seen.clone();
+        let rt2 = rt.clone();
+        Coroutine::create(&rt, "probe", async move {
+            assert_eq!(current_phase(), None);
+            let _span = PhaseSpan::begin(&rt2, "outer");
+            s.borrow_mut().push(current_phase());
+            {
+                let _g = PhaseGuard::enter("inner");
+                s.borrow_mut().push(current_phase());
+                // The phase survives this coroutine's own awaits.
+                rt2.sleep(Duration::from_millis(1)).await;
+                s.borrow_mut().push(current_phase());
+            }
+            s.borrow_mut().push(current_phase());
+        });
+        sim.run();
+        assert_eq!(
+            *seen.borrow(),
+            vec![Some("outer"), Some("inner"), Some("inner"), Some("outer")]
+        );
+        // The ambient slot is clean outside any poll.
+        assert_eq!(current_phase(), None);
+    }
+
+    #[test]
+    fn wait_probe_sees_phase_and_event_attribution() {
+        use crate::runtime::Coroutine;
+        use crate::trace::WaitObservation;
+        let (sim, rt) = rt();
+        let seen: Rc<RefCell<Vec<WaitObservation>>> = Rc::new(RefCell::new(Vec::new()));
+        let s = seen.clone();
+        rt.tracer()
+            .set_wait_probe(Some(Rc::new(move |o: &WaitObservation| {
+                s.borrow_mut().push(*o);
+            })));
+        let h = EventHandle::new(&rt, EventKind::Io, "wal_fsync");
+        let h2 = h.clone();
+        let rt2 = rt.clone();
+        Coroutine::create(&rt, "server", async move {
+            let _span = PhaseSpan::begin(&rt2, "wal_append");
+            h2.wait().await;
+        });
+        let s2 = sim.clone();
+        sim.spawn(async move {
+            s2.sleep(Duration::from_millis(3)).await;
+            h.fire(Signal::Ok);
+        });
+        sim.run();
+        let seen = seen.borrow();
+        // The phase span's own fire also finishes no wait; exactly the one
+        // explicit wait is observed.
+        assert_eq!(seen.len(), 1);
+        let o = &seen[0];
+        assert_eq!(o.coro_label, "server");
+        assert_eq!(o.phase, Some("wal_append"));
+        assert_eq!(o.label, "wal_fsync");
+        assert_eq!(o.kind, EventKind::Io);
+        assert_eq!(o.result, WaitResult::Ready);
+        assert_eq!(o.waited, Duration::from_millis(3));
+        drop(seen);
+        rt.tracer().set_wait_probe(None);
     }
 
     #[test]

@@ -19,5 +19,7 @@ mod quorum;
 
 pub use basic::{Notify, TimerEvent, TypedEvent, ValueEvent};
 pub use compound::{AndEvent, OrEvent};
-pub use core::{EventHandle, EventId, EventKind, PhaseSpan, Signal, Wait, WaitResult, Watchable};
+pub use core::{
+    EventHandle, EventId, EventKind, PhaseGuard, PhaseSpan, Signal, Wait, WaitResult, Watchable,
+};
 pub use quorum::{QuorumEvent, QuorumMode};

@@ -55,8 +55,10 @@ pub mod trace;
 pub mod verify;
 
 pub use event::{
-    AndEvent, EventHandle, EventId, EventKind, Notify, OrEvent, PhaseSpan, QuorumEvent, Signal,
-    TimerEvent, TypedEvent, ValueEvent, WaitResult, Watchable,
+    AndEvent, EventHandle, EventId, EventKind, Notify, OrEvent, PhaseGuard, PhaseSpan, QuorumEvent,
+    Signal, TimerEvent, TypedEvent, ValueEvent, WaitResult, Watchable,
 };
-pub use runtime::{set_trace_ctx, trace_ctx, CoroId, Coroutine, Runtime};
-pub use trace::{SpanId, TraceCtx, TraceRecord, Tracer};
+pub use runtime::{
+    current_coro_label, current_phase, set_trace_ctx, trace_ctx, CoroId, Coroutine, Runtime,
+};
+pub use trace::{SpanId, TraceCtx, TraceRecord, Tracer, WaitObservation, WaitProbe};

@@ -192,6 +192,7 @@ impl Future for DriverSleep {
 thread_local! {
     static CURRENT_CORO: Cell<Option<(NodeId, CoroId, &'static str)>> = const { Cell::new(None) };
     static CURRENT_TRACE: Cell<Option<TraceCtx>> = const { Cell::new(None) };
+    static CURRENT_PHASE: Cell<Option<&'static str>> = const { Cell::new(None) };
 }
 
 /// The coroutine currently being polled, if any (node, coroutine id).
@@ -200,8 +201,28 @@ pub(crate) fn current_coro() -> Option<(NodeId, CoroId)> {
 }
 
 /// The label of the coroutine currently being polled, if any.
-pub(crate) fn current_coro_label() -> Option<&'static str> {
+///
+/// Public so the wait-state profiler (`depfast-profile`) can attribute
+/// resource and event waits to the logical task that incurred them.
+pub fn current_coro_label() -> Option<&'static str> {
     CURRENT_CORO.with(|c| c.get()).map(|(_, _, l)| l)
+}
+
+/// The protocol phase the current coroutine is executing, if any.
+///
+/// Phases are set by [`PhaseSpan`](crate::PhaseSpan) /
+/// [`PhaseGuard`](crate::PhaseGuard) and, like the causal context, are
+/// per-coroutine state: they survive awaits and are restored around every
+/// poll. The profiler uses this to partition a coroutine's waits by phase.
+pub fn current_phase() -> Option<&'static str> {
+    CURRENT_PHASE.with(|c| c.get())
+}
+
+/// Replaces the current coroutine's ambient phase, returning the previous
+/// one. Used by the RAII phase annotations; prefer those over calling this
+/// directly so the previous phase is always restored.
+pub fn swap_current_phase(phase: Option<&'static str>) -> Option<&'static str> {
+    CURRENT_PHASE.with(|c| c.replace(phase))
 }
 
 /// The causal context of the coroutine currently being polled, if any.
@@ -276,6 +297,7 @@ impl Coroutine {
         rt.spawn(Scoped {
             ctx: (node, id, label),
             trace: Cell::new(trace),
+            phase: Cell::new(None),
             fut,
         });
         id
@@ -283,10 +305,11 @@ impl Coroutine {
 }
 
 /// Wrapper future that exposes coroutine identity (and carries the
-/// coroutine's causal context) during polls.
+/// coroutine's causal context and protocol phase) during polls.
 struct Scoped<F> {
     ctx: (NodeId, CoroId, &'static str),
     trace: Cell<Option<TraceCtx>>,
+    phase: Cell<Option<&'static str>>,
     fut: F,
 }
 
@@ -296,16 +319,23 @@ impl<F: Future> Future for Scoped<F> {
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<F::Output> {
         // SAFETY: we never move `fut` out of the pinned wrapper; this is
         // standard structural pinning of the only non-`Unpin` field.
-        let (ctx, trace, fut) = unsafe {
+        let (ctx, trace, phase, fut) = unsafe {
             let this = self.get_unchecked_mut();
-            (this.ctx, &this.trace, Pin::new_unchecked(&mut this.fut))
+            (
+                this.ctx,
+                &this.trace,
+                &this.phase,
+                Pin::new_unchecked(&mut this.fut),
+            )
         };
         let prev = CURRENT_CORO.with(|c| c.replace(Some(ctx)));
         let prev_trace = CURRENT_TRACE.with(|c| c.replace(trace.get()));
+        let prev_phase = CURRENT_PHASE.with(|c| c.replace(phase.get()));
         let out = fut.poll(cx);
-        // Read the ambient slot back so a mid-poll `set_trace_ctx` sticks
-        // to this coroutine across awaits.
+        // Read the ambient slots back so a mid-poll `set_trace_ctx` or
+        // phase change sticks to this coroutine across awaits.
         trace.set(CURRENT_TRACE.with(|c| c.replace(prev_trace)));
+        phase.set(CURRENT_PHASE.with(|c| c.replace(prev_phase)));
         CURRENT_CORO.with(|c| c.set(prev));
         out
     }

@@ -221,6 +221,35 @@ pub struct RpcSampleKey {
 /// see [`Tracer::set_record_capacity`].
 pub const DEFAULT_RECORD_CAPACITY: usize = 4_000_000;
 
+/// One finished event wait, delivered synchronously to an installed
+/// [wait probe](Tracer::set_wait_probe).
+///
+/// This is the profiler's feed: unlike full trace records it is not
+/// buffered, carries the ambient coroutine/phase attribution already
+/// resolved, and costs one `Option` check when no probe is installed.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitObservation {
+    /// Node the waiting coroutine runs on.
+    pub node: NodeId,
+    /// Label of the waiting coroutine (`"?"` outside any coroutine).
+    pub coro_label: &'static str,
+    /// Protocol phase active at the wait, if any.
+    pub phase: Option<&'static str>,
+    /// Structural kind of the awaited event.
+    pub kind: EventKind,
+    /// Label of the awaited event.
+    pub label: &'static str,
+    /// `(k, n)` snapshot for quorum-like events.
+    pub quorum: Option<(usize, usize)>,
+    /// What the wait observed.
+    pub result: WaitResult,
+    /// How long the wait blocked (virtual time).
+    pub waited: Duration,
+}
+
+/// Callback receiving every finished wait while installed.
+pub type WaitProbe = Rc<dyn Fn(&WaitObservation)>;
+
 struct TraceInner {
     record_full: bool,
     records: Vec<TraceRecord>,
@@ -231,6 +260,7 @@ struct TraceInner {
     next_coro: u64,
     next_trace: u64,
     metrics: MetricsRegistry,
+    wait_probe: Option<WaitProbe>,
 }
 
 /// The cluster-shared trace sink and id allocator. Cheap to clone.
@@ -269,6 +299,7 @@ impl Tracer {
                 // Trace id 0 is the wire's "untraced" sentinel.
                 next_trace: 1,
                 metrics,
+                wait_probe: None,
             })),
         }
     }
@@ -332,6 +363,25 @@ impl Tracer {
             } else {
                 inner.dropped.inc();
             }
+        }
+    }
+
+    /// Installs (or, with `None`, removes) the wait probe: a callback
+    /// invoked synchronously for every finished event wait on runtimes
+    /// sharing this tracer. At most one probe is installed at a time; the
+    /// profiler owns it for the duration of a profiled run.
+    pub fn set_wait_probe(&self, probe: Option<WaitProbe>) {
+        self.inner.borrow_mut().wait_probe = probe;
+    }
+
+    /// Delivers a finished wait to the installed probe, if any. The closure
+    /// keeps the disabled path free of attribution lookups.
+    pub fn probe_wait(&self, make: impl FnOnce() -> WaitObservation) {
+        // Clone the probe out so the callback runs without holding the
+        // tracer borrow (it may legitimately read tracer state).
+        let probe = self.inner.borrow().wait_probe.clone();
+        if let Some(p) = probe {
+            p(&make());
         }
     }
 

@@ -340,6 +340,59 @@ impl MetricsRegistry {
         }
         out
     }
+
+    /// Renders the current state as a JSON array, one object per metric,
+    /// in the same deterministic key order as [`MetricsRegistry::snapshot`].
+    ///
+    /// Counters and gauges carry `value`; histograms carry `count`,
+    /// `mean_ns`, `p50_ns`, `p99_ns` and `max_ns`. `node`/`tag` are
+    /// `null` when the key is unscoped. The bench harness embeds this in
+    /// its `BENCH_*.json` artifacts next to the CSV export.
+    pub fn to_json(&self) -> String {
+        // Names and tags are static identifiers; escape defensively anyway.
+        fn jstr(s: &str) -> String {
+            format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+        }
+        let mut out = String::from("[");
+        for (i, (k, v)) in self.snapshot().into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  {");
+            let _ = write!(out, "\"name\": {}", jstr(k.name));
+            match k.node {
+                Some(n) => {
+                    let _ = write!(out, ", \"node\": {n}");
+                }
+                None => out.push_str(", \"node\": null"),
+            }
+            match k.tag {
+                Some(t) => {
+                    let _ = write!(out, ", \"tag\": {}", jstr(t));
+                }
+                None => out.push_str(", \"tag\": null"),
+            }
+            let _ = write!(out, ", \"kind\": {}", jstr(v.kind()));
+            match v {
+                MetricValue::Counter(c) => {
+                    let _ = write!(out, ", \"value\": {c}");
+                }
+                MetricValue::Gauge(g) => {
+                    let _ = write!(out, ", \"value\": {g}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        ", \"count\": {}, \"mean_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}",
+                        h.count, h.mean_ns, h.p50_ns, h.p99_ns, h.max_ns
+                    );
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("\n]\n");
+        out
+    }
 }
 
 /// A [`MetricsRegistry`] view bound to one node id.
@@ -469,5 +522,22 @@ mod tests {
         assert!(lines.next().unwrap().starts_with("name,node,tag,kind"));
         assert!(csv.contains("rpc.sent,0,,counter,3"));
         assert!(csv.contains("rpc.latency,0,,histogram,,1,"));
+    }
+
+    #[test]
+    fn json_mirrors_snapshot_deterministically() {
+        let r = MetricsRegistry::new();
+        r.node(0).counter("rpc.sent").add(3);
+        r.node(1).gauge("rpc.buffer.bytes").set(-2);
+        r.node(0)
+            .histogram_tagged("rpc.latency", "append")
+            .record_ns(1500);
+        let json = r.to_json();
+        assert_eq!(json, r.to_json(), "same state must emit identical bytes");
+        assert!(json.starts_with('['));
+        assert!(json.ends_with("]\n"));
+        assert!(json.contains("{\"name\": \"rpc.sent\", \"node\": 0, \"tag\": null, \"kind\": \"counter\", \"value\": 3}"));
+        assert!(json.contains("\"value\": -2"));
+        assert!(json.contains("\"tag\": \"append\", \"kind\": \"histogram\", \"count\": 1"));
     }
 }

@@ -1,0 +1,50 @@
+//! Offline flamegraph renderer: folded stacks in, SVG out.
+//!
+//! ```text
+//! depfast-profile <run.folded> [--out <run.svg>] [--title <text>]
+//! ```
+//!
+//! The input is what `fig1 -- --profile` / `fig3 -- --profile` write (or
+//! any inferno-compatible folded file). Rendering is deterministic: the
+//! same folded bytes always produce the same SVG bytes.
+
+use std::process::ExitCode;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let input = match args.iter().find(|a| !a.starts_with("--")) {
+        Some(p) => p.clone(),
+        None => {
+            eprintln!("usage: depfast-profile <run.folded> [--out <run.svg>] [--title <text>]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let folded = match std::fs::read_to_string(&input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("depfast-profile: cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out = arg_value(&args, "--out").unwrap_or_else(|| {
+        let stem = input.strip_suffix(".folded").unwrap_or(&input);
+        format!("{stem}.svg")
+    });
+    let title =
+        arg_value(&args, "--title").unwrap_or_else(|| format!("wait-state profile — {input}"));
+    let svg = depfast_profile::flame::render_svg(&folded, &title);
+    if let Err(e) = std::fs::write(&out, &svg) {
+        eprintln!("depfast-profile: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let stacks = folded.lines().filter(|l| !l.trim().is_empty()).count();
+    println!("rendered {stacks} folded stacks from {input} to {out}");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,236 @@
+//! Zero-dependency SVG flamegraph renderer for folded stacks.
+//!
+//! Input is the inferno folded format: one stack per line,
+//! `frame;frame;...;frame <value>`. Output is a self-contained SVG whose
+//! bytes are a deterministic function of the input — colors come from a
+//! hash of the frame name, layout from lexicographic child order — so
+//! fixed-seed runs produce byte-identical graphs.
+
+use std::collections::BTreeMap;
+
+/// Pixel width of the rendered graph.
+const WIDTH: f64 = 1200.0;
+/// Pixel height of one frame row.
+const ROW: f64 = 17.0;
+/// Vertical space reserved for the title.
+const HEADER: f64 = 38.0;
+/// Frames narrower than this many pixels are drawn without text.
+const MIN_TEXT_PX: f64 = 35.0;
+/// Approximate glyph width at font-size 11, for truncation.
+const CHAR_PX: f64 = 6.3;
+
+#[derive(Default)]
+struct Node {
+    /// Total value of stacks passing through this frame.
+    value: u64,
+    /// Children in deterministic (name) order.
+    children: BTreeMap<String, Node>,
+}
+
+impl Node {
+    fn insert(&mut self, frames: &[&str], value: u64) {
+        self.value += value;
+        if let Some((first, rest)) = frames.split_first() {
+            self.children
+                .entry((*first).to_string())
+                .or_default()
+                .insert(rest, value);
+        }
+    }
+
+    fn depth(&self) -> usize {
+        1 + self.children.values().map(Node::depth).max().unwrap_or(0)
+    }
+}
+
+/// Parses folded lines into a frame trie. Malformed lines (no value) are
+/// skipped.
+fn build(folded: &str) -> Node {
+    let mut root = Node::default();
+    for line in folded.lines() {
+        let line = line.trim();
+        let Some((stack, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let Ok(value) = value.parse::<u64>() else {
+            continue;
+        };
+        let frames: Vec<&str> = stack.split(';').collect();
+        root.insert(&frames, value);
+    }
+    root
+}
+
+/// Deterministic FNV-1a hash of a frame name, used only for coloring.
+fn fnv(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Warm flamegraph palette keyed by the frame name.
+fn color(name: &str) -> String {
+    let h = fnv(name);
+    let r = 205 + (h % 50) as u8;
+    let g = (h >> 8) % 230;
+    let b = (h >> 16) % 55;
+    format!("rgb({r},{g},{b})")
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+fn fmt_px(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+fn render_node(
+    out: &mut String,
+    name: &str,
+    node: &Node,
+    x: f64,
+    depth: usize,
+    px_per_unit: f64,
+    total: u64,
+) -> f64 {
+    let w = node.value as f64 * px_per_unit;
+    // Rows grow downward from the header; the root occupies row 0.
+    let y = HEADER + depth as f64 * ROW;
+    if w >= 0.3 {
+        let pct = 100.0 * node.value as f64 / total.max(1) as f64;
+        let title = format!("{} ({} ns, {:.2}%)", name, node.value, pct);
+        out.push_str(&format!(
+            "<g><title>{}</title><rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"{}\" rx=\"1\"/>",
+            esc(&title),
+            fmt_px(x),
+            fmt_px(y),
+            fmt_px(w.max(0.3)),
+            fmt_px(ROW - 1.0),
+            color(name)
+        ));
+        if w >= MIN_TEXT_PX {
+            let max_chars = ((w - 6.0) / CHAR_PX) as usize;
+            let shown: String = if name.chars().count() > max_chars {
+                name.chars()
+                    .take(max_chars.saturating_sub(2))
+                    .collect::<String>()
+                    + ".."
+            } else {
+                name.to_string()
+            };
+            out.push_str(&format!(
+                "<text x=\"{}\" y=\"{}\" font-size=\"11\" font-family=\"monospace\" fill=\"#000\">{}</text>",
+                fmt_px(x + 3.0),
+                fmt_px(y + 12.0),
+                esc(&shown)
+            ));
+        }
+        out.push_str("</g>\n");
+    }
+    let mut cx = x;
+    for (child_name, child) in &node.children {
+        cx += render_node(out, child_name, child, cx, depth + 1, px_per_unit, total);
+    }
+    w
+}
+
+/// Renders folded stacks as a self-contained SVG flamegraph.
+///
+/// # Examples
+///
+/// ```
+/// let svg = depfast_profile::flame::render_svg("a;b 10\na;c 30\n", "demo");
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("demo"));
+/// ```
+pub fn render_svg(folded: &str, title: &str) -> String {
+    let root = build(folded);
+    // The root row is synthetic ("all"); data frames start below it.
+    let depth = root.depth().max(1);
+    let height = HEADER + (depth as f64 + 1.0) * ROW + 10.0;
+    let px_per_unit = if root.value == 0 {
+        0.0
+    } else {
+        WIDTH / root.value as f64
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" \
+         viewBox=\"0 0 {} {}\">\n",
+        WIDTH,
+        fmt_px(height),
+        WIDTH,
+        fmt_px(height)
+    ));
+    out.push_str(&format!(
+        "<rect x=\"0\" y=\"0\" width=\"{WIDTH}\" height=\"{}\" fill=\"#fdf6e3\"/>\n",
+        fmt_px(height)
+    ));
+    out.push_str(&format!(
+        "<text x=\"{}\" y=\"24\" font-size=\"15\" font-family=\"monospace\" \
+         text-anchor=\"middle\" fill=\"#333\">{}</text>\n",
+        fmt_px(WIDTH / 2.0),
+        esc(title)
+    ));
+    if root.value > 0 {
+        render_node(&mut out, "all", &root, 0.0, 0, px_per_unit, root.value);
+    } else {
+        out.push_str(&format!(
+            "<text x=\"{}\" y=\"{}\" font-size=\"12\" font-family=\"monospace\" \
+             text-anchor=\"middle\" fill=\"#888\">(no samples)</text>\n",
+            fmt_px(WIDTH / 2.0),
+            fmt_px(HEADER + ROW)
+        ));
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let folded =
+            "n0;d;apply;cpu 100\nn0;d;apply;disk:device 300\nn1;d;propose;quorum:replicate 600\n";
+        let a = render_svg(folded, "t");
+        let b = render_svg(folded, "t");
+        assert_eq!(a, b);
+        assert!(a.contains("quorum:replicate"));
+    }
+
+    #[test]
+    fn widths_are_proportional_to_values() {
+        let svg = render_svg("a;x 250\nb;y 750\n", "t");
+        // b gets 3/4 of the 1200px width.
+        assert!(svg.contains("width=\"900.00\""), "{svg}");
+        assert!(svg.contains("width=\"300.00\""), "{svg}");
+    }
+
+    #[test]
+    fn empty_input_renders_placeholder() {
+        let svg = render_svg("", "t");
+        assert!(svg.contains("no samples"));
+        assert!(svg.ends_with("</svg>\n"));
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped() {
+        let svg = render_svg("garbage\na;b notanumber\nc 10\n", "t");
+        assert!(svg.contains(">c<") || svg.contains("\">c"), "{svg}");
+    }
+
+    #[test]
+    fn special_characters_are_escaped() {
+        let svg = render_svg("a<b>&c 10\n", "t&<");
+        assert!(!svg.contains("a<b>"), "unescaped frame name");
+        assert!(svg.contains("&amp;"));
+    }
+}

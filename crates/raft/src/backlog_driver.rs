@@ -108,10 +108,12 @@ impl BacklogRaft {
                     break;
                 }
                 let deadline = core.rt.now() + core.cfg.heartbeat;
-                let batch = core
-                    .proposals
-                    .pop_batch(&core.rt, core.cfg.batch_max, Some(deadline))
-                    .await;
+                let batch = {
+                    let _g = depfast::PhaseGuard::enter("intake");
+                    core.proposals
+                        .pop_batch(&core.rt, core.cfg.batch_max, Some(deadline))
+                        .await
+                };
                 let cpu = core.cfg.propose_cpu * batch.len().max(1) as u32;
                 if core.world.cpu(core.id, cpu).await.is_err() {
                     break;
@@ -234,7 +236,10 @@ impl BacklogRaft {
                         );
                         // The singular wait: this ack path is fully coupled
                         // to this one follower's speed.
-                        let out = classified.wait_timeout(opts.rpc_timeout).await;
+                        let out = {
+                            let _g = depfast::PhaseGuard::enter("queue_drain");
+                            classified.wait_timeout(opts.rpc_timeout).await
+                        };
                         if out.is_ready() {
                             break;
                         }

@@ -94,10 +94,12 @@ impl CallbackRaft {
                     break;
                 }
                 let deadline = core.rt.now() + core.cfg.heartbeat;
-                let batch = core
-                    .proposals
-                    .pop_batch(&core.rt, core.cfg.batch_max, Some(deadline))
-                    .await;
+                let batch = {
+                    let _g = depfast::PhaseGuard::enter("intake");
+                    core.proposals
+                        .pop_batch(&core.rt, core.cfg.batch_max, Some(deadline))
+                        .await
+                };
                 let cpu = core.cfg.propose_cpu * batch.len().max(1) as u32;
                 if core.world.cpu(core.id, cpu).await.is_err() {
                     break;

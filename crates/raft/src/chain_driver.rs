@@ -92,6 +92,7 @@ impl ChainRaft {
                         c.log.append(&new);
                     }
                     if match_to > 0 && c.log.durable_index() < match_to {
+                        let _g = depfast::PhaseGuard::enter("wal_wait");
                         let gate = c.log.wait_durable(match_to.min(c.log.last_index()));
                         if !gate.wait().await.is_ready() {
                             return;
@@ -142,10 +143,12 @@ impl ChainRaft {
                 if core.st.borrow().role != Role::Leader || core.world.is_crashed(core.id) {
                     break;
                 }
-                let batch = core
-                    .proposals
-                    .pop_batch(&core.rt, core.cfg.batch_max, None)
-                    .await;
+                let batch = {
+                    let _g = depfast::PhaseGuard::enter("intake");
+                    core.proposals
+                        .pop_batch(&core.rt, core.cfg.batch_max, None)
+                        .await
+                };
                 let cpu = core.cfg.propose_cpu * batch.len().max(1) as u32;
                 if core.world.cpu(core.id, cpu).await.is_err() {
                     break;

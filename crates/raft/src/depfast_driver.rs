@@ -142,14 +142,17 @@ impl DepFastRaft {
             loop {
                 if core.st.borrow().role != Role::Leader {
                     // Wait (on a local value event) until elected.
+                    let _g = depfast::PhaseGuard::enter("await_leadership");
                     let epoch = core.st.borrow().leader_epoch;
                     core.leader_gen.when_at_least(epoch + 1).wait().await;
                     continue;
                 }
-                let batch = core
-                    .proposals
-                    .pop_batch(&core.rt, core.cfg.batch_max, None)
-                    .await;
+                let batch = {
+                    let _g = depfast::PhaseGuard::enter("intake");
+                    core.proposals
+                        .pop_batch(&core.rt, core.cfg.batch_max, None)
+                        .await
+                };
                 if core.st.borrow().role != Role::Leader {
                     for (_, ev) in batch {
                         ev.fire_err();
@@ -210,7 +213,10 @@ impl DepFastRaft {
                     let c = cancel.clone();
                     quorum.handle().on_fire(move |_| c.cancel());
                 }
-                let outcome = quorum.wait_timeout(core.cfg.replicate_timeout).await;
+                let outcome = {
+                    let _g = depfast::PhaseGuard::enter("replicate_wait");
+                    quorum.wait_timeout(core.cfg.replicate_timeout).await
+                };
                 if outcome.is_ready() {
                     core.set_commit(hi);
                 } else if core.st.borrow().role != Role::Leader {
@@ -334,7 +340,10 @@ impl DepFastRaft {
                 );
             quorum.add(&ok);
         }
-        let out = quorum.wait_timeout(core.cfg.replicate_timeout).await;
+        let out = {
+            let _g = depfast::PhaseGuard::enter("read_index_wait");
+            quorum.wait_timeout(core.cfg.replicate_timeout).await
+        };
         out.is_ready() && core.log.current_term() == term && core.st.borrow().role == Role::Leader
     }
 

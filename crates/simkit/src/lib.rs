@@ -33,7 +33,7 @@ pub use executor::{JoinHandle, Sim, Sleep};
 pub use memory::MemCfg;
 pub use net::NetCfg;
 pub use time::SimTime;
-pub use world::{NodeId, World, WorldCfg};
+pub use world::{NodeId, ResourceKind, ResourceObservation, ResourceProbe, World, WorldCfg};
 
 /// Convenience alias for the non-`Send` boxed futures the executor runs.
 pub type LocalBoxFuture<T> = std::pin::Pin<Box<dyn std::future::Future<Output = T>>>;

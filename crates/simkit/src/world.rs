@@ -119,6 +119,48 @@ struct NodeState {
     stats: NodeStats,
 }
 
+/// Which simulated resource a [`ResourceObservation`] concerns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResourceKind {
+    /// A [`CpuModel`] work item.
+    Cpu,
+    /// A [`DiskModel`] operation.
+    Disk,
+}
+
+impl ResourceKind {
+    /// Short name for reports (`"cpu"` / `"disk"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ResourceKind::Cpu => "cpu",
+            ResourceKind::Disk => "disk",
+        }
+    }
+}
+
+/// One resource interaction, delivered synchronously to an installed
+/// [resource probe](World::set_resource_probe) at schedule time (i.e.
+/// inside the calling task's poll, before the completion is awaited).
+///
+/// `wait` is queueing delay (run-queue / device-queue), `service` the
+/// effective busy time including fail-slow and swap inflation.
+#[derive(Debug, Clone, Copy)]
+pub struct ResourceObservation {
+    /// Node whose resource was used.
+    pub node: NodeId,
+    /// Which resource.
+    pub resource: ResourceKind,
+    /// Queueing delay before service began.
+    pub wait: Duration,
+    /// Effective service time (after distortion multipliers).
+    pub service: Duration,
+    /// Memory-pressure swap multiplier in effect (1.0 = none).
+    pub slowdown: f64,
+}
+
+/// Callback receiving every CPU/disk interaction while installed.
+pub type ResourceProbe = Rc<dyn Fn(&ResourceObservation)>;
+
 type Handler = Rc<dyn Fn(NetMessage)>;
 
 struct WorldInner {
@@ -126,6 +168,7 @@ struct WorldInner {
     net: NetModel,
     handlers: Vec<Option<Handler>>,
     metrics: MetricsRegistry,
+    resource_probe: Option<ResourceProbe>,
 }
 
 /// Handle to the simulated cluster. Cheap to clone.
@@ -155,6 +198,7 @@ impl World {
                 net: NetModel::new(cfg.net),
                 handlers: vec![None; cfg.nodes],
                 metrics,
+                resource_probe: None,
             })),
         }
     }
@@ -201,11 +245,28 @@ impl World {
         self.inner.borrow_mut().nodes[node.0 as usize].crashed = true;
     }
 
+    /// Installs (or, with `None`, removes) the resource probe: a callback
+    /// invoked synchronously for every CPU/disk interaction on this world,
+    /// at schedule time and hence inside the polling task (so ambient
+    /// per-coroutine attribution in higher layers is still in scope). The
+    /// wait-state profiler owns it for the duration of a profiled run.
+    pub fn set_resource_probe(&self, probe: Option<ResourceProbe>) {
+        self.inner.borrow_mut().resource_probe = probe;
+    }
+
+    fn probe_resource(&self, obs: ResourceObservation) {
+        // Clone the probe out so the callback runs without the world borrow.
+        let probe = self.inner.borrow().resource_probe.clone();
+        if let Some(p) = probe {
+            p(&obs);
+        }
+    }
+
     /// Executes `work` of CPU time on `node`, queueing on its cores and
     /// paying the current fail-slow and swap multipliers.
     pub async fn cpu(&self, node: NodeId, work: Duration) -> Result<(), Crashed> {
         self.check(node)?;
-        let finish = {
+        let (finish, obs) = {
             let now = self.sim.now();
             let mut inner = self.inner.borrow_mut();
             let state = &mut inner.nodes[node.0 as usize];
@@ -214,8 +275,18 @@ impl World {
             let finish = state.cpu.schedule(now, work, slowdown);
             state.stats.cpu_wait.record(start - now);
             state.stats.cpu_service.record(finish - start);
-            finish
+            (
+                finish,
+                ResourceObservation {
+                    node,
+                    resource: ResourceKind::Cpu,
+                    wait: start - now,
+                    service: finish - start,
+                    slowdown,
+                },
+            )
         };
+        self.probe_resource(obs);
         self.sim.sleep_until(finish).await;
         self.check(node)
     }
@@ -223,7 +294,7 @@ impl World {
     /// Performs a disk operation on `node`'s FIFO device queue.
     pub async fn disk(&self, node: NodeId, op: DiskOp) -> Result<(), Crashed> {
         self.check(node)?;
-        let finish = {
+        let (finish, obs) = {
             let now = self.sim.now();
             let mut inner = self.inner.borrow_mut();
             let state = &mut inner.nodes[node.0 as usize];
@@ -236,8 +307,18 @@ impl World {
             if let DiskOp::Write { bytes } | DiskOp::Fsync { bytes } = op {
                 state.stats.disk_bytes.add(bytes);
             }
-            finish
+            (
+                finish,
+                ResourceObservation {
+                    node,
+                    resource: ResourceKind::Disk,
+                    wait: start - now,
+                    service: finish - start,
+                    slowdown,
+                },
+            )
         };
+        self.probe_resource(obs);
         self.sim.sleep_until(finish).await;
         self.check(node)
     }
@@ -588,6 +669,57 @@ mod tests {
         let delay = m.node(0).histogram("sim.net.delay").snapshot();
         assert_eq!(delay.count, 1);
         assert!(delay.max_ns >= 100_000, "base latency is 100 µs");
+    }
+
+    #[test]
+    fn resource_probe_observes_queueing_and_service() {
+        let (sim, w) = world();
+        let seen: Rc<RefCell<Vec<ResourceObservation>>> = Rc::new(RefCell::new(Vec::new()));
+        let s = seen.clone();
+        w.set_resource_probe(Some(Rc::new(move |o: &ResourceObservation| {
+            s.borrow_mut().push(*o);
+        })));
+        // Two concurrent fsyncs on node 1: FIFO queueing makes the second
+        // observation carry nonzero wait.
+        for _ in 0..2 {
+            let w2 = w.clone();
+            sim.spawn(async move {
+                w2.disk(NodeId(1), DiskOp::Fsync { bytes: 1_000_000 })
+                    .await
+                    .unwrap();
+            });
+        }
+        let w2 = w.clone();
+        sim.spawn(async move {
+            w2.cpu(NodeId(0), Duration::from_millis(1)).await.unwrap();
+        });
+        sim.run();
+        let obs = seen.borrow();
+        assert_eq!(obs.len(), 3);
+        let disk: Vec<_> = obs
+            .iter()
+            .filter(|o| o.resource == ResourceKind::Disk)
+            .collect();
+        assert_eq!(disk.len(), 2);
+        assert!(disk.iter().all(|o| o.node == NodeId(1)));
+        assert_eq!(disk[0].wait, Duration::ZERO);
+        assert!(disk[1].wait > Duration::ZERO, "second fsync must queue");
+        let cpu: Vec<_> = obs
+            .iter()
+            .filter(|o| o.resource == ResourceKind::Cpu)
+            .collect();
+        assert_eq!(cpu.len(), 1);
+        assert_eq!(cpu[0].node, NodeId(0));
+        assert_eq!(cpu[0].service, Duration::from_millis(1));
+        drop(obs);
+        // Removing the probe stops delivery.
+        w.set_resource_probe(None);
+        let w2 = w.clone();
+        sim.spawn(async move {
+            w2.cpu(NodeId(0), Duration::from_millis(1)).await.unwrap();
+        });
+        sim.run();
+        assert_eq!(seen.borrow().len(), 3);
     }
 
     #[test]

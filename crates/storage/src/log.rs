@@ -13,7 +13,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use bytes::Bytes;
-use depfast::event::{EventHandle, ValueEvent, Watchable};
+use depfast::event::{EventHandle, EventKind, ValueEvent, Watchable};
 use depfast::runtime::Runtime;
 use depfast_metrics::HistogramHandle;
 use simkit::disk::DiskOp;
@@ -108,7 +108,10 @@ impl LogStore {
                 cache_hits: 0,
                 cache_misses: 0,
             })),
-            durable: ValueEvent::labeled(rt, 0, "log_durable"),
+            // Io-kinded: a wait on the durable watermark is a wait for
+            // WAL disk completion, and tracing/blame/profiling all
+            // classify that as disk time on this node.
+            durable: ValueEvent::with_kind(rt, 0, EventKind::Io, "log_durable"),
             append_lag: rt
                 .tracer()
                 .metrics()

@@ -54,4 +54,4 @@ mod serial;
 pub use blame::{blame_report, BlameKey, BlameReport};
 pub use chrome::chrome_trace;
 pub use index::{EventInfo, TraceIndex};
-pub use serial::{parse_records, serialize_records};
+pub use serial::{dump_dropped, parse_records, serialize_dump, serialize_records};

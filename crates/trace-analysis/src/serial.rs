@@ -195,6 +195,30 @@ pub fn serialize_records(records: &[TraceRecord]) -> String {
     out
 }
 
+/// Serializes a dump with a metadata header recording how many records
+/// the tracer's ring buffer dropped before this stream was taken. A
+/// nonzero count means blame shares are computed from a truncated stream;
+/// `depfast-trace` warns when it sees one. Header lines start with `#`
+/// and are skipped by [`parse_records`], so legacy headerless dumps and
+/// new ones parse identically.
+pub fn serialize_dump(records: &[TraceRecord], dropped: u64) -> String {
+    let mut out = format!("#meta\tdropped\t{dropped}\n");
+    out.push_str(&serialize_records(records));
+    out
+}
+
+/// The `dropped` count from a dump's `#meta` header; 0 for legacy dumps
+/// without one.
+pub fn dump_dropped(text: &str) -> u64 {
+    text.lines()
+        .take_while(|l| l.starts_with('#'))
+        .find_map(|l| {
+            l.strip_prefix("#meta\tdropped\t")
+                .and_then(|v| v.trim().parse().ok())
+        })
+        .unwrap_or(0)
+}
+
 struct Line<'a> {
     no: usize,
     fields: Vec<&'a str>,
@@ -263,7 +287,7 @@ impl<'a> Line<'a> {
 pub fn parse_records(text: &str) -> Result<Vec<TraceRecord>, String> {
     let mut records = Vec::new();
     for (no, raw) in text.lines().enumerate() {
-        if raw.is_empty() {
+        if raw.is_empty() || raw.starts_with('#') {
             continue;
         }
         let mut line = Line {
@@ -469,5 +493,17 @@ mod tests {
     #[test]
     fn empty_lines_are_skipped() {
         assert!(parse_records("\n\n").expect("ok").is_empty());
+    }
+
+    #[test]
+    fn meta_header_round_trips_and_stays_back_compatible() {
+        let records = sample();
+        let dump = serialize_dump(&records, 42);
+        assert!(dump.starts_with("#meta\tdropped\t42\n"));
+        assert_eq!(dump_dropped(&dump), 42);
+        let parsed = parse_records(&dump).expect("header is skipped");
+        assert_eq!(serialize_records(&parsed), serialize_records(&records));
+        // Legacy dumps have no header: dropped reads as 0.
+        assert_eq!(dump_dropped(&serialize_records(&records)), 0);
     }
 }
