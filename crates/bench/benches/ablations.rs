@@ -297,6 +297,93 @@ fn run_experiment_with_cache(
     stats
 }
 
+/// The PR-6 tentpole knobs, ablated: batch size cap (1 = per-entry
+/// rounds vs 64) × group-commit linger window (0 vs lingered) ×
+/// replication pipeline depth (1 vs 4), healthy and with a
+/// disk-contended follower. Two findings worth a table: the step
+/// function lives entirely in `batch_max` (at 256 closed-loop clients a
+/// batch forms from the queued proposals whether or not the window
+/// lingers), and the fail-slow column stays ~1.0 in every row —
+/// pipelining must not re-couple the leader to the slow follower; the
+/// per-follower append window sheds sends to it instead (visible as
+/// `raft.append.window_skips`).
+fn ablation_batching(suite: &mut Suite) {
+    use depfast_bench::{run_experiment, ExperimentCfg, FaultTarget};
+    use depfast_fault::FaultKind;
+    use depfast_raft::cluster::RaftKind;
+
+    let measure = std::env::var("ABL_MEASURE_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5u64);
+    let mut t = Table::new(
+        "Ablation: batch cap x linger window x pipeline depth (DepFastRaft, 256 clients)",
+        &[
+            "Batch",
+            "Window",
+            "Depth",
+            "Tput healthy",
+            "P99 healthy (ms)",
+            "Tput w/ disk-contended follower",
+            "Ratio",
+        ],
+    );
+    let configs: [(usize, &str, Duration, usize); 5] = [
+        (1, "0", Duration::ZERO, 1), // per-entry rounds: the pre-batching baseline
+        (64, "0", Duration::ZERO, 1),
+        (64, "0", Duration::ZERO, 4),
+        (64, "200us", Duration::from_micros(200), 1),
+        (64, "200us", Duration::from_micros(200), 4),
+    ];
+    for (batch_max, window_label, window, depth) in configs {
+        let make = |fault| {
+            run_experiment(&ExperimentCfg {
+                kind: RaftKind::DepFast,
+                n_clients: 256,
+                warmup: Duration::from_secs(1),
+                measure: Duration::from_secs(measure),
+                records: 100_000,
+                fault,
+                batch_max: Some(batch_max),
+                batch_window: Some(window),
+                pipeline_depth: Some(depth),
+                ..ExperimentCfg::default()
+            })
+        };
+        let healthy = make(None);
+        let contended = make(Some((
+            FaultTarget::Followers(vec![1]),
+            FaultKind::DiskContention {
+                write_bytes: 2200 * 1024,
+                period: Duration::from_millis(10),
+            },
+        )));
+        let driver = format!("DepFastRaft batch={batch_max} window={window_label} depth={depth}");
+        suite.runs.push(RunRecord::from_stats(
+            &driver, "none", "", &healthy, None, None,
+        ));
+        suite.runs.push(RunRecord::from_stats(
+            &driver,
+            "disk_contention",
+            "",
+            &contended,
+            Some(healthy.throughput),
+            None,
+        ));
+        t.row(vec![
+            batch_max.to_string(),
+            window_label.to_string(),
+            depth.to_string(),
+            format!("{:.0}", healthy.throughput),
+            format!("{:.2}", healthy.latency.p99.as_secs_f64() * 1e3),
+            format!("{:.0}", contended.throughput),
+            format!("{:.2}", contended.throughput / healthy.throughput.max(1.0)),
+        ]);
+    }
+    t.print();
+    let _ = t.write_csv("ablation_batching");
+}
+
 /// Chain replication vs quorum replication under a slow *tail* — the
 /// §2.1/§3.3 tradeoff, measured.
 fn ablation_chain_vs_quorum(suite: &mut Suite) {
@@ -363,6 +450,7 @@ fn main() {
     ablation_buffers();
     let mut suite = Suite::new("ablations", depfast_bench::ExperimentCfg::default().seed);
     ablation_entrycache(&mut suite);
+    ablation_batching(&mut suite);
     ablation_chain_vs_quorum(&mut suite);
     match depfast_bench::write_repo_artifact("BENCH_ablations.json", &suite.to_json()) {
         Ok(p) => println!("[bench-json] {}", p.display()),

@@ -48,6 +48,15 @@ pub struct ExperimentCfg {
     pub value_size: usize,
     /// Fault to inject, if any.
     pub fault: Option<(FaultTarget, FaultKind)>,
+    /// Override of [`bench_raft_cfg`]'s `batch_max` (group-commit batch
+    /// cap; `None` = keep the calibrated value).
+    pub batch_max: Option<usize>,
+    /// Override of the group-commit linger window.
+    pub batch_window: Option<Duration>,
+    /// Override of the replication pipeline depth.
+    pub pipeline_depth: Option<usize>,
+    /// Override of the per-follower in-flight append window.
+    pub append_window: Option<usize>,
 }
 
 impl Default for ExperimentCfg {
@@ -62,6 +71,10 @@ impl Default for ExperimentCfg {
             records: 500_000,
             value_size: 1000,
             fault: None,
+            batch_max: None,
+            batch_window: None,
+            pipeline_depth: None,
+            append_window: None,
         }
     }
 }
@@ -70,6 +83,25 @@ impl ExperimentCfg {
     /// The first `k` followers of a 0-led cluster.
     pub fn followers(k: usize) -> FaultTarget {
         FaultTarget::Followers((1..=k as u32).collect())
+    }
+
+    /// [`bench_raft_cfg`] with this experiment's batching/pipelining
+    /// overrides applied.
+    pub fn raft_cfg(&self) -> RaftCfg {
+        let mut rc = bench_raft_cfg();
+        if let Some(v) = self.batch_max {
+            rc.batch_max = v;
+        }
+        if let Some(v) = self.batch_window {
+            rc.batch_window = v;
+        }
+        if let Some(v) = self.pipeline_depth {
+            rc.pipeline_depth = v;
+        }
+        if let Some(v) = self.append_window {
+            rc.append_window = v;
+        }
+        rc
     }
 }
 
@@ -80,6 +112,11 @@ pub fn bench_raft_cfg() -> RaftCfg {
     RaftCfg {
         bootstrap_leader: Some(0),
         batch_max: 64,
+        // Group-commit linger while the pipeline is busy: coalesces the
+        // pipelined round stream into ~20-entry batches at the ~5 K req/s
+        // operating point (one WAL fsync + one per-peer append per round
+        // instead of per entry). See docs/PERFORMANCE.md.
+        batch_window: Duration::from_millis(4),
         max_entries_per_append: 512,
         propose_cpu: Duration::from_micros(30),
         apply_cpu: Duration::from_micros(190),
@@ -210,7 +247,7 @@ fn run(
         cfg.kind,
         cfg.n_servers,
         cfg.n_clients,
-        bench_raft_cfg(),
+        cfg.raft_cfg(),
         bench_serve_cpu(),
     ));
     if trace_into.is_some() {

@@ -6,14 +6,14 @@
 //! protocols are wrong but because their *implementations* wait in the
 //! wrong places. The library therefore makes waiting points first-class:
 //!
-//! * [`Coroutine`](runtime::Coroutine)s give logic code a synchronous shape
+//! * [`Coroutine`]s give logic code a synchronous shape
 //!   (no shredded callbacks) on a lightweight cooperative scheduler;
 //! * [`event`]s wrap every waiting point. Basic events cover network/disk
 //!   completions and simple conditions; compound events —
-//!   [`QuorumEvent`](event::QuorumEvent), [`AndEvent`](event::AndEvent),
-//!   [`OrEvent`](event::OrEvent) — compose them, and can be nested to
+//!   [`QuorumEvent`], [`AndEvent`],
+//!   [`OrEvent`] — compose them, and can be nested to
 //!   express conditions like "fast-quorum ok, or minority-plus-one reject";
-//! * waiting on a [`QuorumEvent`](event::QuorumEvent) instead of individual
+//! * waiting on a [`QuorumEvent`] instead of individual
 //!   completions is what makes code *fail-slow fault-tolerant by
 //!   construction*: no single slow component sits on the critical path;
 //! * every event doubles as a trace point. The [`trace`] module records

@@ -7,7 +7,7 @@
 //! executor), and "I/O helper threads" are asynchronous completions with
 //! modelled latency from the same substrate.
 //!
-//! Multiple runtime instances share one [`Tracer`](crate::Tracer), which is
+//! Multiple runtime instances share one [`Tracer`], which is
 //! how cross-node waiting-for relationships are stitched together for the
 //! slowness propagation graph (§3.3, "multiple DepFast runtime instances
 //! will work together for the tracing").

@@ -206,6 +206,7 @@ impl BacklogRaft {
                 let q = queue.clone();
                 Coroutine::create(&core.rt.clone(), "raft:backlog_ack", async move {
                     let prev_index = chunk[0].index - 1;
+                    c.note_entries_per_append(chunk.len());
                     let req = AppendReq {
                         term: c.log.current_term(),
                         leader: c.id.0,
@@ -213,6 +214,7 @@ impl BacklogRaft {
                         prev_term: c.log.term_at(prev_index),
                         entries: to_wire(&chunk),
                         commit: c.commit.get(),
+                        lazy: false,
                     };
                     // Retry until this chunk is acknowledged.
                     loop {

@@ -209,6 +209,7 @@ impl CallbackRaft {
     }
 
     fn send(core: &Rc<RaftCore>, peer: NodeId, prev_index: u64, entries: Vec<Entry>) {
+        core.note_entries_per_append(entries.len());
         let req = AppendReq {
             term: core.log.current_term(),
             leader: core.id.0,
@@ -216,6 +217,7 @@ impl CallbackRaft {
             prev_term: core.log.term_at(prev_index),
             entries: to_wire(&entries),
             commit: core.commit.get(),
+            lazy: false,
         };
         let ev = core
             .ep

@@ -120,6 +120,7 @@ impl ChainRaft {
                                 term: c.log.current_term(),
                                 success: false,
                                 match_index: match_to,
+                                verified: match_to,
                             });
                             return;
                         }
@@ -128,6 +129,7 @@ impl ChainRaft {
                         term: c.log.current_term(),
                         success: true,
                         match_index: match_to,
+                        verified: match_to,
                     });
                 });
             },
@@ -176,6 +178,7 @@ impl ChainRaft {
                     core.set_commit(hi); // Single-node chain.
                     continue;
                 };
+                core.note_entries_per_append(entries.len());
                 let req = AppendReq {
                     term,
                     leader: core.id.0,
@@ -183,6 +186,7 @@ impl ChainRaft {
                     prev_term: core.log.term_at(start - 1),
                     entries: to_wire(&entries),
                     commit: core.commit.get(),
+                    lazy: false,
                 };
                 let ev = core
                     .ep

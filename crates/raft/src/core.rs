@@ -16,7 +16,7 @@ use bytes::Bytes;
 use depfast::event::{EventHandle, EventKind, Signal, ValueEvent};
 use depfast::runtime::{Coroutine, Runtime};
 use depfast::TypedEvent;
-use depfast_metrics::{Gauge, HistogramHandle};
+use depfast_metrics::{Counter, Gauge, HistogramHandle};
 use depfast_rpc::proxy::RpcEvent;
 use depfast_rpc::wire::WireRead;
 use depfast_rpc::Endpoint;
@@ -36,6 +36,18 @@ pub struct RaftCfg {
     pub election_timeout: (Duration, Duration),
     /// Maximum proposals folded into one replication round.
     pub batch_max: usize,
+    /// How long the leader lingers after intake to grow a round's batch
+    /// before shipping it (`Duration::ZERO` = ship immediately; emergent
+    /// batching from queueing alone is usually enough under load).
+    pub batch_window: Duration,
+    /// Replication rounds the leader may have unresolved before intake
+    /// stalls (1 = strictly serial rounds, the classic lock-step leader).
+    pub pipeline_depth: usize,
+    /// In-flight (not yet classified) `AppendEntries` allowed per
+    /// follower before further sends to it are skipped. Stale slots
+    /// expire after `replicate_timeout`, so a lost reply cannot wedge
+    /// the window shut.
+    pub append_window: usize,
     /// Maximum entries shipped in one `AppendEntries`.
     pub max_entries_per_append: usize,
     /// Quorum-wait deadline per replication round.
@@ -61,6 +73,9 @@ impl Default for RaftCfg {
             heartbeat: Duration::from_millis(30),
             election_timeout: (Duration::from_millis(150), Duration::from_millis(300)),
             batch_max: 64,
+            batch_window: Duration::ZERO,
+            pipeline_depth: 4,
+            append_window: 8,
             max_entries_per_append: 256,
             replicate_timeout: Duration::from_millis(1000),
             append_cpu_base: Duration::from_micros(20),
@@ -138,6 +153,15 @@ impl ProposalQueue {
         }
     }
 
+    /// Takes up to `max` queued proposals without waiting. The group
+    /// commit batch window uses this to fold in whatever arrived while
+    /// the leader lingered.
+    pub fn drain_up_to(&self, max: usize) -> Vec<Proposal> {
+        let mut inner = self.inner.borrow_mut();
+        let take = inner.q.len().min(max);
+        inner.q.drain(..take).collect()
+    }
+
     /// Waits for proposals and takes up to `max`; with a deadline, may
     /// resolve to an empty batch (used as a combined heartbeat timer).
     pub fn pop_batch(&self, rt: &Runtime, max: usize, deadline: Option<SimTime>) -> PopBatch {
@@ -212,6 +236,20 @@ struct RaftStats {
     apply_lag: HistogramHandle,
     commit_index: Gauge,
     applied_index: Gauge,
+    /// Entries folded into each replication round (group commit size).
+    batch_size: HistogramHandle,
+    /// Replication rounds launched.
+    batch_rounds: Counter,
+    /// Unresolved rounds right now (≤ `pipeline_depth`).
+    pipeline_inflight: Gauge,
+    /// Intake stalls at the pipeline-depth gate.
+    pipeline_stalls: Counter,
+    /// Sends skipped because a follower's append window was full.
+    window_skips: Counter,
+    /// Followers quarantined into lazy-probe catch-up (suspect mode).
+    suspects: Counter,
+    /// Entries per outgoing non-empty `AppendEntries`.
+    entries_per_append: HistogramHandle,
 }
 
 impl RaftStats {
@@ -222,6 +260,13 @@ impl RaftStats {
             apply_lag: scope.histogram("raft.apply_lag"),
             commit_index: scope.gauge("raft.commit_index"),
             applied_index: scope.gauge("raft.applied_index"),
+            batch_size: scope.histogram("raft.batch.size"),
+            batch_rounds: scope.counter("raft.batch.rounds"),
+            pipeline_inflight: scope.gauge("raft.pipeline.inflight"),
+            pipeline_stalls: scope.counter("raft.pipeline.stalls"),
+            window_skips: scope.counter("raft.append.window_skips"),
+            suspects: scope.counter("raft.append.suspects"),
+            entries_per_append: scope.histogram("rpc.entries_per_append"),
         }
     }
 }
@@ -259,6 +304,31 @@ pub struct RaftCore {
     apply_fn: RefCell<Option<ApplyFn>>,
     applied: Cell<u64>,
     stats: RaftStats,
+    /// Replication rounds launched by this node as leader (pipeline
+    /// accounting; never reset — the gate only looks at the difference).
+    pub rounds_launched: Cell<u64>,
+    /// Resolved-round count as a watchable: the pipeline-depth gate
+    /// waits on it.
+    pub rounds_done: ValueEvent<u64>,
+    /// Per-peer in-flight `AppendEntries` send times (window slots).
+    append_inflight: RefCell<HashMap<u32, std::collections::VecDeque<SimTime>>>,
+    /// Per-peer count of sends skipped on a full window.
+    append_skips: RefCell<HashMap<u32, u64>>,
+    /// Per-peer quarantine state: a follower whose append window filled
+    /// up is fed by lazy probes instead of pipelined rounds until its lag
+    /// shrinks again.
+    suspects: RefCell<HashMap<u32, SuspectState>>,
+    /// Follower-side: highest index log-match-verified against the
+    /// current leader's stream (appended locally, though possibly not yet
+    /// durable). Clamped on truncation; reported in every append reply.
+    verified_index: Cell<u64>,
+    /// Next FIFO ticket for incoming `AppendEntries` (taken at delivery).
+    append_ticket: Cell<u64>,
+    /// Retired-ticket watermark: the handler holding ticket `k` enters its
+    /// ordered section once this reaches `k`. Keeps pipelined appends
+    /// applying to the log in arrival order even though their (entry-count
+    /// proportional) CPU costs finish out of order on a multi-core node.
+    append_turn: ValueEvent<u64>,
     /// Committed-entry counter (throughput accounting).
     pub committed_count: Cell<u64>,
     /// Extra delay added to this node's election timeout draws — the
@@ -309,6 +379,14 @@ impl RaftCore {
             apply_fn: RefCell::new(None),
             applied: Cell::new(0),
             stats: RaftStats::new(rt),
+            rounds_launched: Cell::new(0),
+            rounds_done: ValueEvent::labeled(rt, 0, "rounds_done"),
+            append_inflight: RefCell::new(HashMap::new()),
+            append_skips: RefCell::new(HashMap::new()),
+            suspects: RefCell::new(HashMap::new()),
+            verified_index: Cell::new(0),
+            append_ticket: Cell::new(0),
+            append_turn: ValueEvent::labeled(rt, 0, "append_turn"),
             committed_count: Cell::new(0),
             election_penalty: Cell::new(Duration::ZERO),
         });
@@ -380,6 +458,10 @@ impl RaftCore {
             st.leader_epoch += 1;
             st.leader_epoch
         };
+        // Fresh leadership: quarantine and window state belong to the old
+        // term's view of the peers.
+        self.suspects.borrow_mut().clear();
+        self.append_inflight.borrow_mut().clear();
         self.leader_gen.set(epoch);
     }
 
@@ -542,8 +624,13 @@ impl RaftCore {
                 let Some(req) = AppendReq::from_bytes(&payload) else {
                     return;
                 };
+                // Ticket taken here, synchronously at delivery, so the
+                // ordered section of `handle_append` runs in arrival order
+                // regardless of coroutine scheduling.
+                let ticket = core.append_ticket.get();
+                core.append_ticket.set(ticket + 1);
                 Coroutine::create(&core.rt.clone(), "raft:handle_append", async move {
-                    if let Some(resp) = handle_append(&core, from, req).await {
+                    if let Some(resp) = handle_append(&core, from, req, ticket).await {
                         responder.reply_t(&resp);
                     }
                 });
@@ -617,24 +704,331 @@ impl RaftCore {
     pub fn match_index(&self, peer: NodeId) -> u64 {
         *self.st.borrow().match_index.get(&peer.0).unwrap_or(&0)
     }
+
+    /// Optimistically advances `next_index` for `peer` past entries just
+    /// shipped, so pipelined rounds do not re-send what is already in
+    /// flight. A lost or rejected append self-corrects: the follower's
+    /// reject hint (via [`RaftCore::note_reject`]) backs the index up.
+    pub fn note_sent_through(&self, peer: NodeId, hi: u64) {
+        let mut st = self.st.borrow_mut();
+        let n = st.next_index.entry(peer.0).or_insert(1);
+        if hi + 1 > *n {
+            *n = hi + 1;
+        }
+    }
+
+    /// Unresolved replication rounds (launched minus resolved).
+    pub fn rounds_inflight(&self) -> u64 {
+        self.rounds_launched
+            .get()
+            .saturating_sub(self.rounds_done.get())
+    }
+
+    /// Marks a replication round launched with `batch_entries` entries:
+    /// feeds the `raft.batch.*` series and the pipeline gauge.
+    pub fn note_round_launched(&self, batch_entries: usize) {
+        let launched = self.rounds_launched.get() + 1;
+        self.rounds_launched.set(launched);
+        self.stats.batch_rounds.inc();
+        self.stats.batch_size.record_ns(batch_entries as u64);
+        self.stats
+            .pipeline_inflight
+            .set(launched.saturating_sub(self.rounds_done.get()) as i64);
+    }
+
+    /// Marks a replication round resolved (quorum reached, timed out, or
+    /// leadership lost) and wakes the pipeline-depth gate.
+    pub fn note_round_done(&self) {
+        let done = self.rounds_done.get() + 1;
+        self.stats
+            .pipeline_inflight
+            .set(self.rounds_launched.get().saturating_sub(done) as i64);
+        self.rounds_done.set(done);
+    }
+
+    /// Records an intake stall at the pipeline-depth gate.
+    pub fn note_pipeline_stall(&self) {
+        self.stats.pipeline_stalls.inc();
+    }
+
+    /// Records the entry count of an outgoing non-empty `AppendEntries`
+    /// (the `rpc.entries_per_append` series; empty heartbeats are not
+    /// counted).
+    pub fn note_entries_per_append(&self, n: usize) {
+        if n > 0 {
+            self.stats.entries_per_append.record_ns(n as u64);
+        }
+    }
+
+    /// Claims an in-flight `AppendEntries` slot toward `peer`, or
+    /// returns `false` when the per-follower window
+    /// ([`RaftCfg::append_window`]) is full. Slots normally free when the
+    /// classified reply fires (including the `Err` fired for discarded
+    /// requests); because a reply can also *never* fire — lost after a
+    /// successful send — stale slots additionally expire after
+    /// `replicate_timeout`, so a fail-slow follower stalls only its own
+    /// append stream and can never wedge the window shut.
+    pub fn try_acquire_append_slot(&self, peer: NodeId) -> bool {
+        let now = self.rt.now();
+        let mut map = self.append_inflight.borrow_mut();
+        let q = map.entry(peer.0).or_default();
+        while let Some(t) = q.front() {
+            if now - *t >= self.cfg.replicate_timeout {
+                q.pop_front();
+            } else {
+                break;
+            }
+        }
+        if q.len() >= self.cfg.append_window.max(1) {
+            *self.append_skips.borrow_mut().entry(peer.0).or_insert(0) += 1;
+            self.stats.window_skips.inc();
+            false
+        } else {
+            q.push_back(now);
+            true
+        }
+    }
+
+    /// Frees one in-flight append slot toward `peer`.
+    pub fn release_append_slot(&self, peer: NodeId) {
+        if let Some(q) = self.append_inflight.borrow_mut().get_mut(&peer.0) {
+            q.pop_front();
+        }
+    }
+
+    /// Appends currently charged against `peer`'s window.
+    pub fn append_inflight(&self, peer: NodeId) -> usize {
+        self.append_inflight
+            .borrow()
+            .get(&peer.0)
+            .map_or(0, |q| q.len())
+    }
+
+    /// Sends to `peer` skipped because its window was full.
+    pub fn append_window_skips(&self, peer: NodeId) -> u64 {
+        self.append_skips
+            .borrow()
+            .get(&peer.0)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Whether `peer` is quarantined into lazy-probe catch-up.
+    pub fn is_suspect(&self, peer: NodeId) -> bool {
+        self.suspects.borrow().contains_key(&peer.0)
+    }
+
+    /// Quarantines `peer`: a follower whose append window filled is no
+    /// longer fed by pipelined rounds (each such send parks one of its
+    /// append handlers behind its crawling disk). Instead the heartbeat
+    /// loop polls it with lazy probes and re-feeds it with adaptively
+    /// paced catch-up chunks (see [`RaftCore::suspect_plan`]); it rejoins
+    /// normal replication once its lag shrinks. Optimistically advanced
+    /// `next_index` is reset to the acked prefix.
+    pub fn mark_suspect(&self, peer: NodeId) {
+        {
+            let mut map = self.suspects.borrow_mut();
+            if map.contains_key(&peer.0) {
+                return;
+            }
+            map.insert(
+                peer.0,
+                SuspectState {
+                    chunk: self.cfg.batch_max.max(1),
+                    pending: None,
+                    next_chunk_at: self.rt.now(),
+                    peer_verified: None,
+                    // Pessimistic until the first probe reply proves the
+                    // disk is keeping up: the window just filled, which
+                    // is itself evidence it is not.
+                    draining_fast: false,
+                },
+            );
+        }
+        let m = self.match_index(peer);
+        self.st.borrow_mut().next_index.insert(peer.0, m + 1);
+        self.append_inflight.borrow_mut().remove(&peer.0);
+        self.stats.suspects.inc();
+    }
+
+    /// Lifts `peer`'s quarantine (normal replication resumes).
+    pub fn clear_suspect(&self, peer: NodeId) {
+        self.suspects.borrow_mut().remove(&peer.0);
+    }
+
+    /// Decides the next action toward a quarantined peer; `None` if the
+    /// peer is not quarantined. Control law: probe with empty lazy
+    /// appends (which cost the peer nothing but report its durable
+    /// prefix) until the peer has drained everything delivered, then ship
+    /// one catch-up chunk; a chunk that drains within ~a heartbeat ramps
+    /// the chunk size (the disk recovered), a slow drain backs the pace
+    /// off proportionally so a still-crawling disk is never saturated by
+    /// its own catch-up stream.
+    pub fn suspect_plan(&self, peer: NodeId) -> Option<SuspectAction> {
+        let now = self.rt.now();
+        let m = self.match_index(peer);
+        let last = self.log.last_index();
+        let mut map = self.suspects.borrow_mut();
+        let s = map.get_mut(&peer.0)?;
+        if s.draining_fast && last.saturating_sub(m) <= (2 * self.cfg.batch_max) as u64 {
+            map.remove(&peer.0);
+            return Some(SuspectAction::Resume);
+        }
+        if let Some((at, _)) = s.pending {
+            if now - at >= self.cfg.replicate_timeout {
+                // The chunk (or the probes observing it) went missing.
+                s.pending = None;
+                s.next_chunk_at = now + self.cfg.replicate_timeout;
+            }
+        }
+        let drained = s.peer_verified.is_some_and(|v| m >= v);
+        if s.pending.is_none() && drained && now >= s.next_chunk_at {
+            let n = s.chunk;
+            s.pending = Some((now, m + n as u64));
+            Some(SuspectAction::Chunk { lo: m + 1, n })
+        } else {
+            Some(SuspectAction::Probe)
+        }
+    }
+
+    /// Corrects the outstanding chunk's target after the send actually
+    /// shipped entries through `hi` (the log may have had fewer than
+    /// planned).
+    pub fn suspect_chunk_sent(&self, peer: NodeId, hi: Option<u64>) {
+        let mut map = self.suspects.borrow_mut();
+        let Some(s) = map.get_mut(&peer.0) else {
+            return;
+        };
+        match (hi, s.pending) {
+            (Some(hi), Some((at, _))) => s.pending = Some((at, hi)),
+            (None, _) => s.pending = None,
+            _ => {}
+        }
+    }
+
+    /// Digests a lazy reply from a quarantined peer: advances the acked
+    /// prefix, learns the peer's verified index, and adapts the catch-up
+    /// pace from how fast the outstanding chunk drained.
+    pub fn suspect_on_reply(&self, peer: NodeId, resp: &AppendResp) {
+        if resp.success {
+            self.note_match(peer, resp.match_index);
+            self.advance_commit_from_matches();
+        } else {
+            self.note_reject(peer, resp.match_index);
+        }
+        let now = self.rt.now();
+        let mut map = self.suspects.borrow_mut();
+        let Some(s) = map.get_mut(&peer.0) else {
+            return;
+        };
+        s.peer_verified = Some(resp.verified.max(s.peer_verified.unwrap_or(0)));
+        s.draining_fast = resp.success && resp.match_index >= resp.verified;
+        if let Some((at, target)) = s.pending {
+            if resp.success && resp.match_index >= target {
+                let dt = now - at;
+                let fast = self.cfg.heartbeat + self.cfg.heartbeat / 2;
+                if dt <= fast {
+                    s.chunk = (s.chunk * 2).min(self.cfg.max_entries_per_append);
+                    s.next_chunk_at = now;
+                } else {
+                    s.chunk = (s.chunk / 2).max(self.cfg.batch_max.max(1));
+                    s.next_chunk_at = now + (dt * 4).min(self.cfg.replicate_timeout);
+                }
+                s.pending = None;
+            }
+        }
+    }
 }
 
-/// Follower-side `AppendEntries` (returns `None` if the node crashed).
+/// Leader-side catch-up state for one quarantined (suspect) peer.
+struct SuspectState {
+    /// Entries per catch-up chunk; ramps up on fast drains, backs off on
+    /// slow ones.
+    chunk: usize,
+    /// Outstanding chunk: (send time, last index it carries).
+    pending: Option<(SimTime, u64)>,
+    /// Earliest time the next chunk may ship.
+    next_chunk_at: SimTime,
+    /// The peer's last reported verified index (`None` until the first
+    /// lazy reply arrives).
+    peer_verified: Option<u64>,
+    /// Whether the peer's disk is keeping up: the latest lazy reply
+    /// reported a fully durable log (`match_index >= verified`). Gating
+    /// [`SuspectAction::Resume`] on this prevents the re-flood trap: a
+    /// catch-up trickle can shrink the *lag* below the resume threshold
+    /// while the disk is still crawling, and resuming then would park a
+    /// fresh window of append handlers behind it all over again.
+    draining_fast: bool,
+}
+
+/// What the leader should do next toward a quarantined peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuspectAction {
+    /// Lag has shrunk: quarantine lifted, resume normal replication.
+    Resume,
+    /// Send an empty lazy probe (harvests the peer's durable prefix).
+    Probe,
+    /// Send a lazy catch-up chunk of `n` entries starting at `lo`.
+    Chunk {
+        /// First entry index of the chunk.
+        lo: u64,
+        /// Planned entry count.
+        n: usize,
+    },
+}
+
+/// Retires an append-processing ticket on every exit path of the ordered
+/// section (including crash-induced early returns), releasing the next
+/// ticket holder.
+struct AppendTurn<'a> {
+    core: &'a RaftCore,
+    ticket: u64,
+}
+
+impl Drop for AppendTurn<'_> {
+    fn drop(&mut self) {
+        self.core.append_turn.set(self.ticket + 1);
+    }
+}
+
+/// Retires `ticket` without entering the ordered section — used by exit
+/// paths that never touch the log (stale term, crash). Retirement must
+/// still happen *in order* (releasing ticket `k+1` before `k-1` finished
+/// would defeat the ordering), so a late ticket retires from a helper
+/// coroutine once its turn comes up, without delaying the reply.
+fn retire_append_ticket(core: &Rc<RaftCore>, ticket: u64) {
+    if core.append_turn.get() == ticket {
+        core.append_turn.set(ticket + 1);
+        return;
+    }
+    let c = core.clone();
+    Coroutine::create(&core.rt.clone(), "raft:append_turn", async move {
+        c.append_turn.when_at_least(ticket).wait().await;
+        c.append_turn.set(ticket + 1);
+    });
+}
+
 pub async fn handle_append(
     core: &Rc<RaftCore>,
     _from: NodeId,
     req: AppendReq,
+    ticket: u64,
 ) -> Option<AppendResp> {
     let entry_count = req.entries.len();
     let cpu = core.cfg.append_cpu_base + core.cfg.append_cpu_per_entry * entry_count as u32;
-    core.world.cpu(core.id, cpu).await.ok()?;
+    if core.world.cpu(core.id, cpu).await.is_err() {
+        retire_append_ticket(core, ticket);
+        return None;
+    }
 
     let current = core.log.current_term();
     if req.term < current {
+        retire_append_ticket(core, ticket);
         return Some(AppendResp {
             term: current,
             success: false,
             match_index: 0,
+            verified: core.verified_index.get(),
         });
     }
     if req.term > current {
@@ -646,20 +1040,37 @@ pub async fn handle_append(
     }
     core.st.borrow_mut().last_heartbeat = core.rt.now();
 
+    // Ordered section: log reads and mutations run strictly in arrival
+    // order. With pipelined replication several appends are in flight at
+    // once, and on a multi-core node a later small append's CPU can finish
+    // before an earlier large one's — unordered processing would misread
+    // the not-yet-applied prefix as a log-matching conflict and reject
+    // endemically. CPU (above) and the durability wait (below) stay
+    // concurrent; only the log section is serialized.
+    core.append_turn.when_at_least(ticket).wait().await;
+    let turn = AppendTurn { core, ticket };
+
     // Log-matching check.
     if req.prev_index > core.log.last_index() {
         return Some(AppendResp {
             term: core.log.current_term(),
             success: false,
             match_index: core.log.last_index(),
+            verified: core.verified_index.get(),
         });
     }
     if req.prev_index > 0 && core.log.term_at(req.prev_index) != req.prev_term {
         core.log.truncate_from(req.prev_index);
+        core.verified_index.set(
+            core.verified_index
+                .get()
+                .min(req.prev_index.saturating_sub(1)),
+        );
         return Some(AppendResp {
             term: core.log.current_term(),
             success: false,
             match_index: req.prev_index.saturating_sub(1),
+            verified: core.verified_index.get(),
         });
     }
 
@@ -671,6 +1082,8 @@ pub async fn handle_append(
         if e.index <= core.log.last_index() {
             if core.log.term_at(e.index) != e.term {
                 core.log.truncate_from(e.index);
+                core.verified_index
+                    .set(core.verified_index.get().min(e.index - 1));
                 new.push(e);
             }
         } else {
@@ -680,6 +1093,31 @@ pub async fn handle_append(
     let match_to = req.prev_index + entry_count as u64;
     if !new.is_empty() {
         core.log.append(&new);
+    }
+    // The whole span `[.., match_to]` is now log-match-verified against
+    // the leader's stream (though its tail may not be durable yet).
+    core.verified_index
+        .set(core.verified_index.get().max(match_to));
+    // Log mutation done: release the next append before the (potentially
+    // slow) durability wait so acks pipeline on the follower too.
+    drop(turn);
+
+    // Lazy-ack mode (leader-side quarantine polling): never park behind
+    // the local disk — report the durable prefix as it stands. This is
+    // what keeps a fail-slow follower's wait profile from filling up with
+    // parked append handlers: its durability progress is *polled* by
+    // heartbeat-paced probes instead of *awaited* by per-append
+    // coroutines.
+    if req.lazy {
+        let verified = core.verified_index.get();
+        let durable = core.log.durable_index().min(verified);
+        core.set_commit(req.commit.min(durable));
+        return Some(AppendResp {
+            term: core.log.current_term(),
+            success: true,
+            match_index: durable,
+            verified,
+        });
     }
     // Durability before acknowledging — including for retransmitted
     // entries whose original fsync is still queued. This wait is on the
@@ -696,6 +1134,7 @@ pub async fn handle_append(
         term: core.log.current_term(),
         success: true,
         match_index: match_to,
+        verified: core.verified_index.get(),
     })
 }
 

@@ -22,7 +22,7 @@ use depfast_rpc::conn::CancelToken;
 use depfast_storage::Entry;
 use simkit::NodeId;
 
-use crate::core::{classified_reply, RaftCore, Role};
+use crate::core::{classified_reply, RaftCore, Role, SuspectAction};
 use crate::types::{
     to_wire, AppendReq, AppendResp, VoteReq, VoteResp, APPEND_ENTRIES, PRE_VOTE, REQUEST_VOTE,
 };
@@ -67,11 +67,34 @@ impl DepFastRaft {
         cancel: Option<CancelToken>,
     ) {
         let core = core.clone();
+        // A quarantined peer is fed by the heartbeat loop's lazy probes
+        // (see `drive_suspect`), never by round sends: every append it
+        // receives parks one of its handlers behind its crawling disk.
+        if core.is_suspect(peer) {
+            if let Some(d) = done {
+                d.fire(Signal::Err);
+            }
+            return;
+        }
+        // Per-follower in-flight window: a fail-slow peer that is not
+        // classifying replies stalls *its own* append stream only. The
+        // round's quorum tolerates the Err. A full window is the
+        // fail-slow signal itself — healthy operation never accumulates
+        // `append_window` unclassified sends — so the peer is quarantined
+        // into lazy-probe catch-up until its lag shrinks again.
+        if !core.try_acquire_append_slot(peer) {
+            core.mark_suspect(peer);
+            if let Some(d) = done {
+                d.fire(Signal::Err);
+            }
+            return;
+        }
         // Framework-aware backpressure: if this peer's outgoing buffer is
         // already deep (a laggard that is not absorbing catch-up traffic),
         // do not stack more entries onto it — report Err to the quorum
         // (which tolerates it) and let the next heartbeat retry.
         if core.ep.conn(peer).queue_len() > 64 {
+            core.release_append_slot(peer);
             if let Some(d) = done {
                 d.fire(Signal::Err);
             }
@@ -83,11 +106,19 @@ impl DepFastRaft {
             let lo = next;
             let hi = (target_index + 1).min(lo + core.cfg.max_entries_per_append as u64);
             let Ok(entries) = core.log.read(lo, hi).await else {
+                core.release_append_slot(peer);
                 if let Some(d) = done {
                     d.fire(Signal::Err);
                 }
                 return;
             };
+            core.note_entries_per_append(entries.len());
+            // Advance next_index past what this send carries, so rounds
+            // pipelined behind this one do not re-ship entries already in
+            // flight. Rejects and lost replies back it up again.
+            if let Some(last) = entries.last() {
+                core.note_sent_through(peer, last.index);
+            }
             let req = AppendReq {
                 term,
                 leader: core.id.0,
@@ -95,6 +126,7 @@ impl DepFastRaft {
                 prev_term: core.log.term_at(lo - 1),
                 entries: to_wire(&entries),
                 commit: core.commit.get(),
+                lazy: false,
             };
             let proxy = core.ep.proxy(peer);
             let ev = match cancel {
@@ -113,6 +145,7 @@ impl DepFastRaft {
                 peer,
                 "append_entries",
                 move |resp| {
+                    c2.release_append_slot(peer);
                     let Some(resp) = resp else { return false };
                     if resp.term > c2.log.current_term() {
                         c2.step_down(resp.term, None);
@@ -147,12 +180,39 @@ impl DepFastRaft {
                     core.leader_gen.when_at_least(epoch + 1).wait().await;
                     continue;
                 }
-                let batch = {
+                // Pipeline-depth gate: at most `pipeline_depth` rounds
+                // may be unresolved. This wait is the only back-pressure
+                // between rounds — round k+1 otherwise ships before round
+                // k's quorum resolves.
+                let depth = core.cfg.pipeline_depth.max(1) as u64;
+                if core.rounds_inflight() >= depth {
+                    core.note_pipeline_stall();
+                    let _g = depfast::PhaseGuard::enter("pipeline_gate");
+                    let target = core.rounds_launched.get() - depth + 1;
+                    core.rounds_done.when_at_least(target).wait().await;
+                    continue;
+                }
+                let mut batch = {
                     let _g = depfast::PhaseGuard::enter("intake");
                     core.proposals
                         .pop_batch(&core.rt, core.cfg.batch_max, None)
                         .await
                 };
+                // Coalescing policy: linger for one group-commit window
+                // before shipping, but only while the pipeline is busy —
+                // an idle pipe means nothing is covering latency, so ship
+                // immediately. Under load the linger turns a stream of
+                // tiny rounds (one WAL fsync and one per-peer RPC each)
+                // into few large ones, amortizing both. ZERO disables.
+                if core.cfg.batch_window > Duration::ZERO
+                    && batch.len() < core.cfg.batch_max
+                    && core.rounds_inflight() > 0
+                {
+                    let _g = depfast::PhaseGuard::enter("batch_window");
+                    core.rt.sleep(core.cfg.batch_window).await;
+                    let room = core.cfg.batch_max - batch.len();
+                    batch.extend(core.proposals.drain_up_to(room));
+                }
                 if core.st.borrow().role != Role::Leader {
                     for (_, ev) in batch {
                         ev.fire_err();
@@ -213,17 +273,33 @@ impl DepFastRaft {
                     let c = cancel.clone();
                     quorum.handle().on_fire(move |_| c.cancel());
                 }
-                let outcome = {
-                    let _g = depfast::PhaseGuard::enter("replicate_wait");
-                    quorum.wait_timeout(core.cfg.replicate_timeout).await
-                };
-                if outcome.is_ready() {
-                    core.set_commit(hi);
-                } else if core.st.borrow().role != Role::Leader {
-                    continue;
-                }
-                // On timeout while still leader: entries stay in the log;
-                // heartbeat catch-up and later rounds re-drive them.
+                core.note_round_launched(entries.len());
+                // Resolve the round off the intake path: the next round's
+                // intake starts immediately, bounded only by the
+                // pipeline-depth gate above.
+                let c = core.clone();
+                Coroutine::create(&core.rt.clone(), "raft:round_wait", async move {
+                    let outcome = {
+                        let _g = depfast::PhaseGuard::enter("replicate_wait");
+                        quorum.wait_timeout(c.cfg.replicate_timeout).await
+                    };
+                    // Rounds may resolve out of order; that is safe: a
+                    // quorum on a later round's hi implies this round's
+                    // entries are replicated (log matching), and
+                    // set_commit is monotonic. Only a quorum from the
+                    // term that shipped the round may move the commit
+                    // index, per the Raft current-term rule.
+                    if outcome.is_ready()
+                        && c.log.current_term() == term
+                        && c.st.borrow().role == Role::Leader
+                    {
+                        c.set_commit(hi);
+                    }
+                    c.note_round_done();
+                    // On timeout while still leader: entries stay in the
+                    // log; heartbeat catch-up and later rounds re-drive
+                    // them.
+                });
             }
         });
     }
@@ -242,10 +318,81 @@ impl DepFastRaft {
                 let last = core.log.last_index();
                 for peer in core.peers.clone() {
                     // Heartbeats double as laggard catch-up: they send from
-                    // next_index, fire-and-forget.
-                    Self::send_append(&core, peer, last, None, None);
+                    // next_index, fire-and-forget. Quarantined peers get
+                    // the lazy-probe treatment instead.
+                    if core.is_suspect(peer) {
+                        Self::drive_suspect(&core, peer);
+                    } else {
+                        Self::send_append(&core, peer, last, None, None);
+                    }
                 }
             }
+        });
+    }
+
+    /// One heartbeat tick of the quarantine protocol toward `peer`:
+    /// probes with empty lazy appends (harvesting the peer's durable
+    /// prefix at no cost to it), ships one adaptively paced catch-up
+    /// chunk whenever the peer has drained everything delivered, and
+    /// lifts the quarantine once the peer's lag shrinks. The control law
+    /// lives in [`RaftCore::suspect_plan`].
+    fn drive_suspect(core: &Rc<RaftCore>, peer: NodeId) {
+        match core.suspect_plan(peer) {
+            // Not (or no longer) quarantined: the next heartbeat's normal
+            // catch-up send takes over.
+            None | Some(SuspectAction::Resume) => {}
+            Some(SuspectAction::Probe) => Self::send_lazy(core, peer, None),
+            Some(SuspectAction::Chunk { lo, n }) => Self::send_lazy(core, peer, Some((lo, n))),
+        }
+    }
+
+    /// Sends one lazy `AppendEntries` to a quarantined `peer`: an empty
+    /// probe (`chunk == None`) or a catch-up chunk. The follower replies
+    /// immediately with its durable prefix instead of parking a handler
+    /// on its WAL, so polling a fail-slow disk costs the slow node
+    /// nothing but the append CPU.
+    fn send_lazy(core: &Rc<RaftCore>, peer: NodeId, chunk: Option<(u64, usize)>) {
+        let core = core.clone();
+        Coroutine::create(&core.rt.clone(), "raft:send_probe", async move {
+            let term = core.log.current_term();
+            let (lo, entries) = match chunk {
+                Some((lo, n)) => {
+                    let hi = (lo + n as u64).min(core.log.last_index() + 1);
+                    let Ok(es) = core.log.read(lo, hi).await else {
+                        return;
+                    };
+                    core.suspect_chunk_sent(peer, es.last().map(|e| e.index));
+                    core.note_entries_per_append(es.len());
+                    (lo, es)
+                }
+                None => (core.match_index(peer) + 1, Vec::new()),
+            };
+            let req = AppendReq {
+                term,
+                leader: core.id.0,
+                prev_index: lo - 1,
+                prev_term: core.log.term_at(lo - 1),
+                entries: to_wire(&entries),
+                commit: core.commit.get(),
+                lazy: true,
+            };
+            // Same trace label as a regular append: probes ARE
+            // AppendEntries, and the fail-slow detector's latency view
+            // of a quarantined peer must not go dark.
+            let ev = core
+                .ep
+                .proxy(peer)
+                .call_t(APPEND_ENTRIES, "append_entries", &req);
+            let c2 = core.clone();
+            classified_reply::<AppendResp>(&core.rt, &ev, peer, "append_entries", move |resp| {
+                let Some(resp) = resp else { return false };
+                if resp.term > c2.log.current_term() {
+                    c2.step_down(resp.term, None);
+                    return false;
+                }
+                c2.suspect_on_reply(peer, &resp);
+                resp.success
+            });
         });
     }
 
@@ -317,6 +464,7 @@ impl DepFastRaft {
                 prev_term: core.log.term_at(next - 1),
                 entries: vec![],
                 commit: core.commit.get(),
+                lazy: false,
             };
             let ev = core
                 .ep

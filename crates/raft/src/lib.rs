@@ -13,7 +13,7 @@
 //! | [`CallbackRaft`](callback_driver::CallbackRaft) | one message loop runs every callback serially; lag triggers synchronous flow-control probes of the slow follower | MongoDB-style event-loop head-of-line blocking; tail amplification |
 //! | [`ChainRaft`](chain_driver::ChainRaft) | head→…→tail forwarding, each hop a singular wait | §2.1/§3.3's chained-replication tradeoff: slowness anywhere propagates everywhere |
 //!
-//! All four expose the same [`RaftServer`](core::RaftServer) surface so the
+//! All five expose the same [`RaftServer`] surface so the
 //! KV layer, fault injector and benchmarks treat them interchangeably.
 
 pub mod backlog_driver;

@@ -123,6 +123,7 @@ impl SyncRaft {
                         }
                         phase.end();
                     }
+                    core.note_entries_per_append(to_send.len());
                     let req = AppendReq {
                         term,
                         leader: core.id.0,
@@ -130,6 +131,7 @@ impl SyncRaft {
                         prev_term: core.log.term_at(lo - 1),
                         entries: to_wire(&to_send),
                         commit: core.commit.get(),
+                        lazy: false,
                     };
                     let ev = core
                         .ep

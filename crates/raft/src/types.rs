@@ -55,6 +55,11 @@ pub struct AppendReq {
     pub entries: Vec<WireEntry>,
     /// Leader's commit index.
     pub commit: u64,
+    /// Lazy-ack mode: the responder must not hold the reply for WAL
+    /// durability — it replies immediately with its durable prefix. The
+    /// leader uses this to poll a quarantined fail-slow follower without
+    /// parking an append handler behind its crawling disk.
+    pub lazy: bool,
 }
 wire_struct!(AppendReq {
     term,
@@ -62,7 +67,8 @@ wire_struct!(AppendReq {
     prev_index,
     prev_term,
     entries,
-    commit
+    commit,
+    lazy
 });
 
 /// `AppendEntries` reply.
@@ -73,13 +79,20 @@ pub struct AppendResp {
     /// Whether the entries were appended.
     pub success: bool,
     /// Highest index known replicated on the responder (on success), or a
-    /// hint for where to back up to (on failure).
+    /// hint for where to back up to (on failure). Lazy replies report the
+    /// durable prefix here, which may trail `verified`.
     pub match_index: u64,
+    /// Highest index the responder has log-match-verified against the
+    /// leader (appended, though possibly not yet durable). A lazy reply
+    /// with `match_index == verified` means the responder's disk has
+    /// drained everything delivered so far.
+    pub verified: u64,
 }
 wire_struct!(AppendResp {
     term,
     success,
-    match_index
+    match_index,
+    verified
 });
 
 /// `RequestVote` request.
@@ -142,6 +155,7 @@ mod tests {
             prev_term: 6,
             entries: to_wire(&[entry(42), entry(43)]),
             commit: 40,
+            lazy: false,
         };
         let enc = req.to_bytes();
         assert_eq!(AppendReq::from_bytes(&enc), Some(req));
@@ -156,6 +170,7 @@ mod tests {
             prev_term: 0,
             entries: vec![],
             commit: 0,
+            lazy: true,
         };
         assert_eq!(AppendReq::from_bytes(&req.to_bytes()), Some(req));
     }
@@ -182,6 +197,7 @@ mod tests {
             term: 2,
             success: false,
             match_index: 17,
+            verified: 21,
         };
         assert_eq!(AppendResp::from_bytes(&resp.to_bytes()), Some(resp));
     }

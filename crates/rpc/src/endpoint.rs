@@ -4,7 +4,7 @@
 //! network, a receive-pump coroutine that charges per-message CPU (this is
 //! where a CPU-slow node becomes slow to *everyone*), the registered
 //! services, the table of pending outbound calls, and the per-peer
-//! [`Connection`](crate::conn::Connection)s.
+//! [`Connection`]s.
 
 use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};

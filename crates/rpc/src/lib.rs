@@ -10,14 +10,14 @@
 //! * [`wire`] — a hand-rolled binary codec, so the network model charges
 //!   bandwidth for true message sizes;
 //! * [`conn`] — per-peer connections with credit-based flow control and a
-//!   pluggable [`BufferPolicy`](conn::BufferPolicy): `Unbounded` buffers
+//!   pluggable [`BufferPolicy`]: `Unbounded` buffers
 //!   reproduce the RethinkDB backlog/OOM root cause, bounded buffers are
 //!   what DepFast systems use;
 //! * [`endpoint`] — per-node servers dispatching requests into coroutines
-//!   and routing replies back to [`RpcEvent`](proxy::RpcEvent)s;
+//!   and routing replies back to [`RpcEvent`]s;
 //! * [`proxy`] — the caller side: `proxy.call(...)` returns an event, the
 //!   paper's `rpc_proxy.AppendEntries(entries)` shape;
-//! * [`broadcast`] — quorum-aware broadcast returning a
+//! * [`broadcast`](mod@broadcast) — quorum-aware broadcast returning a
 //!   [`QuorumEvent`](depfast::QuorumEvent), with optional discard of
 //!   still-queued sends once the quorum is satisfied.
 

@@ -10,7 +10,7 @@
 //! [`Proxy::call`] returns an [`RpcEvent`] immediately; waiting on it is a
 //! *singular* waiting point (a red SPG edge), which is why logic code
 //! should hand these events to a [`QuorumEvent`](depfast::QuorumEvent)
-//! (see [`crate::broadcast`]) instead of waiting on them one by one.
+//! (see [`crate::broadcast::broadcast`]) instead of waiting on them one by one.
 
 use bytes::Bytes;
 use depfast::TypedEvent;

@@ -10,7 +10,7 @@
 //! * resource models for the four hardware components the paper's Table 1
 //!   injects fail-slow faults into: [`cpu`], [`disk`], [`memory`] and
 //!   [`net`],
-//! * a [`World`](world::World) that wires per-node resource models and a
+//! * a [`World`] that wires per-node resource models and a
 //!   shared network into one simulated cluster.
 //!
 //! The substrate replaces the paper's Azure testbed (see `DESIGN.md` §1):

@@ -1,6 +1,6 @@
 //! Raft log store with an in-memory EntryCache.
 //!
-//! Appends go through the [`Wal`](crate::wal::Wal); reads of *recent*
+//! Appends go through the [`Wal`]; reads of *recent*
 //! entries are served from the EntryCache instantly, while entries evicted
 //! under the cache's byte budget cost a simulated disk read. When a
 //! follower lags far enough behind, the leader's reads for it fall off the

@@ -14,6 +14,7 @@ use std::task::{Context, Poll, Waker};
 use depfast::event::EventKind;
 use depfast::runtime::{Coroutine, Runtime};
 use depfast::TypedEvent;
+use depfast_metrics::HistogramHandle;
 use simkit::disk::DiskOp;
 use simkit::{NodeId, World};
 
@@ -53,17 +54,25 @@ pub struct Wal {
     world: World,
     node: NodeId,
     cfg: WalCfg,
+    /// `wal.batch_records` series: appends coalesced per fsync batch
+    /// (group-commit effectiveness as a distribution, not just a ratio).
+    batch_records: HistogramHandle,
+    /// `wal.batch_bytes` series: bytes made durable per fsync batch.
+    batch_bytes: HistogramHandle,
     inner: Rc<RefCell<WalInner>>,
 }
 
 impl Wal {
     /// Creates the WAL for `rt`'s node and starts its flusher coroutine.
     pub fn new(rt: &Runtime, world: &World, cfg: WalCfg) -> Self {
+        let scope = rt.tracer().metrics().node(rt.node().0);
         let wal = Wal {
             rt: rt.clone(),
             world: world.clone(),
             node: rt.node(),
             cfg,
+            batch_records: scope.histogram("wal.batch_records"),
+            batch_bytes: scope.histogram("wal.batch_bytes"),
             inner: Rc::new(RefCell::new(WalInner {
                 pending: Vec::new(),
                 waker: None,
@@ -139,6 +148,10 @@ impl Wal {
                     } else {
                         inner.stopped = true;
                     }
+                }
+                if ok {
+                    wal.batch_records.record_ns(batch.len() as u64);
+                    wal.batch_bytes.record_ns(total);
                 }
                 for (_, event) in batch {
                     if ok {

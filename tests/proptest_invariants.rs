@@ -36,12 +36,14 @@ proptest! {
         prev_index in any::<u64>(),
         prev_term in any::<u64>(),
         commit in any::<u64>(),
+        lazy in any::<bool>(),
         entries in prop::collection::vec(arb_entry(), 0..8),
     ) {
         let req = AppendReq {
             term, leader, prev_index, prev_term,
             entries: to_wire(&entries),
             commit,
+            lazy,
         };
         prop_assert_eq!(AppendReq::from_bytes(&req.to_bytes()), Some(req));
     }
