@@ -28,6 +28,13 @@
 //! JSON (load in Perfetto) / as a raw record dump for the
 //! `depfast-trace` binary. Deterministic: same seed, byte-identical
 //! files.
+//!
+//! Pass `--incidents` to run each legacy system (plus DepFastRaft for
+//! contrast) through one incident-instrumented disk-slow episode:
+//! ground-truth fault ledger vs health-event timeline, per-run incident
+//! reports, a detector scorecard table, a `fig1_incidents.dump` replayable
+//! with the `depfast-incident` binary, and one Chrome export with the
+//! incident track. See `docs/OBSERVABILITY.md`.
 
 use std::time::Duration;
 
@@ -125,6 +132,95 @@ fn trace_export(chrome: Option<String>, raw: Option<String>) {
     }
 }
 
+/// The `--incidents` mode: one incident-instrumented disk-slow episode
+/// per system — fault onset at 2 s (after the detector's warm-up
+/// windows), healed 1.2 s later — scored against the ground-truth fault
+/// ledger. Prints each run's incident report and a scorecard table,
+/// writes the raw dumps to `target/depfast-bench/fig1_incidents.dump`
+/// (replay with the `depfast-incident` binary) and the DepFastRaft
+/// episode's incident track as Chrome `trace_event` JSON. Deterministic:
+/// same seed ⇒ byte-identical files.
+fn incidents_mode() {
+    let dir = repo_root().join("target/depfast-bench");
+    std::fs::create_dir_all(&dir).expect("create output dir");
+    let dcfg = depfast_detect::DetectorCfg {
+        min_samples: 4,
+        ..depfast_detect::DetectorCfg::default()
+    };
+    let mut table = Table::new(
+        "Figure 1 incidents: detector scorecard (disk-slow follower 2)",
+        &[
+            "System", "Detected", "TTD (ms)", "TTM (ms)", "TTR (ms)", "FP", "FN", "Misattr",
+        ],
+    );
+    let mut dumps = Vec::new();
+    let mut chrome: Option<String> = None;
+    for kind in [
+        RaftKind::DepFast,
+        RaftKind::Sync,
+        RaftKind::Backlog,
+        RaftKind::Callback,
+    ] {
+        let cfg = ExperimentCfg {
+            kind,
+            n_clients: 64,
+            warmup: Duration::from_secs(2),
+            measure: Duration::from_millis(3200),
+            records: 10_000,
+            fault: Some((
+                depfast_bench::FaultTarget::Followers(vec![2]),
+                FaultKind::DiskSlow { bw_factor: 0.008 },
+            )),
+            fault_at: Some(Duration::from_secs(2)),
+            fault_duration: Some(Duration::from_millis(1200)),
+            ..ExperimentCfg::default()
+        };
+        eprintln!(
+            "[fig1] incident run ({}, disk-slow follower 2)...",
+            kind.name()
+        );
+        let run = depfast_bench::run_experiment_incident(&cfg, dcfg);
+        let cell = depfast_incident::score(&run.dump, depfast_incident::RECOVERY_BAND);
+        print!("{}", depfast_incident::render_report(&run.dump, &cell));
+        let ms = |v: Option<u64>| {
+            v.map_or_else(|| "-".to_string(), |ns| format!("{:.1}", ns as f64 / 1e6))
+        };
+        table.row(vec![
+            kind.name().to_string(),
+            cell.detected.to_string(),
+            ms(cell.ttd_ns),
+            ms(cell.ttm_ns),
+            ms(cell.ttr_ns),
+            cell.false_positives.to_string(),
+            cell.false_negatives.to_string(),
+            cell.misattributions.to_string(),
+        ]);
+        if kind == RaftKind::DepFast {
+            let (spans, marks) = depfast_incident::incident_track(&run.dump);
+            let index = trace_analysis::TraceIndex::build(&[]);
+            let path = dir.join("fig1_incidents_trace.json");
+            std::fs::write(
+                &path,
+                trace_analysis::chrome_trace_with_incidents(&index, &spans, &marks),
+            )
+            .expect("write chrome incident trace");
+            chrome = Some(path.display().to_string());
+        }
+        dumps.push(run.dump);
+    }
+    table.print();
+    let path = dir.join("fig1_incidents.dump");
+    std::fs::write(&path, depfast_incident::serialize_dumps(&dumps)).expect("write incident dumps");
+    println!(
+        "[incidents] {} (replay with `cargo run -p depfast-incident -- {}`)",
+        path.display(),
+        path.display()
+    );
+    if let Some(chrome) = chrome {
+        println!("[chrome-incidents] {chrome} (open in Perfetto or chrome://tracing)");
+    }
+}
+
 /// The `--profile` mode: one short, fixed-seed, profiled run per system
 /// with a disk-slow follower (node 2), exporting folded stacks + SVG
 /// flamegraphs. Deterministic: same seed ⇒ byte-identical files.
@@ -176,6 +272,10 @@ fn main() {
     let raw = arg_value("--trace-out");
     if chrome.is_some() || raw.is_some() {
         trace_export(chrome, raw);
+        return;
+    }
+    if std::env::args().any(|a| a == "--incidents") {
+        incidents_mode();
         return;
     }
     if std::env::args().any(|a| a == "--profile") {

@@ -19,6 +19,11 @@
 //! `target/depfast-bench/`. Because these are DepFastRaft runs, the
 //! series include the `event.quorum.*` straggler-attribution counters
 //! that name the slow follower(s). See `docs/OBSERVABILITY.md`.
+//!
+//! Pass `--incidents` to run each cluster shape through one
+//! incident-instrumented disk-slow episode: per-run incident reports, a
+//! detector scorecard table, and a `fig3_incidents.dump` replayable with
+//! the `depfast-incident` binary. See `docs/OBSERVABILITY.md`.
 
 use std::time::Duration;
 
@@ -98,7 +103,79 @@ fn profile_mode() {
     }
 }
 
+/// The `--incidents` mode: one incident-instrumented disk-slow episode
+/// per cluster shape — onset at 2 s (after the detector's warm-up
+/// windows), healed 1.2 s later — scored against the ground-truth fault
+/// ledger. Prints each run's incident report and a scorecard table, and
+/// writes the raw dumps to `target/depfast-bench/fig3_incidents.dump`
+/// (replay with the `depfast-incident` binary). Deterministic: same seed
+/// ⇒ byte-identical files.
+fn incidents_mode() {
+    let dir = repo_root().join("target/depfast-bench");
+    std::fs::create_dir_all(&dir).expect("create output dir");
+    let dcfg = depfast_detect::DetectorCfg {
+        min_samples: 4,
+        ..depfast_detect::DetectorCfg::default()
+    };
+    let mut table = Table::new(
+        "Figure 3 incidents: DepFastRaft detector scorecard (disk-slow minority)",
+        &[
+            "Cluster", "Detected", "TTD (ms)", "TTM (ms)", "TTR (ms)", "FP", "FN", "Misattr",
+        ],
+    );
+    let mut dumps = Vec::new();
+    for (n_servers, slow_followers) in [(3usize, 1usize), (5, 2)] {
+        let cfg = ExperimentCfg {
+            kind: RaftKind::DepFast,
+            n_servers,
+            n_clients: 64,
+            warmup: Duration::from_secs(2),
+            measure: Duration::from_millis(3200),
+            records: 10_000,
+            fault: Some((
+                ExperimentCfg::followers(slow_followers),
+                FaultKind::DiskSlow { bw_factor: 0.008 },
+            )),
+            fault_at: Some(Duration::from_secs(2)),
+            fault_duration: Some(Duration::from_millis(1200)),
+            ..ExperimentCfg::default()
+        };
+        eprintln!(
+            "[fig3] incident run ({n_servers} nodes, {slow_followers} disk-slow follower(s))..."
+        );
+        let run = depfast_bench::run_experiment_incident(&cfg, dcfg);
+        let cell = depfast_incident::score(&run.dump, depfast_incident::RECOVERY_BAND);
+        print!("{}", depfast_incident::render_report(&run.dump, &cell));
+        let ms = |v: Option<u64>| {
+            v.map_or_else(|| "-".to_string(), |ns| format!("{:.1}", ns as f64 / 1e6))
+        };
+        table.row(vec![
+            format!("{n_servers} Nodes"),
+            cell.detected.to_string(),
+            ms(cell.ttd_ns),
+            ms(cell.ttm_ns),
+            ms(cell.ttr_ns),
+            cell.false_positives.to_string(),
+            cell.false_negatives.to_string(),
+            cell.misattributions.to_string(),
+        ]);
+        dumps.push(run.dump);
+    }
+    table.print();
+    let path = dir.join("fig3_incidents.dump");
+    std::fs::write(&path, depfast_incident::serialize_dumps(&dumps)).expect("write incident dumps");
+    println!(
+        "[incidents] {} (replay with `cargo run -p depfast-incident -- {}`)",
+        path.display(),
+        path.display()
+    );
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--incidents") {
+        incidents_mode();
+        return;
+    }
     if std::env::args().any(|a| a == "--profile") {
         profile_mode();
         return;

@@ -167,10 +167,109 @@ impl RunRecord {
     }
 }
 
-/// A full bench suite: provenance plus one [`RunRecord`] per cell.
+/// Detection-quality numbers for one `(driver, fault, cluster)` cell —
+/// the suite-level form of `depfast_incident::ScoreCell`, with times in
+/// milliseconds for readability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectRecord {
+    /// Raft driver name (`RaftKind::name()`).
+    pub driver: String,
+    /// Fault-class name, `"none"` for the no-fault matrix.
+    pub fault: String,
+    /// Cluster shape discriminator.
+    pub cluster: String,
+    /// Every injected fault was suspected (vacuously false with no fault).
+    pub detected: bool,
+    /// Time to detect, milliseconds.
+    pub ttd_ms: Option<f64>,
+    /// Time to mitigate, milliseconds.
+    pub ttm_ms: Option<f64>,
+    /// Time to recover, milliseconds.
+    pub ttr_ms: Option<f64>,
+    /// Suspicions with no fault injected anywhere.
+    pub false_positives: u64,
+    /// Injected faults never suspected.
+    pub false_negatives: u64,
+    /// Suspicions of healthy nodes during a fault elsewhere.
+    pub misattributions: u64,
+}
+
+impl DetectRecord {
+    /// Lifts a scorecard cell into a suite record.
+    pub fn from_cell(
+        driver: &str,
+        fault: &str,
+        cluster: &str,
+        cell: &depfast_incident::ScoreCell,
+    ) -> DetectRecord {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        DetectRecord {
+            driver: driver.to_string(),
+            fault: fault.to_string(),
+            cluster: cluster.to_string(),
+            detected: cell.detected,
+            ttd_ms: cell.ttd_ns.map(ms),
+            ttm_ms: cell.ttm_ns.map(ms),
+            ttr_ms: cell.ttr_ns.map(ms),
+            false_positives: cell.false_positives,
+            false_negatives: cell.false_negatives,
+            misattributions: cell.misattributions,
+        }
+    }
+
+    /// The record's identity within a suite.
+    pub fn key(&self) -> String {
+        format!("{} | {} | {}", self.driver, self.cluster, self.fault)
+    }
+
+    fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("driver", Json::Str(self.driver.clone()));
+        o.set("fault", Json::Str(self.fault.clone()));
+        o.set("cluster", Json::Str(self.cluster.clone()));
+        o.set("detected", Json::Bool(self.detected));
+        // Absent keys mean "no measurement" — distinct from 0.0.
+        if let Some(v) = self.ttd_ms {
+            o.set("ttd_ms", Json::Num(round4(v)));
+        }
+        if let Some(v) = self.ttm_ms {
+            o.set("ttm_ms", Json::Num(round4(v)));
+        }
+        if let Some(v) = self.ttr_ms {
+            o.set("ttr_ms", Json::Num(round4(v)));
+        }
+        o.set("false_positives", Json::Num(self.false_positives as f64));
+        o.set("false_negatives", Json::Num(self.false_negatives as f64));
+        o.set("misattributions", Json::Num(self.misattributions as f64));
+        o
+    }
+
+    fn from_json(v: &Json) -> Result<DetectRecord, String> {
+        let str_field = |k: &str| {
+            v.str(k)
+                .map(str::to_string)
+                .ok_or_else(|| format!("detect record missing string field {k:?}"))
+        };
+        Ok(DetectRecord {
+            driver: str_field("driver")?,
+            fault: str_field("fault")?,
+            cluster: str_field("cluster")?,
+            detected: matches!(v.get("detected"), Some(Json::Bool(true))),
+            ttd_ms: v.num("ttd_ms"),
+            ttm_ms: v.num("ttm_ms"),
+            ttr_ms: v.num("ttr_ms"),
+            false_positives: v.num("false_positives").unwrap_or(0.0) as u64,
+            false_negatives: v.num("false_negatives").unwrap_or(0.0) as u64,
+            misattributions: v.num("misattributions").unwrap_or(0.0) as u64,
+        })
+    }
+}
+
+/// A full bench suite: provenance plus one [`RunRecord`] per cell and,
+/// for detection suites, one [`DetectRecord`] per scored cell.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Suite {
-    /// Suite name (`fig1`, `fig3`, `ablations`, `gate`).
+    /// Suite name (`fig1`, `fig3`, `ablations`, `gate`, `detect`).
     pub suite: String,
     /// Determinism seed the runs used.
     pub seed: u64,
@@ -178,6 +277,10 @@ pub struct Suite {
     pub config: Vec<(String, f64)>,
     /// The measurement cells.
     pub runs: Vec<RunRecord>,
+    /// Detection-quality cells (empty for pure perf suites; the JSON
+    /// `detect` array is emitted only when nonempty, so existing
+    /// artifacts are byte-identical).
+    pub detect: Vec<DetectRecord>,
 }
 
 impl Suite {
@@ -188,6 +291,7 @@ impl Suite {
             seed,
             config: Vec::new(),
             runs: Vec::new(),
+            detect: Vec::new(),
         }
     }
 
@@ -211,6 +315,12 @@ impl Suite {
             "runs",
             Json::Arr(self.runs.iter().map(RunRecord::to_json).collect()),
         );
+        if !self.detect.is_empty() {
+            o.set(
+                "detect",
+                Json::Arr(self.detect.iter().map(DetectRecord::to_json).collect()),
+            );
+        }
         o.pretty()
     }
 
@@ -234,11 +344,16 @@ impl Suite {
         for r in v.get("runs").and_then(Json::as_arr).unwrap_or(&[]) {
             runs.push(RunRecord::from_json(r)?);
         }
+        let mut detect = Vec::new();
+        for r in v.get("detect").and_then(Json::as_arr).unwrap_or(&[]) {
+            detect.push(DetectRecord::from_json(r)?);
+        }
         Ok(Suite {
             suite: v.str("suite").unwrap_or("?").to_string(),
             seed: v.num("seed").unwrap_or(0.0) as u64,
             config,
             runs,
+            detect,
         })
     }
 }
@@ -366,6 +481,100 @@ pub fn compare(baseline: &Suite, current: &Suite, tol: &Tolerance) -> GateOutcom
     out
 }
 
+/// Allowed movement in detection quality before the gate fails a cell.
+///
+/// Time-to-detect is gated multiplicatively plus a small absolute slack
+/// (one detector poll window of jitter is legitimate when event
+/// interleavings shift); correctness counters — false positives,
+/// misattributions, lost detections — are gated at zero increase, because
+/// a detector that cries wolf or blames the wrong node is broken no
+/// matter how fast it is.
+#[derive(Debug, Clone, Copy)]
+pub struct DetectTolerance {
+    /// Max allowed relative TTD rise (0.5 = +50%).
+    pub ttd_rise: f64,
+    /// Absolute TTD slack added on top, milliseconds.
+    pub ttd_slack_ms: f64,
+}
+
+impl Default for DetectTolerance {
+    fn default() -> Self {
+        DetectTolerance {
+            ttd_rise: 0.5,
+            ttd_slack_ms: 50.0,
+        }
+    }
+}
+
+/// Diffs detection quality cell by cell.
+///
+/// A cell fails when it disappeared, lost a detection the baseline had,
+/// grew false positives / false negatives / misattributions, or its
+/// time-to-detect rose past `base × (1 + ttd_rise) + ttd_slack_ms` — a
+/// 2× detection-latency regression at realistic TTDs always trips this.
+/// New cells and TTD improvements are notes.
+pub fn compare_detection(baseline: &Suite, current: &Suite, tol: &DetectTolerance) -> GateOutcome {
+    let mut out = GateOutcome::default();
+    for base in &baseline.detect {
+        let key = base.key();
+        let Some(cur) = current.detect.iter().find(|r| {
+            r.driver == base.driver && r.fault == base.fault && r.cluster == base.cluster
+        }) else {
+            out.failures
+                .push(format!("[{key}] missing from current detection run"));
+            continue;
+        };
+        out.checked += 1;
+        if base.detected && !cur.detected {
+            out.failures
+                .push(format!("[{key}] fault no longer detected"));
+        }
+        if cur.false_positives > base.false_positives {
+            out.failures.push(format!(
+                "[{key}] false positives {} → {}",
+                base.false_positives, cur.false_positives
+            ));
+        }
+        if cur.false_negatives > base.false_negatives {
+            out.failures.push(format!(
+                "[{key}] false negatives {} → {}",
+                base.false_negatives, cur.false_negatives
+            ));
+        }
+        if cur.misattributions > base.misattributions {
+            out.failures.push(format!(
+                "[{key}] misattributions {} → {}",
+                base.misattributions, cur.misattributions
+            ));
+        }
+        if let (Some(b), Some(c)) = (base.ttd_ms, cur.ttd_ms) {
+            let limit = b * (1.0 + tol.ttd_rise) + tol.ttd_slack_ms;
+            if c > limit {
+                out.failures.push(format!(
+                    "[{key}] time-to-detect {b:.1} → {c:.1} ms (limit {limit:.1} ms)"
+                ));
+            } else if c < b * 0.5 {
+                out.notes.push(format!(
+                    "[{key}] time-to-detect improved {b:.1} → {c:.1} ms — consider refreshing the baseline"
+                ));
+            }
+        }
+    }
+    for cur in &current.detect {
+        let known = baseline
+            .detect
+            .iter()
+            .any(|b| b.driver == cur.driver && b.fault == cur.fault && b.cluster == cur.cluster);
+        if !known {
+            out.notes.push(format!(
+                "[{}] new detection cell, not in baseline",
+                cur.key()
+            ));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -473,6 +682,130 @@ mod tests {
         let base2 = suite(vec![crashed.clone()]);
         let cur2 = suite(vec![crashed]);
         assert!(compare(&base2, &cur2, &Tolerance::default()).passed());
+    }
+
+    fn detect_record(driver: &str, fault: &str, ttd_ms: Option<f64>) -> DetectRecord {
+        DetectRecord {
+            driver: driver.into(),
+            fault: fault.into(),
+            cluster: "3x64".into(),
+            detected: ttd_ms.is_some(),
+            ttd_ms,
+            ttm_ms: ttd_ms.map(|v| v + 50.0),
+            ttr_ms: ttd_ms.map(|v| v + 500.0),
+            false_positives: 0,
+            false_negatives: 0,
+            misattributions: 0,
+        }
+    }
+
+    fn detect_suite(detect: Vec<DetectRecord>) -> Suite {
+        let mut s = Suite::new("detect", 7);
+        s.detect = detect;
+        s
+    }
+
+    #[test]
+    fn detect_records_round_trip_and_runs_only_json_is_unchanged() {
+        let with = detect_suite(vec![
+            detect_record("DepFastRaft", "Disk Slowness", Some(400.0)),
+            detect_record("SyncRaft (TiDB-style)", "none", None),
+        ]);
+        let text = with.to_json();
+        let back = Suite::parse(&text).unwrap();
+        assert_eq!(back, with);
+        // Absent optional times stay absent.
+        assert!(back.detect[1].ttd_ms.is_none());
+        // A suite without detect cells serializes exactly as before the
+        // field existed (no empty "detect" array).
+        let plain = suite(vec![record("d", "none", 5000.0, 8.0)]);
+        assert!(!plain.to_json().contains("detect"));
+    }
+
+    #[test]
+    fn identical_detection_passes_the_gate() {
+        let s = detect_suite(vec![detect_record("d", "Disk Slowness", Some(400.0))]);
+        let out = compare_detection(&s, &s, &DetectTolerance::default());
+        assert!(out.passed(), "{:?}", out.failures);
+        assert_eq!(out.checked, 1);
+    }
+
+    #[test]
+    fn doubled_time_to_detect_fails() {
+        let base = detect_suite(vec![detect_record("d", "Disk Slowness", Some(400.0))]);
+        let cur = detect_suite(vec![detect_record("d", "Disk Slowness", Some(800.0))]);
+        let out = compare_detection(&base, &cur, &DetectTolerance::default());
+        assert!(!out.passed());
+        assert!(
+            out.failures[0].contains("time-to-detect"),
+            "{:?}",
+            out.failures
+        );
+    }
+
+    #[test]
+    fn new_false_positive_and_misattribution_fail() {
+        let base = detect_suite(vec![detect_record("d", "none", None)]);
+        let mut fp = detect_record("d", "none", None);
+        fp.false_positives = 1;
+        let out = compare_detection(
+            &detect_suite(vec![base.detect[0].clone()]),
+            &detect_suite(vec![fp]),
+            &DetectTolerance::default(),
+        );
+        assert!(!out.passed());
+        assert!(
+            out.failures[0].contains("false positives"),
+            "{:?}",
+            out.failures
+        );
+
+        let base2 = detect_suite(vec![detect_record("d", "Disk Slowness", Some(400.0))]);
+        let mut mis = detect_record("d", "Disk Slowness", Some(400.0));
+        mis.misattributions = 1;
+        let out2 = compare_detection(
+            &base2,
+            &detect_suite(vec![mis]),
+            &DetectTolerance::default(),
+        );
+        assert!(!out2.passed());
+        assert!(
+            out2.failures[0].contains("misattributions"),
+            "{:?}",
+            out2.failures
+        );
+    }
+
+    #[test]
+    fn lost_detection_and_missing_cell_fail() {
+        let base = detect_suite(vec![detect_record("d", "Disk Slowness", Some(400.0))]);
+        let mut lost = detect_record("d", "Disk Slowness", Some(400.0));
+        lost.detected = false;
+        lost.false_negatives = 1;
+        let out = compare_detection(
+            &base,
+            &detect_suite(vec![lost]),
+            &DetectTolerance::default(),
+        );
+        assert!(!out.passed());
+        assert!(out
+            .failures
+            .iter()
+            .any(|f| f.contains("no longer detected")));
+        let out2 = compare_detection(&base, &detect_suite(vec![]), &DetectTolerance::default());
+        assert!(out2.failures.iter().any(|f| f.contains("missing")));
+    }
+
+    #[test]
+    fn detection_improvement_and_new_cells_are_notes() {
+        let base = detect_suite(vec![detect_record("d", "Disk Slowness", Some(400.0))]);
+        let cur = detect_suite(vec![
+            detect_record("d", "Disk Slowness", Some(150.0)),
+            detect_record("d", "CPU Slowness", Some(300.0)),
+        ]);
+        let out = compare_detection(&base, &cur, &DetectTolerance::default());
+        assert!(out.passed(), "{:?}", out.failures);
+        assert_eq!(out.notes.len(), 2, "{:?}", out.notes);
     }
 
     #[test]

@@ -18,7 +18,9 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use depfast_bench::baseline::{compare, RunRecord, Suite, Tolerance};
+use depfast_bench::baseline::{
+    compare, compare_detection, DetectTolerance, RunRecord, Suite, Tolerance,
+};
 use depfast_bench::{repo_root, run_experiment_profiled, ExperimentCfg, FaultTarget};
 use depfast_fault::FaultKind;
 use depfast_raft::cluster::RaftKind;
@@ -155,7 +157,7 @@ fn main() -> ExitCode {
     };
 
     let tol = Tolerance::default();
-    let outcome = compare(&baseline, &current, &tol);
+    let mut outcome = compare(&baseline, &current, &tol);
     println!(
         "[bench-gate] {} cell(s) checked against {} (tolerance: throughput −{:.0}%, p99 +{:.0}%)",
         outcome.checked,
@@ -163,6 +165,21 @@ fn main() -> ExitCode {
         tol.throughput_drop * 100.0,
         tol.p99_rise * 100.0
     );
+    // Suites that carry detection cells (detect-gate artifacts diffed via
+    // --current/--baseline) are additionally held to the detection bands.
+    if !baseline.detect.is_empty() || !current.detect.is_empty() {
+        let dtol = DetectTolerance::default();
+        let detect_outcome = compare_detection(&baseline, &current, &dtol);
+        println!(
+            "[bench-gate] {} detection cell(s) checked (tolerance: ttd +{:.0}% +{:.0}ms, zero new FP/misattribution)",
+            detect_outcome.checked,
+            dtol.ttd_rise * 100.0,
+            dtol.ttd_slack_ms
+        );
+        outcome.checked += detect_outcome.checked;
+        outcome.failures.extend(detect_outcome.failures);
+        outcome.notes.extend(detect_outcome.notes);
+    }
     for note in &outcome.notes {
         println!("  note: {note}");
     }

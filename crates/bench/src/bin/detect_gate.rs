@@ -1,0 +1,226 @@
+//! `detect-gate` — the detection-quality regression gate.
+//!
+//! ```text
+//! detect-gate                      # run the scorecard suite, diff vs BENCH_detect_baseline.json
+//! detect-gate --write-baseline     # run the suite and (re)write BENCH_detect_baseline.json
+//! detect-gate --current <file>     # diff a pre-recorded suite instead of running
+//! detect-gate --baseline <file>    # diff against a different baseline file
+//! detect-gate --out <file>         # where to write the fresh suite (default BENCH_detect.json)
+//! detect-gate --reports            # also print each cell's incident report
+//! ```
+//!
+//! Where `bench-gate` protects throughput, this gate protects the
+//! *detector*: each cell of a fixed-seed suite — [DepFastRaft, SyncRaft]
+//! × [healthy, disk-slow follower] — runs incident-instrumented
+//! ([`run_experiment_incident`]), is scored against the ground-truth
+//! fault ledger, and the resulting time-to-detect / false-positive /
+//! misattribution numbers are diffed against the committed baseline under
+//! [`DetectTolerance`] bands. A detector that gets slower, starts crying
+//! wolf, or blames the wrong node fails CI even when throughput is fine.
+//! Exit codes: 0 pass, 1 regression, 2 usage/IO error.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use depfast_bench::baseline::{compare_detection, DetectRecord, DetectTolerance, Suite};
+use depfast_bench::{repo_root, run_experiment_incident, ExperimentCfg, FaultTarget};
+use depfast_detect::DetectorCfg;
+use depfast_fault::FaultKind;
+use depfast_incident::{render_report, score, RECOVERY_BAND};
+use depfast_raft::cluster::RaftKind;
+
+const BASELINE_FILE: &str = "BENCH_detect_baseline.json";
+const GATE_FILE: &str = "BENCH_detect.json";
+const GATE_SEED: u64 = 20210531;
+
+/// The detector runs with a lowered per-window sample floor: a SyncRaft
+/// leader coupled to a 125×-slow disk completes so few appends per 200 ms
+/// window that the default floor of 10 starves the detector and the fault
+/// goes entirely unnoticed — which is itself the paper's point, but makes
+/// the DepFast-vs-Sync time-to-detect comparison degenerate. Four
+/// completions per window is still enough to reject scheduler noise at a
+/// 3× threshold.
+fn gate_detector_cfg() -> DetectorCfg {
+    DetectorCfg {
+        min_samples: 4,
+        ..DetectorCfg::default()
+    }
+}
+
+/// The injected fault lands after the detector's warm-up windows (5 ×
+/// 200 ms of polling need healthy traffic first) and heals before the
+/// run ends, so time-to-recover is observable.
+fn gate_cfg(kind: RaftKind, fault: Option<(FaultTarget, FaultKind)>) -> ExperimentCfg {
+    ExperimentCfg {
+        kind,
+        n_clients: 64,
+        seed: GATE_SEED,
+        warmup: Duration::from_secs(2),
+        measure: Duration::from_millis(3200),
+        records: 10_000,
+        fault,
+        fault_at: Some(Duration::from_secs(2)),
+        fault_duration: Some(Duration::from_millis(1200)),
+        ..ExperimentCfg::default()
+    }
+}
+
+fn run_detect_suite(reports: bool) -> Suite {
+    let mut suite = Suite::new("detect", GATE_SEED);
+    suite.config("clients", 64.0);
+    suite.config("warmup_secs", 2.0);
+    suite.config("measure_secs", 3.2);
+    suite.config("records", 10_000.0);
+    suite.config("fault_at_secs", 2.0);
+    suite.config("fault_duration_secs", 1.2);
+    suite.config("recovery_band", RECOVERY_BAND);
+    let disk_slow = || {
+        Some((
+            FaultTarget::Followers(vec![2]),
+            FaultKind::DiskSlow { bw_factor: 0.008 },
+        ))
+    };
+    for kind in [RaftKind::DepFast, RaftKind::Sync] {
+        for fault in [None, disk_slow()] {
+            let cfg = gate_cfg(kind, fault);
+            let fault_name = cfg
+                .fault
+                .as_ref()
+                .map_or("none", |(_, k)| k.name())
+                .to_string();
+            eprintln!("[detect-gate] {} / {fault_name}...", kind.name());
+            let run = run_experiment_incident(&cfg, gate_detector_cfg());
+            let cell = score(&run.dump, RECOVERY_BAND);
+            if reports {
+                eprint!("{}", render_report(&run.dump, &cell));
+            }
+            suite.detect.push(DetectRecord::from_cell(
+                kind.name(),
+                &fault_name,
+                &run.dump.cluster,
+                &cell,
+            ));
+        }
+    }
+    suite
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn load_suite(path: &std::path::Path) -> Result<Suite, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Suite::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn print_cells(suite: &Suite) {
+    let opt = |v: Option<f64>| v.map_or_else(|| "      -".to_string(), |m| format!("{m:>7.1}"));
+    for r in &suite.detect {
+        println!(
+            "  {:<45} detected={:<5} ttd{} ms  ttm{} ms  ttr{} ms  fp={} fn={} misattr={}",
+            r.key(),
+            r.detected,
+            opt(r.ttd_ms),
+            opt(r.ttm_ms),
+            opt(r.ttr_ms),
+            r.false_positives,
+            r.false_negatives,
+            r.misattributions
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: detect-gate [--write-baseline] [--current <file>] [--baseline <file>] [--out <file>] [--reports]"
+        );
+        return ExitCode::from(2);
+    }
+    let reports = args.iter().any(|a| a == "--reports");
+    let root = repo_root();
+    let baseline_path = arg_value(&args, "--baseline")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| root.join(BASELINE_FILE));
+
+    if args.iter().any(|a| a == "--write-baseline") {
+        let suite = run_detect_suite(reports);
+        if let Err(e) = std::fs::write(&baseline_path, suite.to_json()) {
+            eprintln!("detect-gate: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "[detect-gate] baseline written to {}",
+            baseline_path.display()
+        );
+        print_cells(&suite);
+        return ExitCode::SUCCESS;
+    }
+
+    let current = match arg_value(&args, "--current") {
+        Some(path) => match load_suite(std::path::Path::new(&path)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("detect-gate: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => {
+            let suite = run_detect_suite(reports);
+            let out = arg_value(&args, "--out")
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(|| root.join(GATE_FILE));
+            match std::fs::write(&out, suite.to_json()) {
+                Ok(()) => println!("[detect-gate] fresh suite written to {}", out.display()),
+                Err(e) => eprintln!(
+                    "detect-gate: cannot write {}: {e} (continuing)",
+                    out.display()
+                ),
+            }
+            suite
+        }
+    };
+
+    let baseline = match load_suite(&baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "detect-gate: {e}\nhint: commit one with `cargo run -p depfast-bench --bin detect-gate -- --write-baseline`"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let tol = DetectTolerance::default();
+    let outcome = compare_detection(&baseline, &current, &tol);
+    println!(
+        "[detect-gate] {} cell(s) checked against {} (tolerance: ttd +{:.0}% +{:.0}ms, zero new FP/FN/misattribution)",
+        outcome.checked,
+        baseline_path.display(),
+        tol.ttd_rise * 100.0,
+        tol.ttd_slack_ms
+    );
+    print_cells(&current);
+    for note in &outcome.notes {
+        println!("  note: {note}");
+    }
+    if outcome.passed() {
+        println!("[detect-gate] PASS");
+        ExitCode::SUCCESS
+    } else {
+        for failure in &outcome.failures {
+            println!("  FAIL: {failure}");
+        }
+        println!(
+            "[detect-gate] FAIL ({} regression(s))",
+            outcome.failures.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -7,7 +7,9 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::time::Duration;
 
-use depfast_fault::FaultKind;
+use depfast_detect::{DetectorCfg, FailSlowDetector};
+use depfast_fault::{FaultKind, FaultLedger};
+use depfast_incident::IncidentDump;
 use depfast_kv::KvCluster;
 use depfast_metrics::{Key, MetricsRegistry, Sampler};
 use depfast_profile::Profiler;
@@ -48,6 +50,14 @@ pub struct ExperimentCfg {
     pub value_size: usize,
     /// Fault to inject, if any.
     pub fault: Option<(FaultTarget, FaultKind)>,
+    /// When the fault injects, as an offset from run start (`None` =
+    /// the historical default, midway through the warm-up). Incident
+    /// experiments set this past the detector's warm-up windows so the
+    /// baseline is established before the fault lands.
+    pub fault_at: Option<Duration>,
+    /// How long the fault stays active (`None` = the remainder of the
+    /// run, which is how every Table 1 experiment runs).
+    pub fault_duration: Option<Duration>,
     /// Override of [`bench_raft_cfg`]'s `batch_max` (group-commit batch
     /// cap; `None` = keep the calibrated value).
     pub batch_max: Option<usize>,
@@ -71,6 +81,8 @@ impl Default for ExperimentCfg {
             records: 500_000,
             value_size: 1000,
             fault: None,
+            fault_at: None,
+            fault_duration: None,
             batch_max: None,
             batch_window: None,
             pipeline_depth: None,
@@ -168,6 +180,20 @@ pub struct ExperimentRun {
     /// Interval-aligned time series sampled over the run (empty when
     /// the run was not sampled).
     pub sampler: Sampler,
+    /// Every health-state transition recorded during the run (always on;
+    /// empty for a healthy run with no detector installed).
+    pub health: Vec<depfast::HealthEvent>,
+}
+
+/// The result of an incident-instrumented experiment: client statistics
+/// plus the fully joined incident dump (ground-truth ledger, reaction
+/// timeline, throughput series), canonicalized and ready for scoring,
+/// reporting, or serialization.
+pub struct IncidentRun {
+    /// Client-side workload statistics (same as [`run_experiment`]).
+    pub stats: RunStats,
+    /// The joined incident record of the run.
+    pub dump: IncidentDump,
 }
 
 /// The result of a fully traced experiment.
@@ -193,14 +219,74 @@ pub struct ProfiledRun {
 
 /// Runs one experiment end to end and returns its statistics.
 pub fn run_experiment(cfg: &ExperimentCfg) -> RunStats {
-    run(cfg, None, None, None).stats
+    run(cfg, None, None, None, None).stats
 }
 
 /// Like [`run_experiment`], but additionally samples the cluster's
 /// metric registry every `sample_every` of virtual time and returns the
 /// registry plus the recorded time series, ready for CSV export.
 pub fn run_experiment_instrumented(cfg: &ExperimentCfg, sample_every: Duration) -> ExperimentRun {
-    run(cfg, Some(sample_every), None, None)
+    run(cfg, Some(sample_every), None, None, None)
+}
+
+/// Sampling interval for incident experiments' throughput series.
+pub const INCIDENT_SAMPLE_EVERY: Duration = Duration::from_millis(100);
+
+/// Like [`run_experiment`], but incident-instrumented: faults are
+/// journaled into a ground-truth [`FaultLedger`], a [`FailSlowDetector`]
+/// with `dcfg` watches the cluster's RPC aggregates, and the run's
+/// health-event timeline and commit-throughput series are joined into an
+/// [`IncidentDump`] ready for the scorecard. Deterministic: same-seed
+/// calls return identical dumps.
+pub fn run_experiment_incident(cfg: &ExperimentCfg, dcfg: DetectorCfg) -> IncidentRun {
+    let ledger = FaultLedger::new();
+    let run = run(
+        cfg,
+        Some(INCIDENT_SAMPLE_EVERY),
+        None,
+        None,
+        Some((&ledger, dcfg)),
+    );
+    // Commit throughput per interval: the cluster-wide max of the
+    // `raft.commit_index` gauge (leadership may move) differenced across
+    // consecutive sample rows.
+    let mut throughput = Vec::new();
+    let mut prev: Option<(u64, i128)> = None;
+    for row in run.sampler.rows() {
+        let commit = row
+            .values
+            .iter()
+            .filter(|(k, _)| k.name == "raft.commit_index")
+            .map(|(_, v)| v.scalar())
+            .max()
+            .unwrap_or(0);
+        if let Some((pt, pc)) = prev {
+            let dt = row.t_ns.saturating_sub(pt);
+            if dt > 0 {
+                let ops = (commit - pc).max(0) as f64 / (dt as f64 / 1e9);
+                throughput.push((row.t_ns, ops));
+            }
+        }
+        prev = Some((row.t_ns, commit));
+    }
+    let mut dump = IncidentDump {
+        driver: cfg.kind.name().to_string(),
+        fault: cfg
+            .fault
+            .as_ref()
+            .map_or_else(|| "none".to_string(), |(_, k)| k.name().to_string()),
+        cluster: format!("{}x{}", cfg.n_servers, cfg.n_clients),
+        seed: cfg.seed,
+        faults: ledger.records().iter().map(Into::into).collect(),
+        events: run.health.into_iter().map(Into::into).collect(),
+        throughput,
+        end_ns: (cfg.warmup + cfg.measure).as_nanos() as u64,
+    };
+    dump.canonicalize();
+    IncidentRun {
+        stats: run.stats,
+        dump,
+    }
 }
 
 /// Like [`run_experiment`], but with full causal tracing enabled for the
@@ -210,7 +296,7 @@ pub fn run_experiment_instrumented(cfg: &ExperimentCfg, sample_every: Duration) 
 /// streams.
 pub fn run_experiment_traced(cfg: &ExperimentCfg) -> TracedRun {
     let records = Rc::new(RefCell::new(Vec::new()));
-    let run = run(cfg, None, Some(records.clone()), None);
+    let run = run(cfg, None, Some(records.clone()), None, None);
     TracedRun {
         stats: run.stats,
         records: records.take(),
@@ -225,7 +311,7 @@ pub fn run_experiment_traced(cfg: &ExperimentCfg) -> TracedRun {
 /// (asserted by the `profiler_determinism` integration test).
 pub fn run_experiment_profiled(cfg: &ExperimentCfg) -> ProfiledRun {
     let profiler = Profiler::new(cfg.kind.name());
-    let stats = run(cfg, None, None, Some(&profiler)).stats;
+    let stats = run(cfg, None, None, Some(&profiler), None).stats;
     ProfiledRun { stats, profiler }
 }
 
@@ -234,6 +320,7 @@ fn run(
     sample_every: Option<Duration>,
     trace_into: Option<Rc<RefCell<Vec<depfast::TraceRecord>>>>,
     profiler: Option<&Profiler>,
+    incident: Option<(&FaultLedger, DetectorCfg)>,
 ) -> ExperimentRun {
     // Runs must not inherit a causal context left in the ambient slot by
     // an earlier experiment in the same process: traces would differ.
@@ -273,13 +360,28 @@ fn run(
             }
         });
     }
+    let _detector = incident
+        .as_ref()
+        .map(|(_, dcfg)| FailSlowDetector::spawn(&sim, &cluster.raft.tracer, *dcfg));
     if let Some((target, kind)) = &cfg.fault {
         let nodes: Vec<NodeId> = match target {
             FaultTarget::None => vec![],
             FaultTarget::Followers(ids) => ids.iter().copied().map(NodeId).collect(),
         };
+        let at = cfg.fault_at.unwrap_or(cfg.warmup / 2);
         for node in nodes {
-            depfast_fault::inject_at(&sim, &world, node, *kind, cfg.warmup / 2, None);
+            match &incident {
+                Some((ledger, _)) => depfast_fault::inject_at_logged(
+                    &sim,
+                    &world,
+                    node,
+                    *kind,
+                    at,
+                    cfg.fault_duration,
+                    ledger,
+                ),
+                None => depfast_fault::inject_at(&sim, &world, node, *kind, at, cfg.fault_duration),
+            }
         }
     }
     let spec = WorkloadSpec::update_heavy()
@@ -306,10 +408,12 @@ fn run(
     // The sampling task still holds a clone of the cell; swap the
     // sampler out rather than trying to unwrap the Rc.
     let sampler = sampler.replace(Sampler::new(MetricsRegistry::new(), 1));
+    let health = cluster.raft.tracer.take_health_events();
     ExperimentRun {
         stats,
         metrics,
         sampler,
+        health,
     }
 }
 

@@ -20,10 +20,13 @@ pub mod experiment;
 pub mod json;
 pub mod report;
 
-pub use baseline::{GateOutcome, RunRecord, Suite, Tolerance};
+pub use baseline::{
+    compare_detection, DetectRecord, DetectTolerance, GateOutcome, RunRecord, Suite, Tolerance,
+};
 pub use experiment::{
-    run_experiment, run_experiment_instrumented, run_experiment_profiled, run_experiment_traced,
-    ExperimentCfg, ExperimentRun, FaultTarget, ProfiledRun, TracedRun,
+    run_experiment, run_experiment_incident, run_experiment_instrumented, run_experiment_profiled,
+    run_experiment_traced, ExperimentCfg, ExperimentRun, FaultTarget, IncidentRun, ProfiledRun,
+    TracedRun,
 };
 pub use json::Json;
 pub use report::{

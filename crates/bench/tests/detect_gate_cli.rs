@@ -1,0 +1,191 @@
+//! End-to-end acceptance for the `detect-gate` binary: fed two suite
+//! files, it must exit 0 when detection quality matches the committed
+//! baseline, and exit 1 when the current suite carries a doubled
+//! time-to-detect, a new false positive, or a new misattribution. Same
+//! code path CI runs — there the current suite comes from a live
+//! fixed-seed run instead of a file.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use depfast_bench::baseline::{DetectRecord, Suite};
+
+fn cell(
+    driver: &str,
+    fault: &str,
+    detected: bool,
+    ttd_ms: Option<f64>,
+    false_positives: u64,
+    misattributions: u64,
+) -> DetectRecord {
+    DetectRecord {
+        driver: driver.to_string(),
+        fault: fault.to_string(),
+        cluster: "3x64".to_string(),
+        detected,
+        ttd_ms,
+        ttm_ms: ttd_ms.map(|v| v / 2.0),
+        ttr_ms: ttd_ms.map(|_| 1200.0),
+        false_positives,
+        false_negatives: 0,
+        misattributions,
+    }
+}
+
+/// The shape detect-gate itself emits: two drivers × [healthy, disk-slow].
+fn suite(ttd_scale: f64, false_positives: u64, misattributions: u64) -> Suite {
+    let mut s = Suite::new("detect", 20210531);
+    s.config("clients", 64.0);
+    s.detect
+        .push(cell("DepFastRaft", "none", false, None, false_positives, 0));
+    s.detect.push(cell(
+        "DepFastRaft",
+        "Disk Slowness",
+        true,
+        Some(200.0 * ttd_scale),
+        0,
+        misattributions,
+    ));
+    s.detect
+        .push(cell("SyncRaft (TiDB-style)", "none", false, None, 0, 0));
+    s.detect.push(cell(
+        "SyncRaft (TiDB-style)",
+        "Disk Slowness",
+        true,
+        Some(200.0 * ttd_scale),
+        0,
+        0,
+    ));
+    s
+}
+
+fn write_suite(name: &str, s: &Suite) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "depfast_detect_{}_{}.json",
+        std::process::id(),
+        name
+    ));
+    std::fs::write(&path, s.to_json()).expect("write suite file");
+    path
+}
+
+fn run_gate(baseline: &PathBuf, current: &PathBuf) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_detect-gate"))
+        .arg("--baseline")
+        .arg(baseline)
+        .arg("--current")
+        .arg(current)
+        .output()
+        .expect("spawn detect-gate")
+}
+
+#[test]
+fn identical_detection_suites_pass_the_gate() {
+    let baseline = write_suite("base_ok", &suite(1.0, 0, 0));
+    let current = write_suite("curr_ok", &suite(1.0, 0, 0));
+    let out = run_gate(&baseline, &current);
+    assert!(
+        out.status.success(),
+        "gate should pass on identical suites\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_file(baseline);
+    let _ = std::fs::remove_file(current);
+}
+
+#[test]
+fn doubled_detection_latency_fails_the_gate() {
+    let baseline = write_suite("base_ttd", &suite(1.0, 0, 0));
+    let current = write_suite("curr_ttd", &suite(2.0, 0, 0));
+    let out = run_gate(&baseline, &current);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "gate must exit 1 on a 2× time-to-detect regression\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("time-to-detect"),
+        "failure report should name the regressed metric:\n{stdout}"
+    );
+    let _ = std::fs::remove_file(baseline);
+    let _ = std::fs::remove_file(current);
+}
+
+#[test]
+fn new_false_positive_fails_the_gate() {
+    let baseline = write_suite("base_fp", &suite(1.0, 0, 0));
+    let current = write_suite("curr_fp", &suite(1.0, 1, 0));
+    let out = run_gate(&baseline, &current);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "gate must exit 1 on a new false positive\nstdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("false positive"),
+        "failure report should name the false positive:\n{stdout}"
+    );
+    let _ = std::fs::remove_file(baseline);
+    let _ = std::fs::remove_file(current);
+}
+
+#[test]
+fn new_misattribution_fails_the_gate() {
+    let baseline = write_suite("base_mis", &suite(1.0, 0, 0));
+    let current = write_suite("curr_mis", &suite(1.0, 0, 1));
+    let out = run_gate(&baseline, &current);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "gate must exit 1 on a new misattribution\nstdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let _ = std::fs::remove_file(baseline);
+    let _ = std::fs::remove_file(current);
+}
+
+#[test]
+fn bench_gate_also_enforces_detection_cells_when_present() {
+    // The perf gate diffs detection cells too when the suites carry
+    // them, so a doctored detect-gate artifact proves the same failure
+    // path through either binary.
+    let baseline = write_suite("base_bg", &suite(1.0, 0, 0));
+    let current = write_suite("curr_bg", &suite(2.0, 0, 0));
+    let out = Command::new(env!("CARGO_BIN_EXE_bench-gate"))
+        .arg("--baseline")
+        .arg(&baseline)
+        .arg("--current")
+        .arg(&current)
+        .output()
+        .expect("spawn bench-gate");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "bench-gate must exit 1 on a 2× time-to-detect regression\nstdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let _ = std::fs::remove_file(baseline);
+    let _ = std::fs::remove_file(current);
+}
+
+#[test]
+fn missing_baseline_is_a_usage_error_not_a_regression() {
+    let current = write_suite("curr_nobase", &suite(1.0, 0, 0));
+    let missing = std::env::temp_dir().join(format!(
+        "depfast_detect_{}_does_not_exist.json",
+        std::process::id()
+    ));
+    let out = run_gate(&missing, &current);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "a missing baseline is exit 2 (setup problem), not exit 1 (regression)"
+    );
+    let _ = std::fs::remove_file(current);
+}

@@ -1,0 +1,75 @@
+//! Determinism of every incident artifact: two runs of the same seeded
+//! configuration must produce byte-identical scorecard suite JSON,
+//! incident serial dumps, timeline reports, and Chrome incident tracks.
+//! This is what lets `BENCH_detect.json` be diffed in CI and incident
+//! dumps be attached to bug reports as exact reproductions.
+
+use std::time::Duration;
+
+use depfast_bench::baseline::{DetectRecord, Suite};
+use depfast_bench::{run_experiment_incident, ExperimentCfg, FaultTarget, IncidentRun};
+use depfast_detect::DetectorCfg;
+use depfast_fault::FaultKind;
+use depfast_incident::{incident_track, render_report, score, serialize_dumps, RECOVERY_BAND};
+use depfast_raft::cluster::RaftKind;
+use depfast_trace_analysis::{chrome_trace_with_incidents, TraceIndex};
+
+fn episode() -> IncidentRun {
+    let cfg = ExperimentCfg {
+        kind: RaftKind::DepFast,
+        n_clients: 32,
+        warmup: Duration::from_secs(2),
+        measure: Duration::from_millis(2400),
+        records: 10_000,
+        fault: Some((
+            FaultTarget::Followers(vec![2]),
+            FaultKind::DiskSlow { bw_factor: 0.008 },
+        )),
+        fault_at: Some(Duration::from_secs(2)),
+        fault_duration: Some(Duration::from_millis(1000)),
+        ..ExperimentCfg::default()
+    };
+    let dcfg = DetectorCfg {
+        min_samples: 4,
+        ..DetectorCfg::default()
+    };
+    run_experiment_incident(&cfg, dcfg)
+}
+
+fn artifacts(run: &IncidentRun) -> (String, String, String, String) {
+    let cell = score(&run.dump, RECOVERY_BAND);
+    let mut suite = Suite::new("detect", 20210531);
+    suite.detect.push(DetectRecord::from_cell(
+        &run.dump.driver,
+        &run.dump.fault,
+        &run.dump.cluster,
+        &cell,
+    ));
+    let (spans, marks) = incident_track(&run.dump);
+    let chrome = chrome_trace_with_incidents(&TraceIndex::build(&[]), &spans, &marks);
+    (
+        suite.to_json(),
+        serialize_dumps(std::slice::from_ref(&run.dump)),
+        render_report(&run.dump, &cell),
+        chrome,
+    )
+}
+
+#[test]
+fn same_seed_episodes_produce_byte_identical_artifacts() {
+    let a = episode();
+    let b = episode();
+    let (suite_a, dump_a, report_a, chrome_a) = artifacts(&a);
+    let (suite_b, dump_b, report_b, chrome_b) = artifacts(&b);
+    assert!(
+        !a.dump.events.is_empty(),
+        "episode produced no health events; the determinism check would be vacuous"
+    );
+    assert_eq!(suite_a, suite_b, "scorecard suite JSON must be byte-stable");
+    assert_eq!(dump_a, dump_b, "incident serial dump must be byte-stable");
+    assert_eq!(report_a, report_b, "timeline report must be byte-stable");
+    assert_eq!(
+        chrome_a, chrome_b,
+        "Chrome incident track must be byte-stable"
+    );
+}

@@ -1,0 +1,65 @@
+//! The no-fault matrix: every driver, across seeds, with the fail-slow
+//! detector attached, must produce an EMPTY incident timeline and an
+//! all-zero scorecard. This is the false-positive floor the detector
+//! scorecard is judged against — a healthy cluster that trips suspicion,
+//! quarantine, or mitigation anywhere in the matrix is a regression no
+//! tolerance band should forgive.
+
+use std::time::Duration;
+
+use depfast_bench::{run_experiment_incident, ExperimentCfg};
+use depfast_detect::DetectorCfg;
+use depfast_incident::{score, RECOVERY_BAND};
+use depfast_raft::cluster::RaftKind;
+
+const DRIVERS: [RaftKind; 5] = [
+    RaftKind::DepFast,
+    RaftKind::Sync,
+    RaftKind::Backlog,
+    RaftKind::Callback,
+    RaftKind::Chain,
+];
+
+const SEEDS: [u64; 3] = [7, 1234, 20210531];
+
+fn healthy_cfg(kind: RaftKind, seed: u64) -> ExperimentCfg {
+    ExperimentCfg {
+        kind,
+        n_clients: 16,
+        seed,
+        warmup: Duration::from_millis(600),
+        // Long enough for the detector to warm up (5 × 200 ms windows)
+        // AND judge several live windows afterwards.
+        measure: Duration::from_millis(2400),
+        records: 10_000,
+        fault: None,
+        ..ExperimentCfg::default()
+    }
+}
+
+#[test]
+fn no_fault_matrix_is_silent_and_scores_all_zero() {
+    for kind in DRIVERS {
+        for seed in SEEDS {
+            let run = run_experiment_incident(&healthy_cfg(kind, seed), DetectorCfg::default());
+            assert!(
+                run.dump.faults.is_empty(),
+                "{} seed {seed}: no fault was injected but the ledger has {} record(s)",
+                kind.name(),
+                run.dump.faults.len()
+            );
+            assert!(
+                run.dump.events.is_empty(),
+                "{} seed {seed}: healthy run produced health events: {:?}",
+                kind.name(),
+                run.dump.events
+            );
+            let cell = score(&run.dump, RECOVERY_BAND);
+            assert!(
+                cell.is_all_zero(),
+                "{} seed {seed}: healthy run must score all-zero, got {cell:?}",
+                kind.name()
+            );
+        }
+    }
+}

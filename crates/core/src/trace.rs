@@ -250,12 +250,40 @@ pub struct WaitObservation {
 /// Callback receiving every finished wait while installed.
 pub type WaitProbe = Rc<dyn Fn(&WaitObservation)>;
 
+/// One structured health-state transition reported by a reacting layer
+/// (the fail-slow detector, a driver's quarantine machinery, the leader
+/// mitigation, ...). Unlike full trace records these are always on: they
+/// are rare by construction — a healthy run records none — and they are
+/// the raw material of the incident timeline (`depfast-incident`), which
+/// joins them against the fault ledger's ground truth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthEvent {
+    /// Virtual time of the transition.
+    pub t: SimTime,
+    /// The *subject* node — the one suspected / quarantined / demoted —
+    /// not the observer that recorded the transition.
+    pub node: NodeId,
+    /// Reacting layer: `"detector"`, `"raft"`, `"mitigation"`.
+    pub layer: &'static str,
+    /// State transition, e.g. `"suspect"`, `"quarantine"`, `"probe"`,
+    /// `"resume"`, `"clear"`, `"confirm"`.
+    pub transition: &'static str,
+    /// Free-form supporting evidence (deterministically formatted).
+    pub evidence: String,
+}
+
+/// Cap on buffered health events; a run that floods past it is itself an
+/// incident (counted in the global `health.dropped` metric).
+pub const HEALTH_EVENT_CAPACITY: usize = 65_536;
+
 struct TraceInner {
     record_full: bool,
     records: Vec<TraceRecord>,
     capacity: usize,
     dropped: Counter,
     samples: HashMap<RpcSampleKey, RpcSample>,
+    health: Vec<HealthEvent>,
+    health_dropped: Counter,
     next_event: u64,
     next_coro: u64,
     next_trace: u64,
@@ -294,6 +322,8 @@ impl Tracer {
                 capacity: DEFAULT_RECORD_CAPACITY,
                 dropped: metrics.counter(Key::global("trace.dropped")),
                 samples: HashMap::new(),
+                health: Vec::new(),
+                health_dropped: metrics.counter(Key::global("health.dropped")),
                 next_event: 0,
                 next_coro: 0,
                 // Trace id 0 is the wire's "untraced" sentinel.
@@ -455,6 +485,30 @@ impl Tracer {
     pub fn clear_records(&self) {
         self.inner.borrow_mut().records.clear();
     }
+
+    /// Records one health-state transition. Always on (no gating flag):
+    /// reacting layers call this only when something is actually wrong,
+    /// so a healthy run's buffer stays empty — which the incident layer's
+    /// false-positive tests rely on.
+    pub fn record_health(&self, event: HealthEvent) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.health.len() < HEALTH_EVENT_CAPACITY {
+            inner.health.push(event);
+        } else {
+            inner.health_dropped.inc();
+        }
+    }
+
+    /// Snapshot of all health events recorded so far (in recording order;
+    /// the incident layer canonicalizes ordering before serializing).
+    pub fn health_events(&self) -> Vec<HealthEvent> {
+        self.inner.borrow().health.clone()
+    }
+
+    /// Moves the health-event buffer out, leaving it empty.
+    pub fn take_health_events(&self) -> Vec<HealthEvent> {
+        std::mem::take(&mut self.inner.borrow_mut().health)
+    }
 }
 
 #[cfg(test)]
@@ -562,6 +616,28 @@ mod tests {
         });
         assert_eq!(t.record_count(), 1);
         assert_eq!(r.counter(Key::global("trace.dropped")).get(), 2);
+    }
+
+    #[test]
+    fn health_events_are_always_on_and_capped() {
+        let r = MetricsRegistry::new();
+        let t = Tracer::with_metrics(r.clone());
+        assert!(t.health_events().is_empty());
+        t.record_health(HealthEvent {
+            t: SimTime::from_nanos(5),
+            node: NodeId(2),
+            layer: "detector",
+            transition: "suspect",
+            evidence: "mean 40ms vs baseline 1ms".into(),
+        });
+        // Recording is not gated on record_full.
+        assert!(!t.record_full());
+        assert_eq!(t.health_events().len(), 1);
+        assert_eq!(t.health_events()[0].node, NodeId(2));
+        let taken = t.take_health_events();
+        assert_eq!(taken.len(), 1);
+        assert!(t.health_events().is_empty());
+        assert_eq!(r.counter(Key::global("health.dropped")).get(), 0);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! fault cannot talk the detector out of its own detection.
 
 use std::cell::RefCell;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -103,6 +103,7 @@ type SuspectHook = Box<dyn Fn(&Suspicion)>;
 pub struct FailSlowDetector {
     state: Rc<RefCell<DetectorState>>,
     hooks: Rc<RefCell<Vec<SuspectHook>>>,
+    tracer: Tracer,
 }
 
 impl FailSlowDetector {
@@ -116,6 +117,7 @@ impl FailSlowDetector {
                 last: HashMap::new(),
             })),
             hooks: Rc::new(RefCell::new(Vec::new())),
+            tracer: tracer.clone(),
         };
         let d = detector.clone();
         let tracer = tracer.clone();
@@ -179,8 +181,21 @@ impl FailSlowDetector {
             .into_iter()
             .map(|suspicion| {
                 let blame_share = report.node_share(suspicion.node);
+                let confirmed = blame_share >= min_share;
+                self.tracer.record_health(depfast::HealthEvent {
+                    t: suspicion.at,
+                    node: suspicion.node,
+                    layer: "detector",
+                    transition: if confirmed { "confirm" } else { "unconfirmed" },
+                    evidence: format!(
+                        "{}: blame share {}/1000 vs min {}/1000",
+                        suspicion.label,
+                        (blame_share * 1000.0).round() as u64,
+                        (min_share * 1000.0).round() as u64
+                    ),
+                });
                 Confirmation {
-                    confirmed: blame_share >= min_share,
+                    confirmed,
                     blame_share,
                     suspicion,
                 }
@@ -192,7 +207,9 @@ impl FailSlowDetector {
         // Window means come from the registry's cumulative, callee-scoped
         // `rpc.latency` histograms: diffing consecutive snapshots yields
         // this poll period's (count, total) without any drain side-effects.
-        let mut windows: HashMap<(NodeId, &'static str), (u64, f64)> = HashMap::new();
+        // A BTreeMap keeps judgment (and so suspicion order, history, and
+        // the health-event timeline) deterministic across runs.
+        let mut windows: BTreeMap<(NodeId, &'static str), (u64, f64)> = BTreeMap::new();
         {
             let mut st = self.state.borrow_mut();
             for (key, h) in tracer.metrics().histograms_named("rpc.latency") {
@@ -244,9 +261,34 @@ impl FailSlowDetector {
                         at: sim.now(),
                     };
                     st.history.push(s.clone());
+                    tracer.record_health(depfast::HealthEvent {
+                        t: sim.now(),
+                        node: callee,
+                        layer: "detector",
+                        transition: "suspect",
+                        evidence: format!(
+                            "{}: window mean {}us > {}x baseline {}us",
+                            label,
+                            mean as u64 / 1_000,
+                            cfg.factor as u64,
+                            baseline as u64 / 1_000
+                        ),
+                    });
                     fired.push(s);
                 } else if suspected && mean < baseline * cfg.clear_factor {
                     st.suspects.remove(&callee);
+                    tracer.record_health(depfast::HealthEvent {
+                        t: sim.now(),
+                        node: callee,
+                        layer: "detector",
+                        transition: "clear",
+                        evidence: format!(
+                            "{}: window mean {}us back under baseline {}us",
+                            label,
+                            mean as u64 / 1_000,
+                            baseline as u64 / 1_000
+                        ),
+                    });
                 } else if !suspected {
                     // Healthy: keep tracking the baseline.
                     let track = st.tracks.get_mut(&(callee, label)).expect("present");
@@ -433,6 +475,36 @@ mod tests {
         let confirmations = det.confirm_with_blame(&absorbed, 0.5);
         assert!(!confirmations[0].confirmed);
         assert_eq!(confirmations[0].blame_share, 0.0);
+    }
+
+    #[test]
+    fn suspicion_lifecycle_lands_on_the_health_timeline() {
+        let (sim, tracer, det, cfg) = setup();
+        for _ in 0..8 {
+            feed(&tracer, 1, 1, 50);
+            step(&sim, cfg.poll);
+        }
+        feed(&tracer, 1, 40, 50);
+        step(&sim, cfg.poll);
+        for _ in 0..3 {
+            feed(&tracer, 1, 1, 50);
+            step(&sim, cfg.poll);
+        }
+        let events = tracer.health_events();
+        let transitions: Vec<&str> = events.iter().map(|e| e.transition).collect();
+        assert_eq!(transitions, vec!["suspect", "clear"]);
+        assert!(events.iter().all(|e| e.layer == "detector"));
+        assert!(events.iter().all(|e| e.node == NodeId(1)));
+        assert!(events[0].evidence.contains("append_entries"));
+        assert!(events[0].t < events[1].t);
+
+        // confirm_with_blame stamps its verdicts at the suspicion time.
+        let report = depfast_trace_analysis::BlameReport::default();
+        let _ = det.confirm_with_blame(&report, 0.5);
+        let events = tracer.health_events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[2].transition, "unconfirmed");
+        assert_eq!(events[2].t, events[0].t);
     }
 
     #[test]

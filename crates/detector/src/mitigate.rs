@@ -54,6 +54,17 @@ pub fn spawn_leader_mitigation(
             return;
         };
         let suspect = suspect.clone();
+        suspect.rt.tracer().record_health(depfast::HealthEvent {
+            t: sim.now(),
+            node: suspect.id,
+            layer: "mitigation",
+            transition: "demote",
+            evidence: format!(
+                "fail-slow leader: election penalty {}ms, transfer to n{}",
+                penalty.as_millis(),
+                target_id.0
+            ),
+        });
         let s = sim.clone();
         sim.spawn(async move {
             // Leadership transfer: wait for the target to be (nearly)
@@ -64,6 +75,13 @@ pub fn spawn_leader_mitigation(
                 }
                 let caught_up = suspect.match_index(target.id) + 8 >= suspect.log.last_index();
                 if caught_up {
+                    target.rt.tracer().record_health(depfast::HealthEvent {
+                        t: s.now(),
+                        node: target.id,
+                        layer: "mitigation",
+                        transition: "campaign",
+                        evidence: format!("leadership transfer from n{}", suspect.id.0),
+                    });
                     DepFastRaft::force_campaign(&target);
                     s.sleep(Duration::from_millis(400)).await;
                     if !suspect.is_leader() {
@@ -172,6 +190,23 @@ mod tests {
         assert!(
             new_leader.is_some() && new_leader != Some(NodeId(0)),
             "a healthy node must take over, got {new_leader:?}"
+        );
+        // The whole incident is on the health timeline: the detector's
+        // suspicion of n0, the mitigation demoting it, and the transfer
+        // target campaigning.
+        let events = cl.raft.tracer.health_events();
+        let has = |layer: &str, transition: &str, node: NodeId| {
+            events
+                .iter()
+                .any(|e| e.layer == layer && e.transition == transition && e.node == node)
+        };
+        assert!(has("detector", "suspect", NodeId(0)), "events: {events:?}");
+        assert!(has("mitigation", "demote", NodeId(0)), "events: {events:?}");
+        assert!(
+            events
+                .iter()
+                .any(|e| e.layer == "mitigation" && e.transition == "campaign"),
+            "events: {events:?}"
         );
         // And the cluster commits briskly again (slow node is a follower).
         let t0 = sim.now();

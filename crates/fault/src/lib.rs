@@ -15,13 +15,19 @@
 //! | Disk (contention) | contending heavy writer | background write+fsync task through the same disk queue |
 //! | Memory (contention) | cgroup max user memory | lowered memory limit → swap penalty / OOM on new allocations |
 //! | Network (slow) | `tc` +400 ms on the interface | +400 ms egress delay |
+//!
+//! Injections can additionally be journaled into a per-run
+//! [`FaultLedger`] — the *ground truth* side of the incident timeline:
+//! every [`FaultRecord`] carries exact virtual-clock onset and clear
+//! times, so detector reactions (`depfast-incident`) can be scored
+//! against what actually happened and when.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use std::time::Duration;
 
 use simkit::disk::DiskOp;
-use simkit::{NodeId, Sim, World};
+use simkit::{NodeId, Sim, SimTime, World};
 
 /// One fail-slow fault, parameterized; defaults reproduce Table 1.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -100,14 +106,131 @@ impl FaultKind {
             FaultKind::NetSlow { .. } => "Network Slowness",
         }
     }
+
+    /// Coarse injected intensity in `(0, 1]` — the ledger's `severity`
+    /// field. Where the parameters give a resource fraction the formula is
+    /// exact (fraction of the resource taken away, duty-cycle weighted for
+    /// bursty contention); the two contention kinds whose pressure depends
+    /// on runtime state use documented nominal values.
+    pub fn severity(&self) -> f64 {
+        match self {
+            FaultKind::CpuSlow { quota } => 1.0 - quota,
+            FaultKind::CpuContention { share, on, off } => {
+                let duty = on.as_secs_f64() / (on.as_secs_f64() + off.as_secs_f64()).max(1e-12);
+                (1.0 - share) * duty
+            }
+            FaultKind::DiskSlow { bw_factor } => 1.0 - bw_factor,
+            // A saturating writer on the shared queue: nominal full
+            // pressure (actual starvation depends on queue depth).
+            FaultKind::DiskContention { .. } => 1.0,
+            // Pressure depends on the victim's live usage vs the limit;
+            // nominal (the Table 1 setting squeezes to just above usage).
+            FaultKind::MemContention { .. } => 0.75,
+            FaultKind::NetSlow { delay } => (delay.as_secs_f64() / 0.4).min(1.0),
+        }
+    }
 }
 
-/// Handle to an injected fault; revert it with [`FaultGuard::revert`].
+/// Ground truth of one injected fault, with virtual-clock timestamps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRecord {
+    /// The afflicted node.
+    pub node: NodeId,
+    /// The injected fault.
+    pub kind: FaultKind,
+    /// The onset `inject_at` planned, if the injection was scheduled
+    /// (`None` for immediate [`inject`]). Normally equals `onset`; they
+    /// diverge only if the scheduler could not run the injection on time.
+    pub scheduled: Option<SimTime>,
+    /// When the fault actually took effect.
+    pub onset: SimTime,
+    /// When the fault was reverted; `None` while it is still active (a
+    /// fault injected for the remainder of a run never clears).
+    pub cleared: Option<SimTime>,
+    /// Injected intensity ([`FaultKind::severity`]).
+    pub severity: f64,
+}
+
+impl FaultRecord {
+    /// Exact fault duration, if the fault has cleared.
+    pub fn duration(&self) -> Option<Duration> {
+        self.cleared.map(|c| c - self.onset)
+    }
+}
+
+/// Per-run journal of injected faults (cheap to clone; all clones share
+/// the same record list). This is the ground-truth half of the incident
+/// timeline: reacting layers report [`depfast::HealthEvent`]s, and the
+/// scorecard joins the two.
+#[derive(Clone, Default)]
+pub struct FaultLedger {
+    records: Rc<RefCell<Vec<FaultRecord>>>,
+}
+
+impl FaultLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a record at fault onset, returning its slot for `close`.
+    fn open(
+        &self,
+        node: NodeId,
+        kind: FaultKind,
+        scheduled: Option<SimTime>,
+        onset: SimTime,
+    ) -> usize {
+        let mut records = self.records.borrow_mut();
+        records.push(FaultRecord {
+            node,
+            kind,
+            scheduled,
+            onset,
+            cleared: None,
+            severity: kind.severity(),
+        });
+        records.len() - 1
+    }
+
+    /// Stamps a record's clear time (idempotent: first clear wins).
+    fn close(&self, slot: usize, at: SimTime) {
+        if let Some(r) = self.records.borrow_mut().get_mut(slot) {
+            if r.cleared.is_none() {
+                r.cleared = Some(at);
+            }
+        }
+    }
+
+    /// Snapshot of all records (open faults have `cleared: None`).
+    pub fn records(&self) -> Vec<FaultRecord> {
+        self.records.borrow().clone()
+    }
+
+    /// Number of recorded faults.
+    pub fn len(&self) -> usize {
+        self.records.borrow().len()
+    }
+
+    /// `true` when no fault has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.borrow().is_empty()
+    }
+}
+
+/// Handle to an injected fault. Reverting — explicitly with
+/// [`FaultGuard::revert`] or implicitly by dropping the guard — removes
+/// the fault and stamps the ledger's clear time, so fault durations in
+/// the ledger are exact. Use [`FaultGuard::leak`] to keep a fault active
+/// for the remainder of the run.
 pub struct FaultGuard {
+    sim: Sim,
     world: World,
     node: NodeId,
     kind: FaultKind,
     stop: Rc<Cell<bool>>,
+    ledger: Option<(FaultLedger, usize)>,
+    reverted: bool,
 }
 
 impl FaultGuard {
@@ -121,8 +244,26 @@ impl FaultGuard {
         self.kind
     }
 
-    /// Removes the fault (background contenders stop at their next tick).
-    pub fn revert(self) {
+    /// Removes the fault (background contenders stop at their next tick)
+    /// and records the clear time in the ledger, if one is attached.
+    /// Dropping the guard does the same; `revert` exists for call sites
+    /// that want the timing explicit.
+    pub fn revert(mut self) {
+        self.undo();
+    }
+
+    /// Leaves the fault active for the remainder of the run: the guard is
+    /// consumed without reverting, and the ledger record (if any) keeps
+    /// `cleared: None` — exactly what a fault that never healed looks
+    /// like in the ground truth.
+    pub fn leak(self) {
+        std::mem::forget(self);
+    }
+
+    fn undo(&mut self) {
+        if std::mem::replace(&mut self.reverted, true) {
+            return;
+        }
         self.stop.set(true);
         match self.kind {
             FaultKind::CpuSlow { .. } => self.world.set_cpu_quota(self.node, 1.0),
@@ -132,11 +273,41 @@ impl FaultGuard {
             FaultKind::MemContention { .. } => self.world.reset_mem_limit(self.node),
             FaultKind::NetSlow { .. } => self.world.set_egress_delay(self.node, Duration::ZERO),
         }
+        if let Some((ledger, slot)) = &self.ledger {
+            ledger.close(*slot, self.sim.now());
+        }
+    }
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        self.undo();
     }
 }
 
 /// Injects `kind` into `node` immediately.
 pub fn inject(sim: &Sim, world: &World, node: NodeId, kind: FaultKind) -> FaultGuard {
+    inject_inner(sim, world, node, kind, None)
+}
+
+/// Like [`inject`], additionally journaling the fault into `ledger`.
+pub fn inject_logged(
+    sim: &Sim,
+    world: &World,
+    node: NodeId,
+    kind: FaultKind,
+    ledger: &FaultLedger,
+) -> FaultGuard {
+    inject_inner(sim, world, node, kind, Some((ledger.clone(), None)))
+}
+
+fn inject_inner(
+    sim: &Sim,
+    world: &World,
+    node: NodeId,
+    kind: FaultKind,
+    ledger: Option<(FaultLedger, Option<SimTime>)>,
+) -> FaultGuard {
     let stop = Rc::new(Cell::new(false));
     match kind {
         FaultKind::CpuSlow { quota } => world.set_cpu_quota(node, quota),
@@ -187,11 +358,18 @@ pub fn inject(sim: &Sim, world: &World, node: NodeId, kind: FaultKind) -> FaultG
         FaultKind::MemContention { limit } => world.set_mem_limit(node, limit),
         FaultKind::NetSlow { delay } => world.set_egress_delay(node, delay),
     }
+    let ledger = ledger.map(|(l, scheduled)| {
+        let slot = l.open(node, kind, scheduled, sim.now());
+        (l, slot)
+    });
     FaultGuard {
+        sim: sim.clone(),
         world: world.clone(),
         node,
         kind,
         stop,
+        ledger,
+        reverted: false,
     }
 }
 
@@ -205,16 +383,44 @@ pub fn inject_at(
     at: Duration,
     duration: Option<Duration>,
 ) {
+    inject_at_inner(sim, world, node, kind, at, duration, None)
+}
+
+/// Like [`inject_at`], additionally journaling the fault into `ledger`.
+/// The record carries both the *scheduled* onset (`now + at`, fixed at
+/// scheduling time) and the *actual* onset (stamped when the injection
+/// runs), and — when `duration` is given — the exact clear time.
+pub fn inject_at_logged(
+    sim: &Sim,
+    world: &World,
+    node: NodeId,
+    kind: FaultKind,
+    at: Duration,
+    duration: Option<Duration>,
+    ledger: &FaultLedger,
+) {
+    inject_at_inner(sim, world, node, kind, at, duration, Some(ledger.clone()))
+}
+
+fn inject_at_inner(
+    sim: &Sim,
+    world: &World,
+    node: NodeId,
+    kind: FaultKind,
+    at: Duration,
+    duration: Option<Duration>,
+    ledger: Option<FaultLedger>,
+) {
     let sim2 = sim.clone();
     let world2 = world.clone();
     let when = sim.now() + at;
     sim.schedule_call(when, move || {
-        let guard = inject(&sim2, &world2, node, kind);
+        let guard = inject_inner(&sim2, &world2, node, kind, ledger.map(|l| (l, Some(when))));
         if let Some(d) = duration {
             let until = sim2.now() + d;
             sim2.schedule_call(until, move || guard.revert());
         } else {
-            std::mem::forget(guard);
+            guard.leak();
         }
     });
 }
@@ -222,7 +428,7 @@ pub fn inject_at(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use simkit::{SimTime, WorldCfg};
+    use simkit::WorldCfg;
 
     fn setup() -> (Sim, World) {
         let sim = Sim::new(1);
@@ -240,9 +446,26 @@ mod tests {
     }
 
     #[test]
+    fn dropping_the_guard_reverts_too() {
+        let (sim, w) = setup();
+        {
+            let _g = inject(&sim, &w, NodeId(0), FaultKind::CpuSlow { quota: 0.05 });
+            assert!((w.cpu_rate(NodeId(0)) - 0.05).abs() < 1e-12);
+        }
+        assert!((w.cpu_rate(NodeId(0)) - 1.0).abs() < 1e-12, "RAII revert");
+    }
+
+    #[test]
+    fn leak_keeps_the_fault_active() {
+        let (sim, w) = setup();
+        inject(&sim, &w, NodeId(0), FaultKind::CpuSlow { quota: 0.05 }).leak();
+        assert!((w.cpu_rate(NodeId(0)) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
     fn cpu_contention_toggles_share() {
         let (sim, w) = setup();
-        inject(
+        let _g = inject(
             &sim,
             &w,
             NodeId(1),
@@ -273,7 +496,7 @@ mod tests {
                 s2.now() - t0
             })
         };
-        inject(
+        let _g = inject(
             &sim,
             &w,
             NodeId(0),
@@ -302,7 +525,7 @@ mod tests {
     fn mem_contention_induces_swap_slowdown() {
         let (sim, w) = setup();
         let used = w.mem_used(NodeId(2));
-        inject(
+        let _g = inject(
             &sim,
             &w,
             NodeId(2),
@@ -317,7 +540,7 @@ mod tests {
     #[test]
     fn net_slow_delays_egress_only() {
         let (sim, w) = setup();
-        inject(
+        let _g = inject(
             &sim,
             &w,
             NodeId(1),
@@ -360,5 +583,99 @@ mod tests {
         let names: Vec<&str> = faults.iter().map(|f| f.name()).collect();
         assert!(names.contains(&"CPU Slowness"));
         assert!(names.contains(&"Network Slowness"));
+        for f in &faults {
+            let s = f.severity();
+            assert!(s > 0.0 && s <= 1.0, "{}: severity {s}", f.name());
+        }
+    }
+
+    #[test]
+    fn ledger_records_exact_onset_and_clear_times() {
+        let (sim, w) = setup();
+        let ledger = FaultLedger::new();
+        sim.run_until_time(SimTime::from_millis(10));
+        let g = inject_logged(
+            &sim,
+            &w,
+            NodeId(1),
+            FaultKind::CpuSlow { quota: 0.05 },
+            &ledger,
+        );
+        assert_eq!(ledger.len(), 1);
+        let open = &ledger.records()[0];
+        assert_eq!(open.node, NodeId(1));
+        assert_eq!(open.scheduled, None);
+        assert_eq!(open.onset, SimTime::from_millis(10));
+        assert_eq!(open.cleared, None);
+        assert!((open.severity - 0.95).abs() < 1e-12);
+        sim.run_until_time(SimTime::from_millis(35));
+        g.revert();
+        let rec = &ledger.records()[0];
+        assert_eq!(rec.cleared, Some(SimTime::from_millis(35)));
+        assert_eq!(rec.duration(), Some(Duration::from_millis(25)));
+    }
+
+    #[test]
+    fn guard_drop_records_the_clear_time() {
+        let (sim, w) = setup();
+        let ledger = FaultLedger::new();
+        {
+            let _g = inject_logged(
+                &sim,
+                &w,
+                NodeId(0),
+                FaultKind::CpuSlow { quota: 0.05 },
+                &ledger,
+            );
+            sim.run_until_time(SimTime::from_millis(20));
+        }
+        assert_eq!(ledger.records()[0].cleared, Some(SimTime::from_millis(20)));
+    }
+
+    #[test]
+    fn inject_at_logged_records_scheduled_and_actual_onset() {
+        let (sim, w) = setup();
+        let ledger = FaultLedger::new();
+        inject_at_logged(
+            &sim,
+            &w,
+            NodeId(2),
+            FaultKind::DiskSlow { bw_factor: 0.008 },
+            Duration::from_millis(100),
+            Some(Duration::from_millis(50)),
+            &ledger,
+        );
+        // Nothing recorded until the injection actually runs.
+        assert!(ledger.is_empty());
+        sim.run_until_time(SimTime::from_millis(120));
+        let rec = &ledger.records()[0];
+        assert_eq!(rec.scheduled, Some(SimTime::from_millis(100)));
+        assert_eq!(rec.onset, SimTime::from_millis(100));
+        assert_eq!(rec.cleared, None, "still active");
+        sim.run_until_time(SimTime::from_millis(200));
+        let rec = &ledger.records()[0];
+        assert_eq!(rec.cleared, Some(SimTime::from_millis(150)));
+        assert_eq!(rec.duration(), Some(Duration::from_millis(50)));
+    }
+
+    #[test]
+    fn permanent_scheduled_fault_stays_open_in_the_ledger() {
+        let (sim, w) = setup();
+        let ledger = FaultLedger::new();
+        inject_at_logged(
+            &sim,
+            &w,
+            NodeId(1),
+            FaultKind::NetSlow {
+                delay: Duration::from_millis(400),
+            },
+            Duration::from_millis(10),
+            None,
+            &ledger,
+        );
+        sim.run_until_time(SimTime::from_millis(500));
+        let rec = &ledger.records()[0];
+        assert_eq!(rec.cleared, None);
+        assert!(w.cpu_rate(NodeId(1)) > 0.0); // sim alive; fault persists
     }
 }

@@ -1,0 +1,90 @@
+//! Offline incident-timeline renderer.
+//!
+//! Reads incident dump files (written by `fig1 -- --incidents`,
+//! `fig3 -- --incidents`, or any `serialize_dumps` caller), renders each
+//! dump's report and scorecard, and can project the incidents onto a
+//! Chrome `trace_event` file for `chrome://tracing` / Perfetto.
+//!
+//! ```text
+//! depfast-incident <dump-file>... [--band <0..1>] [--chrome <out.json>]
+//! ```
+
+use std::process::ExitCode;
+
+use depfast_incident::{incident_track, parse_dumps, render_report, score, RECOVERY_BAND};
+use depfast_trace_analysis::{chrome_trace_with_incidents, TraceIndex};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files = Vec::new();
+    let mut band = RECOVERY_BAND;
+    let mut chrome_out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--band" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => band = v,
+                None => return usage("--band needs a number"),
+            },
+            "--chrome" => match it.next() {
+                Some(v) => chrome_out = Some(v.clone()),
+                None => return usage("--chrome needs a path"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => files.push(other.to_string()),
+        }
+    }
+    if files.is_empty() {
+        return usage("no dump files given");
+    }
+
+    let mut all_spans = Vec::new();
+    let mut all_marks = Vec::new();
+    for path in &files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let dumps = match parse_dumps(&text) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        for mut dump in dumps {
+            dump.canonicalize();
+            let cell = score(&dump, band);
+            print!("{}", render_report(&dump, &cell));
+            println!();
+            let (spans, marks) = incident_track(&dump);
+            all_spans.extend(spans);
+            all_marks.extend(marks);
+        }
+    }
+
+    if let Some(out) = chrome_out {
+        let json = chrome_trace_with_incidents(&TraceIndex::build(&[]), &all_spans, &all_marks);
+        if let Err(e) = std::fs::write(&out, json) {
+            eprintln!("error: {out}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("wrote chrome incident track -> {out}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: depfast-incident <dump-file>... [--band <0..1>] [--chrome <out.json>]");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

@@ -1,0 +1,245 @@
+//! The detector scorecard: ledger × timeline → quality numbers.
+//!
+//! For one `(driver, fault)` cell the scorecard answers, from the dump
+//! alone:
+//!
+//! - **time-to-detect** — first detector suspicion of an injected node at
+//!   or after its fault's onset, minus the onset;
+//! - **time-to-mitigate** — first *reaction* (raft quarantine / probe /
+//!   chunk, or mitigation demote / campaign) touching an injected node at
+//!   or after onset, minus the onset;
+//! - **time-to-recover** — onset until throughput is back inside the
+//!   pre-onset baseline band (two consecutive samples at or above
+//!   `band × baseline`, judged from the fault's clear time onward — or
+//!   from onset, for drivers that never dipped);
+//! - **false positives** — suspicions with no injected fault to blame
+//!   (every suspicion in a no-fault run, and in faulted runs suspicions
+//!   of healthy nodes are counted under *misattribution*);
+//! - **false negatives** — injected faults never suspected;
+//! - **misattributions** — suspicions of a node that was not injected
+//!   while a fault was active elsewhere.
+
+use crate::IncidentDump;
+
+/// Fraction of the pre-onset throughput baseline that counts as
+/// "recovered".
+pub const RECOVERY_BAND: f64 = 0.8;
+
+/// Pre-onset samples averaged into the recovery baseline.
+const BASELINE_POINTS: usize = 5;
+
+/// Detection-quality numbers for one `(driver, fault)` cell.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ScoreCell {
+    /// `true` when every injected fault was suspected.
+    pub detected: bool,
+    /// Onset → first suspicion of an injected node.
+    pub ttd_ns: Option<u64>,
+    /// Onset → first reacting-layer action on an injected node.
+    pub ttm_ns: Option<u64>,
+    /// Onset → throughput back inside the baseline band.
+    pub ttr_ns: Option<u64>,
+    /// Suspicions raised with no fault injected anywhere.
+    pub false_positives: u64,
+    /// Injected faults that were never suspected.
+    pub false_negatives: u64,
+    /// Suspicions of healthy nodes while a fault was active elsewhere.
+    pub misattributions: u64,
+}
+
+impl ScoreCell {
+    /// `true` when the cell shows no detector activity and no faults —
+    /// the required shape for every cell of the no-fault matrix.
+    pub fn is_all_zero(&self) -> bool {
+        *self == ScoreCell::default()
+    }
+}
+
+/// Scores one dump. `band` is the recovery threshold as a fraction of
+/// the pre-onset throughput baseline ([`RECOVERY_BAND`] is the standard
+/// setting).
+pub fn score(dump: &IncidentDump, band: f64) -> ScoreCell {
+    let mut cell = ScoreCell::default();
+    let suspicions: Vec<_> = dump
+        .events_in("detector")
+        .filter(|e| e.transition == "suspect")
+        .collect();
+
+    if dump.faults.is_empty() {
+        cell.false_positives = suspicions.len() as u64;
+        // `detected` is vacuously false; there was nothing to detect.
+        return cell;
+    }
+
+    let injected = |node: u32| dump.faults.iter().any(|f| f.node == node);
+    cell.misattributions = suspicions.iter().filter(|s| !injected(s.node)).count() as u64;
+
+    let mut detected_all = true;
+    for f in &dump.faults {
+        let ttd = suspicions
+            .iter()
+            .filter(|s| s.node == f.node && s.t_ns >= f.onset_ns)
+            .map(|s| s.t_ns - f.onset_ns)
+            .min();
+        match ttd {
+            Some(d) => cell.ttd_ns = Some(cell.ttd_ns.map_or(d, |c| c.min(d))),
+            None => {
+                detected_all = false;
+                cell.false_negatives += 1;
+            }
+        }
+        let ttm = dump
+            .events
+            .iter()
+            .filter(|e| {
+                (e.layer == "raft" || e.layer == "mitigation")
+                    && e.node == f.node
+                    && e.t_ns >= f.onset_ns
+            })
+            .map(|e| e.t_ns - f.onset_ns)
+            .min();
+        if let Some(m) = ttm {
+            cell.ttm_ns = Some(cell.ttm_ns.map_or(m, |c| c.min(m)));
+        }
+        if let Some(r) = time_to_recover(dump, f.onset_ns, f.cleared_ns, band) {
+            cell.ttr_ns = Some(cell.ttr_ns.map_or(r, |c| c.max(r)));
+        }
+    }
+    cell.detected = detected_all;
+    cell
+}
+
+/// Onset → first of two consecutive throughput samples at or above
+/// `band ×` the pre-onset baseline, searching from the fault's clear
+/// time (or its onset, if it never cleared — a driver that tolerates the
+/// fault recovers while it is still active). `None` when there is no
+/// pre-onset traffic to define a baseline, or recovery never happens
+/// inside the observed window.
+fn time_to_recover(
+    dump: &IncidentDump,
+    onset_ns: u64,
+    cleared_ns: Option<u64>,
+    band: f64,
+) -> Option<u64> {
+    let pre: Vec<f64> = dump
+        .throughput
+        .iter()
+        .filter(|(t, _)| *t <= onset_ns)
+        .map(|(_, v)| *v)
+        .collect();
+    if pre.is_empty() {
+        return None;
+    }
+    let tail = &pre[pre.len().saturating_sub(BASELINE_POINTS)..];
+    let baseline = tail.iter().sum::<f64>() / tail.len() as f64;
+    if baseline <= 0.0 {
+        return None;
+    }
+    let threshold = baseline * band;
+    let from = cleared_ns.unwrap_or(onset_ns);
+    let post: Vec<&(u64, f64)> = dump.throughput.iter().filter(|(t, _)| *t >= from).collect();
+    for w in post.windows(2) {
+        if w[0].1 >= threshold && w[1].1 >= threshold {
+            return Some(w[0].0.saturating_sub(onset_ns));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Event, IncidentDump};
+
+    fn no_fault_dump() -> IncidentDump {
+        IncidentDump {
+            driver: "Sync".into(),
+            fault: "none".into(),
+            cluster: "3x64".into(),
+            seed: 1,
+            faults: vec![],
+            events: vec![],
+            throughput: vec![(1_000_000_000, 1000.0), (2_000_000_000, 1000.0)],
+            end_ns: 2_000_000_000,
+        }
+    }
+
+    #[test]
+    fn clean_run_scores_all_zero() {
+        let cell = score(&no_fault_dump(), RECOVERY_BAND);
+        assert!(cell.is_all_zero(), "{cell:?}");
+    }
+
+    #[test]
+    fn suspicion_without_fault_is_a_false_positive() {
+        let mut d = no_fault_dump();
+        d.events.push(Event {
+            t_ns: 1_500_000_000,
+            node: 1,
+            layer: "detector".into(),
+            transition: "suspect".into(),
+            evidence: "phantom".into(),
+        });
+        let cell = score(&d, RECOVERY_BAND);
+        assert_eq!(cell.false_positives, 1);
+        assert!(!cell.is_all_zero());
+    }
+
+    #[test]
+    fn full_incident_yields_ttd_ttm_ttr() {
+        let mut d = crate::tests::sample_dump();
+        d.canonicalize();
+        let cell = score(&d, RECOVERY_BAND);
+        assert!(cell.detected);
+        assert_eq!(cell.ttd_ns, Some(400_000_000));
+        assert_eq!(cell.ttm_ns, Some(450_000_000));
+        // Cleared at 3.2s; the first two consecutive in-band samples from
+        // there start at 3.5s → 1.5s after the 2.0s onset.
+        assert_eq!(cell.ttr_ns, Some(1_500_000_000));
+        assert_eq!(cell.false_positives, 0);
+        assert_eq!(cell.false_negatives, 0);
+        assert_eq!(cell.misattributions, 0);
+    }
+
+    #[test]
+    fn undetected_fault_is_a_false_negative() {
+        let mut d = crate::tests::sample_dump();
+        d.events.clear();
+        let cell = score(&d, RECOVERY_BAND);
+        assert!(!cell.detected);
+        assert_eq!(cell.false_negatives, 1);
+        assert_eq!(cell.ttd_ns, None);
+        assert_eq!(cell.ttm_ns, None);
+    }
+
+    #[test]
+    fn suspecting_the_wrong_node_is_misattribution() {
+        let mut d = crate::tests::sample_dump();
+        d.events.push(Event {
+            t_ns: 2_500_000_000,
+            node: 0,
+            layer: "detector".into(),
+            transition: "suspect".into(),
+            evidence: "wrong node".into(),
+        });
+        let cell = score(&d, RECOVERY_BAND);
+        assert_eq!(cell.misattributions, 1);
+        assert_eq!(cell.false_positives, 0, "faulted runs count misattribution");
+        assert!(cell.detected, "the real fault was still found");
+    }
+
+    #[test]
+    fn tolerant_driver_recovers_while_fault_is_active() {
+        let mut d = crate::tests::sample_dump();
+        // Never cleared, but throughput never left the band either.
+        d.faults[0].cleared_ns = None;
+        d.throughput = vec![
+            (1_000_000_000, 1000.0),
+            (1_500_000_000, 1000.0),
+            (2_500_000_000, 980.0),
+            (3_000_000_000, 985.0),
+        ];
+        let cell = score(&d, RECOVERY_BAND);
+        assert_eq!(cell.ttr_ns, Some(500_000_000));
+    }
+}

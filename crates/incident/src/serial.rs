@@ -1,0 +1,241 @@
+//! Portable text encoding of incident dumps.
+//!
+//! Line-based, tab-separated, one section marker per dump:
+//!
+//! ```text
+//! # depfast-incident/v1
+//! meta\t<driver>\t<fault>\t<cluster>\t<seed>\t<end_ns>
+//! fault\t<node>\t<kind>\t<scheduled_ns|->\t<onset_ns>\t<cleared_ns|->\t<severity>
+//! event\t<t_ns>\t<node>\t<layer>\t<transition>\t<evidence>
+//! tput\t<t_ns>\t<ops_per_sec>
+//! ```
+//!
+//! Evidence strings are escaped (`\t`, `\n`, `\\`), everything else is
+//! plain. A file may hold any number of dumps; each starts with the
+//! header line. The encoding is a pure function of the dumps, so
+//! same-seed runs write byte-identical files — the property the
+//! determinism tests pin.
+
+use crate::{Event, FaultEntry, IncidentDump};
+
+/// Header line starting each serialized dump.
+pub const HEADER: &str = "# depfast-incident/v1";
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('t') => out.push('\t'),
+                Some('n') => out.push('\n'),
+                Some('\\') => out.push('\\'),
+                Some(other) => out.push(other),
+                None => {}
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn opt_ns(v: Option<u64>) -> String {
+    v.map_or_else(|| "-".to_string(), |n| n.to_string())
+}
+
+fn parse_opt_ns(s: &str) -> Result<Option<u64>, String> {
+    if s == "-" {
+        Ok(None)
+    } else {
+        s.parse()
+            .map(Some)
+            .map_err(|e| format!("bad ns {s:?}: {e}"))
+    }
+}
+
+/// Serializes `dumps` into one text artifact.
+pub fn serialize_dumps(dumps: &[IncidentDump]) -> String {
+    let mut out = String::new();
+    for d in dumps {
+        out.push_str(HEADER);
+        out.push('\n');
+        out.push_str(&format!(
+            "meta\t{}\t{}\t{}\t{}\t{}\n",
+            escape(&d.driver),
+            escape(&d.fault),
+            escape(&d.cluster),
+            d.seed,
+            d.end_ns
+        ));
+        for f in &d.faults {
+            out.push_str(&format!(
+                "fault\t{}\t{}\t{}\t{}\t{}\t{:.6}\n",
+                f.node,
+                escape(&f.kind),
+                opt_ns(f.scheduled_ns),
+                f.onset_ns,
+                opt_ns(f.cleared_ns),
+                f.severity
+            ));
+        }
+        for e in &d.events {
+            out.push_str(&format!(
+                "event\t{}\t{}\t{}\t{}\t{}\n",
+                e.t_ns,
+                e.node,
+                escape(&e.layer),
+                escape(&e.transition),
+                escape(&e.evidence)
+            ));
+        }
+        for (t, v) in &d.throughput {
+            out.push_str(&format!("tput\t{t}\t{v:.6}\n"));
+        }
+    }
+    out
+}
+
+/// Parses a file produced by [`serialize_dumps`].
+pub fn parse_dumps(text: &str) -> Result<Vec<IncidentDump>, String> {
+    let mut dumps: Vec<IncidentDump> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let ln = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if line == HEADER {
+            dumps.push(IncidentDump {
+                driver: String::new(),
+                fault: String::new(),
+                cluster: String::new(),
+                seed: 0,
+                faults: Vec::new(),
+                events: Vec::new(),
+                throughput: Vec::new(),
+                end_ns: 0,
+            });
+            continue;
+        }
+        let d = dumps
+            .last_mut()
+            .ok_or_else(|| format!("line {ln}: record before {HEADER:?} header"))?;
+        let fields: Vec<&str> = line.split('\t').collect();
+        let want = |n: usize| -> Result<(), String> {
+            if fields.len() == n {
+                Ok(())
+            } else {
+                Err(format!(
+                    "line {ln}: expected {n} fields, got {}",
+                    fields.len()
+                ))
+            }
+        };
+        match fields[0] {
+            "meta" => {
+                want(6)?;
+                d.driver = unescape(fields[1]);
+                d.fault = unescape(fields[2]);
+                d.cluster = unescape(fields[3]);
+                d.seed = fields[4]
+                    .parse()
+                    .map_err(|e| format!("line {ln}: seed: {e}"))?;
+                d.end_ns = fields[5]
+                    .parse()
+                    .map_err(|e| format!("line {ln}: end_ns: {e}"))?;
+            }
+            "fault" => {
+                want(7)?;
+                d.faults.push(FaultEntry {
+                    node: fields[1]
+                        .parse()
+                        .map_err(|e| format!("line {ln}: node: {e}"))?,
+                    kind: unescape(fields[2]),
+                    scheduled_ns: parse_opt_ns(fields[3]).map_err(|e| format!("line {ln}: {e}"))?,
+                    onset_ns: fields[4]
+                        .parse()
+                        .map_err(|e| format!("line {ln}: onset: {e}"))?,
+                    cleared_ns: parse_opt_ns(fields[5]).map_err(|e| format!("line {ln}: {e}"))?,
+                    severity: fields[6]
+                        .parse()
+                        .map_err(|e| format!("line {ln}: severity: {e}"))?,
+                });
+            }
+            "event" => {
+                want(6)?;
+                d.events.push(Event {
+                    t_ns: fields[1]
+                        .parse()
+                        .map_err(|e| format!("line {ln}: t_ns: {e}"))?,
+                    node: fields[2]
+                        .parse()
+                        .map_err(|e| format!("line {ln}: node: {e}"))?,
+                    layer: unescape(fields[3]),
+                    transition: unescape(fields[4]),
+                    evidence: unescape(fields[5]),
+                });
+            }
+            "tput" => {
+                want(3)?;
+                d.throughput.push((
+                    fields[1]
+                        .parse()
+                        .map_err(|e| format!("line {ln}: t_ns: {e}"))?,
+                    fields[2]
+                        .parse()
+                        .map_err(|e| format!("line {ln}: ops: {e}"))?,
+                ));
+            }
+            other => return Err(format!("line {ln}: unknown record kind {other:?}")),
+        }
+    }
+    Ok(dumps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_exactly() {
+        let mut d = crate::tests::sample_dump();
+        d.canonicalize();
+        let text = serialize_dumps(&[d.clone(), d.clone()]);
+        let back = parse_dumps(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0], d);
+        assert_eq!(back[1], d);
+        // And the encoding itself is stable.
+        assert_eq!(serialize_dumps(&back), text);
+    }
+
+    #[test]
+    fn evidence_with_tabs_and_newlines_survives() {
+        let mut d = crate::tests::sample_dump();
+        d.events[0].evidence = "a\tb\nc\\d".into();
+        let back = parse_dumps(&serialize_dumps(&[d.clone()])).unwrap();
+        assert_eq!(back[0].events[0].evidence, "a\tb\nc\\d");
+    }
+
+    #[test]
+    fn garbage_is_rejected_with_line_numbers() {
+        assert!(parse_dumps("event\t1\t2\tx\ty\tz")
+            .unwrap_err()
+            .contains("line 1"));
+        let bad = format!("{HEADER}\nmeta\tonly\tthree\tfields");
+        assert!(parse_dumps(&bad).unwrap_err().contains("line 2"));
+    }
+}

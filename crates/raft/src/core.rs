@@ -849,6 +849,17 @@ impl RaftCore {
         self.st.borrow_mut().next_index.insert(peer.0, m + 1);
         self.append_inflight.borrow_mut().remove(&peer.0);
         self.stats.suspects.inc();
+        self.rt.tracer().record_health(depfast::HealthEvent {
+            t: self.rt.now(),
+            node: peer,
+            layer: "raft",
+            transition: "quarantine",
+            evidence: format!(
+                "append window full; acked={} leader_last={}",
+                m,
+                self.log.last_index()
+            ),
+        });
     }
 
     /// Lifts `peer`'s quarantine (normal replication resumes).
@@ -872,6 +883,16 @@ impl RaftCore {
         let s = map.get_mut(&peer.0)?;
         if s.draining_fast && last.saturating_sub(m) <= (2 * self.cfg.batch_max) as u64 {
             map.remove(&peer.0);
+            self.rt.tracer().record_health(depfast::HealthEvent {
+                t: now,
+                node: peer,
+                layer: "raft",
+                transition: "resume",
+                evidence: format!(
+                    "lag {} entries; drain verified fast",
+                    last.saturating_sub(m)
+                ),
+            });
             return Some(SuspectAction::Resume);
         }
         if let Some((at, _)) = s.pending {

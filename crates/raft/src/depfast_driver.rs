@@ -341,8 +341,26 @@ impl DepFastRaft {
             // Not (or no longer) quarantined: the next heartbeat's normal
             // catch-up send takes over.
             None | Some(SuspectAction::Resume) => {}
-            Some(SuspectAction::Probe) => Self::send_lazy(core, peer, None),
-            Some(SuspectAction::Chunk { lo, n }) => Self::send_lazy(core, peer, Some((lo, n))),
+            Some(SuspectAction::Probe) => {
+                core.rt.tracer().record_health(depfast::HealthEvent {
+                    t: core.rt.now(),
+                    node: peer,
+                    layer: "raft",
+                    transition: "probe",
+                    evidence: format!("lazy probe; acked={}", core.match_index(peer)),
+                });
+                Self::send_lazy(core, peer, None)
+            }
+            Some(SuspectAction::Chunk { lo, n }) => {
+                core.rt.tracer().record_health(depfast::HealthEvent {
+                    t: core.rt.now(),
+                    node: peer,
+                    layer: "raft",
+                    transition: "chunk",
+                    evidence: format!("catch-up chunk [{lo}, {})", lo + n as u64),
+                });
+                Self::send_lazy(core, peer, Some((lo, n)))
+            }
         }
     }
 

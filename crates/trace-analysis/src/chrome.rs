@@ -31,6 +31,41 @@ fn tid_of(coro: Option<CoroId>) -> u64 {
     coro.map(|c| c.0 + 1).unwrap_or(0)
 }
 
+/// The dedicated per-node lane for the incident track — far above any
+/// coroutine tid, so incidents render as their own row under each node.
+pub const INCIDENT_TID: u64 = 1_000_000;
+
+/// One duration on the incident track (e.g. a fault's active interval or
+/// a suspicion's lifetime), rendered as a complete slice on the afflicted
+/// node's incident lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IncidentSpan {
+    /// Afflicted node (Chrome `pid`).
+    pub node: u32,
+    /// Slice name, e.g. `"fault: Disk Slowness"` or `"suspected"`.
+    pub name: String,
+    /// Supporting detail (`args.detail`).
+    pub detail: String,
+    /// Span start, virtual nanoseconds.
+    pub start_ns: u64,
+    /// Span end, virtual nanoseconds.
+    pub end_ns: u64,
+}
+
+/// One instantaneous transition on the incident track (probe, resume,
+/// demotion, ...), rendered as an instant on the node's incident lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IncidentMark {
+    /// Subject node (Chrome `pid`).
+    pub node: u32,
+    /// Virtual-clock time, nanoseconds.
+    pub t_ns: u64,
+    /// Instant name, e.g. `"raft: probe"`.
+    pub name: String,
+    /// Supporting detail (`args.detail`).
+    pub detail: String,
+}
+
 /// Renders the indexed trace as Chrome `trace_event` JSON.
 ///
 /// Every event that both started and fired becomes a complete (`"X"`)
@@ -39,6 +74,21 @@ fn tid_of(coro: Option<CoroId>) -> u64 {
 /// output is a pure function of the records, so deterministic
 /// simulations export byte-identical files.
 pub fn chrome_trace(index: &TraceIndex) -> String {
+    chrome_trace_with_incidents(index, &[], &[])
+}
+
+/// [`chrome_trace`] plus an *incident track*: each node whose incident
+/// spans or marks mention it gains a dedicated `tid` [`INCIDENT_TID`]
+/// lane named `"incidents"`, carrying fault intervals / suspicion
+/// lifetimes as complete slices and health-state transitions as instants.
+/// Spans and marks are rendered in the order given — callers are expected
+/// to pass canonically sorted inputs (see `depfast-incident`), keeping
+/// the export byte-stable.
+pub fn chrome_trace_with_incidents(
+    index: &TraceIndex,
+    spans: &[IncidentSpan],
+    marks: &[IncidentMark],
+) -> String {
     let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
     let mut first = true;
     let mut push = |out: &mut String, line: String| {
@@ -52,6 +102,13 @@ pub fn chrome_trace(index: &TraceIndex) -> String {
     let mut nodes: BTreeSet<u32> = index.events.values().map(|e| e.node.0).collect();
     nodes.extend(index.coros.values().map(|c| c.node.0));
     nodes.extend(index.begins.iter().map(|(_, n, _, _)| n.0));
+    nodes.extend(spans.iter().map(|s| s.node));
+    nodes.extend(marks.iter().map(|m| m.node));
+    let incident_nodes: BTreeSet<u32> = spans
+        .iter()
+        .map(|s| s.node)
+        .chain(marks.iter().map(|m| m.node))
+        .collect();
     for node in nodes {
         push(
             &mut out,
@@ -72,6 +129,15 @@ pub fn chrome_trace(index: &TraceIndex) -> String {
                 info.node.0,
                 tid_of(Some(*id)),
                 escape(info.label)
+            ),
+        );
+    }
+    for node in &incident_nodes {
+        push(
+            &mut out,
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{node},\"tid\":{INCIDENT_TID},\
+                 \"name\":\"thread_name\",\"args\":{{\"name\":\"incidents\"}}}}"
             ),
         );
     }
@@ -149,6 +215,36 @@ pub fn chrome_trace(index: &TraceIndex) -> String {
                 tid_of(r.coro),
                 fmt_us(r.t.as_nanos()),
                 proposal.0
+            ),
+        );
+    }
+
+    // The incident track: fault / suspicion intervals as slices, health
+    // transitions as instants, all on the dedicated lane.
+    for s in spans {
+        push(
+            &mut out,
+            format!(
+                "{{\"ph\":\"X\",\"pid\":{},\"tid\":{INCIDENT_TID},\"ts\":{},\"dur\":{},\
+                 \"name\":\"{}\",\"cat\":\"incident\",\"args\":{{\"detail\":\"{}\"}}}}",
+                s.node,
+                fmt_us(s.start_ns),
+                fmt_us(s.end_ns.saturating_sub(s.start_ns)),
+                escape(&s.name),
+                escape(&s.detail)
+            ),
+        );
+    }
+    for m in marks {
+        push(
+            &mut out,
+            format!(
+                "{{\"ph\":\"i\",\"pid\":{},\"tid\":{INCIDENT_TID},\"ts\":{},\"s\":\"t\",\
+                 \"name\":\"{}\",\"cat\":\"incident\",\"args\":{{\"detail\":\"{}\"}}}}",
+                m.node,
+                fmt_us(m.t_ns),
+                escape(&m.name),
+                escape(&m.detail)
             ),
         );
     }
@@ -308,6 +404,54 @@ mod tests {
         assert!(json.contains("\"trace\":1"));
         assert!(json.contains("node 0"));
         assert!(json.contains("raft:replicate"));
+    }
+
+    #[test]
+    fn incident_track_renders_spans_and_marks_on_its_own_lane() {
+        let records = vec![
+            TraceRecord::EventCreated {
+                t: SimTime::from_nanos(1),
+                node: NodeId(0),
+                coro: None,
+                event: depfast::EventId(0),
+                kind: EventKind::Io,
+                label: "wal",
+                ctx: None,
+            },
+            TraceRecord::EventFired {
+                t: SimTime::from_nanos(5),
+                event: depfast::EventId(0),
+                signal: Signal::Ok,
+            },
+        ];
+        let index = TraceIndex::build(&records);
+        let spans = vec![IncidentSpan {
+            node: 2,
+            name: "fault: Disk Slowness".into(),
+            detail: "severity 0.992".into(),
+            start_ns: 1_000_000,
+            end_ns: 3_500_000,
+        }];
+        let marks = vec![IncidentMark {
+            node: 2,
+            t_ns: 1_400_000,
+            name: "detector: suspect".into(),
+            detail: "append_entries: window mean 40000us".into(),
+        }];
+        let json = chrome_trace_with_incidents(&index, &spans, &marks);
+        check_json(&json).expect("valid JSON");
+        assert!(json.contains(&format!("\"tid\":{INCIDENT_TID}")));
+        assert!(json.contains("\"name\":\"incidents\""));
+        assert!(json.contains("\"name\":\"fault: Disk Slowness\""));
+        assert!(json.contains("\"cat\":\"incident\""));
+        assert!(json.contains("\"ts\":1000.000,\"dur\":2500.000"));
+        assert!(json.contains("\"name\":\"detector: suspect\""));
+        // Without incidents, the export is unchanged from chrome_trace.
+        assert_eq!(
+            chrome_trace(&index),
+            chrome_trace_with_incidents(&index, &[], &[])
+        );
+        assert!(!chrome_trace(&index).contains("incidents"));
     }
 
     #[test]

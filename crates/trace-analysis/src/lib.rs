@@ -52,6 +52,8 @@ mod index;
 mod serial;
 
 pub use blame::{blame_report, BlameKey, BlameReport};
-pub use chrome::chrome_trace;
+pub use chrome::{
+    chrome_trace, chrome_trace_with_incidents, IncidentMark, IncidentSpan, INCIDENT_TID,
+};
 pub use index::{EventInfo, TraceIndex};
 pub use serial::{dump_dropped, parse_records, serialize_dump, serialize_records};
