@@ -12,7 +12,9 @@
 //! faults (reported as CRASH below).
 //!
 //! Environment knobs: `FIG1_MEASURE_SECS` (default 10),
-//! `FIG1_CLIENTS` (default 256).
+//! `FIG1_CLIENTS` (default 256); for the multi-Raft sections,
+//! `FIG1_SCALE_CLIENTS` (default 1024) and `FIG1_SCALE_MEASURE_SECS`
+//! (default 4).
 //!
 //! Pass `--metrics` (`cargo bench -p depfast-bench --bench fig1 --
 //! --metrics`) to additionally sample every run's metric registry on a
@@ -40,8 +42,9 @@ use std::time::Duration;
 
 use depfast_bench::baseline::{RunRecord, Suite};
 use depfast_bench::{
-    format_ms, repo_root, run_experiment_instrumented, run_experiment_profiled,
-    run_experiment_traced, slug, write_metrics_csv, write_repo_artifact, ExperimentCfg, Table,
+    format_ms, group_run_stats, repo_root, run_experiment_instrumented, run_experiment_profiled,
+    run_experiment_traced, run_scale_experiment, run_scale_incident, slug, write_metrics_csv,
+    write_repo_artifact, ExperimentCfg, ScaleCfg, Table,
 };
 use depfast_fault::FaultKind;
 use depfast_profile::Profiler;
@@ -450,10 +453,140 @@ fn main() {
         }
     }
 
+    // Figure 1e (repro extension): multi-Raft scale-out. Fixed client
+    // population, fixed 12 server nodes, rising group count with the
+    // keyspace hash-partitioned across groups — aggregate throughput
+    // grows as leaders (and apply/serve work) spread over the fleet.
+    // Each cell's `drift` is its speedup over the 1-group cell.
+    let scale_clients = env_u64("FIG1_SCALE_CLIENTS", 1024) as usize;
+    let scale_measure = Duration::from_secs(env_u64("FIG1_SCALE_MEASURE_SECS", 4));
+    suite.config("scale_clients", scale_clients as f64);
+    suite.config("scale_measure_secs", scale_measure.as_secs_f64());
+    let mut scale = Table::new(
+        "Figure 1e: multi-Raft scale-out (DepFastRaft, 12 nodes, fixed clients)",
+        &["Groups", "Tput (req/s)", "Speedup", "P99 (ms)"],
+    );
+    let mut one_group: Option<f64> = None;
+    for n_groups in [1usize, 4, 16, 64] {
+        eprintln!("[fig1] DepFastRaft scale-out @ {n_groups} group(s)...");
+        let cfg = ScaleCfg {
+            kind: RaftKind::DepFast,
+            n_groups,
+            n_nodes: 12,
+            group_size: 3,
+            n_clients: scale_clients,
+            measure: scale_measure,
+            ..ScaleCfg::default()
+        };
+        let stats = run_scale_experiment(&cfg);
+        let base = *one_group.get_or_insert(stats.total.throughput);
+        suite.runs.push(RunRecord::from_stats(
+            RaftKind::DepFast.name(),
+            "none",
+            &cfg.cluster_label(),
+            &stats.total,
+            Some(base),
+            None,
+        ));
+        scale.row(vec![
+            n_groups.to_string(),
+            format!("{:.0}", stats.total.throughput),
+            format!("{:.2}x", stats.total.throughput / base),
+            format_ms(stats.total.latency.p99),
+        ]);
+    }
+
+    // Figure 1f (repro extension): fleet-scale blast radius. 8 groups of
+    // 3 striped over 9 nodes put node 8 under exactly two groups (g7 and
+    // g8, as a follower in both); a disk-slow fault there should touch
+    // nothing else. Per-group P99 is normalized to the same group's
+    // healthy run; the per-group incident scorecard shows which groups
+    // detected a fault inside their own replica set.
+    let mut blast = Table::new(
+        "Figure 1f: blast radius (8 groups / 9 nodes, disk-slow node 8)",
+        &[
+            "System",
+            "Group",
+            "Hosted",
+            "Tput (req/s)",
+            "P99 vs healthy",
+            "Detected",
+            "TTD (ms)",
+        ],
+    );
+    let blast_fault = FaultKind::DiskSlow { bw_factor: 0.008 };
+    let dcfg = depfast_detect::DetectorCfg {
+        min_samples: 4,
+        ..depfast_detect::DetectorCfg::default()
+    };
+    for kind in [RaftKind::DepFast, RaftKind::Sync] {
+        let base_cfg = ScaleCfg {
+            kind,
+            n_groups: 8,
+            n_nodes: 9,
+            group_size: 3,
+            n_clients: scale_clients.min(256),
+            measure: scale_measure,
+            ..ScaleCfg::default()
+        };
+        eprintln!("[fig1] {} blast-radius baseline...", kind.name());
+        let healthy = run_scale_experiment(&base_cfg);
+        eprintln!("[fig1] {} blast-radius episode...", kind.name());
+        let run = run_scale_incident(
+            &ScaleCfg {
+                fault: Some((8, blast_fault)),
+                fault_at: Some(Duration::from_secs(2)),
+                ..base_cfg.clone()
+            },
+            dcfg,
+        );
+        for (h, f) in healthy.groups.iter().zip(&run.stats.groups) {
+            let dump = &run.dumps[(h.gid - 1) as usize];
+            let cell = depfast_incident::score(dump, depfast_incident::RECOVERY_BAND);
+            suite.runs.push(RunRecord::from_stats(
+                kind.name(),
+                blast_fault.name(),
+                &dump.cluster,
+                &group_run_stats(f, &run.stats.total),
+                Some(h.throughput),
+                None,
+            ));
+            blast.row(vec![
+                kind.name().to_string(),
+                format!("g{}", h.gid),
+                if run.hosted.contains(&h.gid) {
+                    "yes"
+                } else {
+                    ""
+                }
+                .to_string(),
+                format!("{:.0}", f.throughput),
+                format!(
+                    "{:.2}x",
+                    f.latency.p99.as_secs_f64() / h.latency.p99.as_secs_f64()
+                ),
+                if dump.faults.is_empty() {
+                    "n/a".to_string()
+                } else {
+                    cell.detected.to_string()
+                },
+                cell.ttd_ns
+                    .map_or_else(|| "-".to_string(), |ns| format!("{:.1}", ns as f64 / 1e6)),
+            ]);
+        }
+    }
+
     tput.print();
     avg.print();
     p99.print();
     step.print();
+    scale.print();
+    blast.print();
+    for (t, name) in [(&scale, "fig1e_scale_out"), (&blast, "fig1f_blast_radius")] {
+        if let Ok(p) = t.write_csv(name) {
+            println!("[csv] {}", p.display());
+        }
+    }
     if let Ok(p) = step.write_csv("fig1d_batching") {
         println!("[csv] {}", p.display());
     }

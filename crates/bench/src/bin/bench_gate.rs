@@ -21,7 +21,9 @@ use std::time::Duration;
 use depfast_bench::baseline::{
     compare, compare_detection, DetectTolerance, RunRecord, Suite, Tolerance,
 };
-use depfast_bench::{repo_root, run_experiment_profiled, ExperimentCfg, FaultTarget};
+use depfast_bench::{
+    repo_root, run_experiment_profiled, run_scale_experiment, ExperimentCfg, FaultTarget, ScaleCfg,
+};
 use depfast_fault::FaultKind;
 use depfast_raft::cluster::RaftKind;
 
@@ -71,6 +73,34 @@ fn run_gate_suite() -> Suite {
             Some(base_tput),
         ));
     }
+    // The multi-group cell: 8 DepFastRaft groups striped over 9 nodes,
+    // same small seed/window. Guards the sharded routing + co-located
+    // group scheduling path — its aggregate throughput moving is a
+    // scale-out regression even when the single-group cells hold.
+    suite.config("scale_groups", 8.0);
+    suite.config("scale_nodes", 9.0);
+    suite.config("scale_clients", 96.0);
+    eprintln!("[bench-gate] DepFastRaft 8 groups / 9 nodes healthy...");
+    let sharded = run_scale_experiment(&ScaleCfg {
+        kind: RaftKind::DepFast,
+        n_groups: 8,
+        n_nodes: 9,
+        group_size: 3,
+        n_clients: 96,
+        seed: GATE_SEED,
+        warmup: Duration::from_millis(600),
+        measure: Duration::from_secs(2),
+        records: 10_000,
+        ..ScaleCfg::default()
+    });
+    suite.runs.push(RunRecord::from_stats(
+        RaftKind::DepFast.name(),
+        "none",
+        "8g9n",
+        &sharded.total,
+        None,
+        None,
+    ));
     suite
 }
 

@@ -23,7 +23,9 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use depfast_bench::baseline::{compare_detection, DetectRecord, DetectTolerance, Suite};
-use depfast_bench::{repo_root, run_experiment_incident, ExperimentCfg, FaultTarget};
+use depfast_bench::{
+    repo_root, run_experiment_incident, run_scale_incident, ExperimentCfg, FaultTarget, ScaleCfg,
+};
 use depfast_detect::DetectorCfg;
 use depfast_fault::FaultKind;
 use depfast_incident::{render_report, score, RECOVERY_BAND};
@@ -98,6 +100,50 @@ fn run_detect_suite(reports: bool) -> Suite {
                 kind.name(),
                 &fault_name,
                 &run.dump.cluster,
+                &cell,
+            ));
+        }
+    }
+    // Blast-radius cells: 8 groups of 3 striped over 9 nodes put node 8
+    // under exactly two groups (g7, g8 — as a follower in both); one
+    // disk-slow episode there yields eight per-group scorecards. The
+    // gate pins the whole split: the two hosted groups must keep
+    // detecting the fault inside their replica set, and the other six
+    // must stay all-zero — a detector that starts bleeding suspicion
+    // across group boundaries fails CI.
+    suite.config("blast_groups", 8.0);
+    suite.config("blast_nodes", 9.0);
+    suite.config("blast_fault_node", 8.0);
+    for kind in [RaftKind::DepFast, RaftKind::Sync] {
+        let cfg = ScaleCfg {
+            kind,
+            n_groups: 8,
+            n_nodes: 9,
+            group_size: 3,
+            n_clients: 64,
+            seed: GATE_SEED,
+            warmup: Duration::from_secs(2),
+            measure: Duration::from_millis(3200),
+            records: 10_000,
+            fault: Some((8, FaultKind::DiskSlow { bw_factor: 0.008 })),
+            fault_at: Some(Duration::from_secs(2)),
+            fault_duration: Some(Duration::from_millis(1200)),
+            ..ScaleCfg::default()
+        };
+        eprintln!(
+            "[detect-gate] {} / blast radius (8 groups, disk-slow node 8)...",
+            kind.name()
+        );
+        let run = run_scale_incident(&cfg, gate_detector_cfg());
+        for dump in &run.dumps {
+            let cell = score(dump, RECOVERY_BAND);
+            if reports {
+                eprint!("{}", render_report(dump, &cell));
+            }
+            suite.detect.push(DetectRecord::from_cell(
+                kind.name(),
+                &dump.fault,
+                &dump.cluster,
                 &cell,
             ));
         }

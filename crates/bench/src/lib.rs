@@ -19,6 +19,7 @@ pub mod baseline;
 pub mod experiment;
 pub mod json;
 pub mod report;
+pub mod scale;
 
 pub use baseline::{
     compare_detection, DetectRecord, DetectTolerance, GateOutcome, RunRecord, Suite, Tolerance,
@@ -31,4 +32,7 @@ pub use experiment::{
 pub use json::Json;
 pub use report::{
     format_ms, repo_root, slug, write_metrics_csv, write_metrics_json, write_repo_artifact, Table,
+};
+pub use scale::{
+    group_run_stats, run_scale_experiment, run_scale_incident, ScaleCfg, ScaleIncidentRun,
 };

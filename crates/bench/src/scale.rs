@@ -1,0 +1,347 @@
+//! Multi-Raft scale-out and blast-radius experiments.
+//!
+//! The single-group experiments ([`crate::experiment`]) reproduce the
+//! paper's Table 1 / Figure 1 on one Raft group. This module drives the
+//! sharded cluster instead: N groups striped over M nodes, a
+//! shard-aware client per host, and the YCSB keyspace hash-partitioned
+//! across groups. Two questions come out of it:
+//!
+//! - **scale-out**: aggregate throughput as the group count grows at a
+//!   fixed client population (the fig1 scale sweep);
+//! - **blast radius**: when one node turns fail-slow, which groups feel
+//!   it? Each group gets its own [`IncidentDump`] — ground truth is the
+//!   ledger restricted to the group's members, the reaction timeline is
+//!   the group-stamped health events plus node-level detector events on
+//!   members, and the throughput series differences that group's
+//!   `raft.commit_index` gauge. The per-group scorecards then show the
+//!   fault confined to the hosted groups while the rest stay all-zero.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use depfast_detect::{DetectorCfg, FailSlowDetector};
+use depfast_fault::{FaultKind, FaultLedger};
+use depfast_incident::IncidentDump;
+use depfast_kv::ShardedKvCluster;
+use depfast_metrics::{group_label, MetricsRegistry, Sampler};
+use depfast_raft::cluster::RaftKind;
+use depfast_ycsb::driver::{
+    run_workload_sharded, DriverCfg, GroupStats, RunStats, ShardedRunStats,
+};
+use depfast_ycsb::workload::WorkloadSpec;
+use simkit::{NodeId, Sim, World};
+
+use crate::experiment::{bench_raft_cfg, bench_serve_cpu, bench_world_cfg, INCIDENT_SAMPLE_EVERY};
+
+/// Configuration of one multi-group (sharded) experiment.
+#[derive(Debug, Clone)]
+pub struct ScaleCfg {
+    /// Raft driver under test (every group runs the same driver).
+    pub kind: RaftKind,
+    /// Number of Raft groups the keyspace is hash-partitioned across.
+    pub n_groups: usize,
+    /// Server nodes the groups are striped over.
+    pub n_nodes: usize,
+    /// Replicas per group.
+    pub group_size: usize,
+    /// Concurrent closed-loop clients (each on its own host node).
+    pub n_clients: usize,
+    /// Determinism seed.
+    pub seed: u64,
+    /// Warm-up excluded from stats.
+    pub warmup: Duration,
+    /// Measurement window.
+    pub measure: Duration,
+    /// YCSB keyspace size.
+    pub records: u64,
+    /// YCSB value bytes.
+    pub value_size: usize,
+    /// Fault to inject: `(node, kind)`. The node is a *server node*
+    /// index; with striped placement it hosts replicas of several
+    /// groups — exactly the blast-radius question.
+    pub fault: Option<(u32, FaultKind)>,
+    /// Fault onset, as an offset from run start (`None` = midway
+    /// through the warm-up).
+    pub fault_at: Option<Duration>,
+    /// Fault duration (`None` = the remainder of the run).
+    pub fault_duration: Option<Duration>,
+}
+
+impl Default for ScaleCfg {
+    fn default() -> Self {
+        ScaleCfg {
+            kind: RaftKind::DepFast,
+            n_groups: 4,
+            n_nodes: 6,
+            group_size: 3,
+            n_clients: 256,
+            seed: 20210531,
+            warmup: Duration::from_secs(2),
+            measure: Duration::from_secs(10),
+            records: 500_000,
+            value_size: 1000,
+            fault: None,
+            fault_at: None,
+            fault_duration: None,
+        }
+    }
+}
+
+impl ScaleCfg {
+    /// `"{groups}g{nodes}n"` — the cluster-shape discriminator used in
+    /// suite cells and incident dumps.
+    pub fn cluster_label(&self) -> String {
+        format!("{}g{}n", self.n_groups, self.n_nodes)
+    }
+}
+
+/// The result of a blast-radius (incident-instrumented) scale run.
+pub struct ScaleIncidentRun {
+    /// Client-side workload statistics with the per-group split.
+    pub stats: ShardedRunStats,
+    /// One incident dump per group, indexed by `gid - 1`: ground truth
+    /// restricted to the group's members, group-scoped reaction
+    /// timeline, per-group commit-throughput series. Canonicalized.
+    pub dumps: Vec<IncidentDump>,
+    /// Gids of groups hosting a replica on the fault node (empty when
+    /// no fault was injected).
+    pub hosted: Vec<u32>,
+}
+
+/// Converts one group's stats into the [`RunStats`] shape so the
+/// baseline/record machinery can treat a group like a small cluster.
+pub fn group_run_stats(g: &GroupStats, total: &RunStats) -> RunStats {
+    RunStats {
+        ops: g.ops,
+        errors: g.errors,
+        throughput: g.throughput,
+        latency: g.latency,
+        server_crashed: total.server_crashed,
+    }
+}
+
+/// Runs one sharded experiment end to end and returns the aggregate
+/// plus per-group statistics. Deterministic for a fixed config.
+pub fn run_scale_experiment(cfg: &ScaleCfg) -> ShardedRunStats {
+    run(cfg, None, None).0
+}
+
+/// Like [`run_scale_experiment`], but incident-instrumented: the fault
+/// is journaled into a ground-truth ledger, a [`FailSlowDetector`]
+/// watches the cluster's RPC aggregates, and every group gets its own
+/// joined [`IncidentDump`] ready for the per-group scorecard split.
+pub fn run_scale_incident(cfg: &ScaleCfg, dcfg: DetectorCfg) -> ScaleIncidentRun {
+    let ledger = FaultLedger::new();
+    let (stats, sampler, health, members) =
+        run(cfg, Some(INCIDENT_SAMPLE_EVERY), Some((&ledger, dcfg)));
+    let end_ns = (cfg.warmup + cfg.measure).as_nanos() as u64;
+    let fault_name = cfg
+        .fault
+        .as_ref()
+        .map_or_else(|| "none".to_string(), |(_, k)| k.name().to_string());
+    let mut dumps = Vec::with_capacity(cfg.n_groups);
+    for gid in 1..=cfg.n_groups as u32 {
+        let mine = &members[(gid - 1) as usize];
+        let label = group_label(gid);
+        // Per-group commit throughput: difference the max (over the
+        // group's replicas — leadership may move) of this group's
+        // tagged `raft.commit_index` gauge across sample rows.
+        let mut throughput = Vec::new();
+        let mut prev: Option<(u64, i128)> = None;
+        for row in sampler.rows() {
+            let commit = row
+                .values
+                .iter()
+                .filter(|(k, _)| k.name == "raft.commit_index" && k.tag == Some(label))
+                .map(|(_, v)| v.scalar())
+                .max()
+                .unwrap_or(0);
+            if let Some((pt, pc)) = prev {
+                let dt = row.t_ns.saturating_sub(pt);
+                if dt > 0 {
+                    let ops = (commit - pc).max(0) as f64 / (dt as f64 / 1e9);
+                    throughput.push((row.t_ns, ops));
+                }
+            }
+            prev = Some((row.t_ns, commit));
+        }
+        let mut dump = IncidentDump {
+            driver: cfg.kind.name().to_string(),
+            fault: fault_name.clone(),
+            cluster: format!("{}/g{gid}", cfg.cluster_label()),
+            seed: cfg.seed,
+            // Ground truth restricted to this group's replicas: a fault
+            // on a non-member node is outside this group's blast radius
+            // by construction, so its scorecard must stay all-zero.
+            faults: ledger
+                .records()
+                .iter()
+                .filter(|r| mine.contains(&r.node))
+                .map(Into::into)
+                .collect(),
+            // Reaction: group-stamped raft events for this gid, plus
+            // node-level layers (detector, mitigation) on member nodes.
+            events: health
+                .iter()
+                .filter(|e| match e.group {
+                    Some(g) => g == gid,
+                    None => mine.contains(&e.node),
+                })
+                .cloned()
+                .map(Into::into)
+                .collect(),
+            throughput,
+            end_ns,
+        };
+        dump.canonicalize();
+        dumps.push(dump);
+    }
+    let hosted = cfg.fault.as_ref().map_or_else(Vec::new, |(node, _)| {
+        (1..=cfg.n_groups as u32)
+            .filter(|gid| members[(gid - 1) as usize].contains(&NodeId(*node)))
+            .collect()
+    });
+    ScaleIncidentRun {
+        stats,
+        dumps,
+        hosted,
+    }
+}
+
+fn run(
+    cfg: &ScaleCfg,
+    sample_every: Option<Duration>,
+    incident: Option<(&FaultLedger, DetectorCfg)>,
+) -> (
+    ShardedRunStats,
+    Sampler,
+    Vec<depfast::HealthEvent>,
+    Vec<Vec<NodeId>>,
+) {
+    // Same hygiene as the single-group runner: no inherited trace
+    // context from an earlier experiment in the process.
+    depfast::set_trace_ctx(None);
+    let sim = Sim::new(cfg.seed);
+    let world = World::new(sim.clone(), bench_world_cfg(cfg.n_nodes + cfg.n_clients));
+    let metrics = world.metrics();
+    let cluster = Rc::new(ShardedKvCluster::build_tuned(
+        &sim,
+        &world,
+        cfg.kind,
+        cfg.n_groups,
+        cfg.n_nodes,
+        cfg.group_size,
+        cfg.n_clients,
+        bench_raft_cfg(),
+        bench_serve_cpu(),
+    ));
+    let members: Vec<Vec<NodeId>> = cluster
+        .raft
+        .groups
+        .iter()
+        .map(|g| g.members.clone())
+        .collect();
+    let interval = sample_every.unwrap_or(Duration::from_millis(100));
+    let sampler = Rc::new(RefCell::new(Sampler::new(
+        metrics.clone(),
+        interval.as_nanos() as u64,
+    )));
+    if sample_every.is_some() {
+        let sampler = sampler.clone();
+        let sim2 = sim.clone();
+        sim.spawn(async move {
+            loop {
+                sim2.sleep(interval).await;
+                sampler.borrow_mut().sample_at(sim2.now().as_nanos());
+            }
+        });
+    }
+    let _detector = incident
+        .as_ref()
+        .map(|(_, dcfg)| FailSlowDetector::spawn(&sim, &cluster.raft.tracer, *dcfg));
+    if let Some((node, kind)) = &cfg.fault {
+        let at = cfg.fault_at.unwrap_or(cfg.warmup / 2);
+        match &incident {
+            Some((ledger, _)) => depfast_fault::inject_at_logged(
+                &sim,
+                &world,
+                NodeId(*node),
+                *kind,
+                at,
+                cfg.fault_duration,
+                ledger,
+            ),
+            None => {
+                depfast_fault::inject_at(&sim, &world, NodeId(*node), *kind, at, cfg.fault_duration)
+            }
+        }
+    }
+    let spec = WorkloadSpec::update_heavy()
+        .with_records(cfg.records)
+        .with_value_size(cfg.value_size);
+    let stats = run_workload_sharded(
+        &sim,
+        &world,
+        &cluster,
+        spec,
+        DriverCfg {
+            warmup: cfg.warmup,
+            measure: cfg.measure,
+            seed: cfg.seed ^ 0x5eed,
+        },
+    );
+    let sampler = sampler.replace(Sampler::new(MetricsRegistry::new(), 1));
+    let health = cluster.raft.tracer.take_health_events();
+    (stats, sampler, health, members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(n_groups: usize, n_nodes: usize, fault: Option<(u32, FaultKind)>) -> ScaleCfg {
+        ScaleCfg {
+            n_groups,
+            n_nodes,
+            n_clients: 48,
+            warmup: Duration::from_millis(600),
+            measure: Duration::from_secs(2),
+            records: 10_000,
+            fault,
+            ..ScaleCfg::default()
+        }
+    }
+
+    #[test]
+    fn sharded_baseline_commits_on_every_group() {
+        let s = run_scale_experiment(&quick(4, 6, None));
+        assert!(
+            s.total.throughput > 1000.0,
+            "got {:.0}/s",
+            s.total.throughput
+        );
+        assert_eq!(s.groups.len(), 4);
+        for g in &s.groups {
+            assert!(g.ops > 0, "group {} starved: {:?}", g.gid, g.ops);
+        }
+    }
+
+    #[test]
+    fn more_groups_scale_aggregate_throughput() {
+        let clients = |mut c: ScaleCfg| {
+            c.n_clients = 128;
+            c
+        };
+        let one = run_scale_experiment(&clients(quick(1, 6, None)));
+        let four = run_scale_experiment(&clients(quick(4, 6, None)));
+        let ratio = four.total.throughput / one.total.throughput;
+        assert!(
+            ratio > 1.5,
+            "4 groups should out-commit 1: {:.2} ({:.0} vs {:.0})",
+            ratio,
+            four.total.throughput,
+            one.total.throughput
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Determinism of the multi-group cluster: two runs of the same seeded
+//! sharded configuration must agree operation for operation — identical
+//! per-group statistics and byte-identical per-group incident dumps and
+//! reports. Multi-group routing, co-located group scheduling, and the
+//! group-scoped serial format all sit on this.
+
+use std::time::Duration;
+
+use depfast_bench::{run_scale_incident, ScaleCfg, ScaleIncidentRun};
+use depfast_detect::DetectorCfg;
+use depfast_fault::FaultKind;
+use depfast_incident::{render_report, score, serialize_dumps, RECOVERY_BAND};
+use depfast_raft::cluster::RaftKind;
+
+fn episode() -> ScaleIncidentRun {
+    let cfg = ScaleCfg {
+        kind: RaftKind::DepFast,
+        n_groups: 4,
+        n_nodes: 5,
+        group_size: 3,
+        n_clients: 48,
+        warmup: Duration::from_secs(2),
+        measure: Duration::from_millis(2400),
+        records: 10_000,
+        fault: Some((4, FaultKind::DiskSlow { bw_factor: 0.008 })),
+        fault_at: Some(Duration::from_secs(2)),
+        fault_duration: Some(Duration::from_millis(1000)),
+        ..ScaleCfg::default()
+    };
+    let dcfg = DetectorCfg {
+        min_samples: 4,
+        ..DetectorCfg::default()
+    };
+    run_scale_incident(&cfg, dcfg)
+}
+
+#[test]
+fn same_seed_sharded_runs_are_byte_identical() {
+    let a = episode();
+    let b = episode();
+
+    // Client-visible statistics agree group by group.
+    assert_eq!(a.stats.total.ops, b.stats.total.ops);
+    assert_eq!(a.stats.total.errors, b.stats.total.errors);
+    for (ga, gb) in a.stats.groups.iter().zip(&b.stats.groups) {
+        assert_eq!(ga.gid, gb.gid);
+        assert_eq!(ga.ops, gb.ops, "g{} op count drifted", ga.gid);
+        assert_eq!(
+            ga.latency.p99, gb.latency.p99,
+            "g{} latency tail drifted",
+            ga.gid
+        );
+    }
+
+    // The group-scoped incident artifacts are byte-stable.
+    assert!(
+        a.dumps.iter().any(|d| !d.events.is_empty()),
+        "no group recorded health events; the check would be vacuous"
+    );
+    assert!(
+        a.dumps
+            .iter()
+            .flat_map(|d| &d.events)
+            .any(|e| e.group.is_some()),
+        "no group-stamped events; the 7-field serial path is untested"
+    );
+    assert_eq!(
+        serialize_dumps(&a.dumps),
+        serialize_dumps(&b.dumps),
+        "per-group serial dumps must be byte-stable"
+    );
+    for (da, db) in a.dumps.iter().zip(&b.dumps) {
+        let (ca, cb) = (score(da, RECOVERY_BAND), score(db, RECOVERY_BAND));
+        assert_eq!(
+            render_report(da, &ca),
+            render_report(db, &cb),
+            "{} report must be byte-stable",
+            da.cluster
+        );
+    }
+}

@@ -270,6 +270,12 @@ pub struct HealthEvent {
     pub transition: &'static str,
     /// Free-form supporting evidence (deterministically formatted).
     pub evidence: String,
+    /// Raft group the transition belongs to, when the reacting layer is
+    /// group-scoped (multi-group clusters tag raft-layer events with
+    /// their group id). `None` for node-level layers — the detector
+    /// watches a node's RPC latencies regardless of which co-located
+    /// group produced them — and for legacy single-group runs.
+    pub group: Option<u32>,
 }
 
 /// Cap on buffered health events; a run that floods past it is itself an
@@ -629,6 +635,7 @@ mod tests {
             layer: "detector",
             transition: "suspect",
             evidence: "mean 40ms vs baseline 1ms".into(),
+            group: None,
         });
         // Recording is not gated on record_full.
         assert!(!t.record_full());

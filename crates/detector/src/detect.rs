@@ -193,6 +193,7 @@ impl FailSlowDetector {
                         (blame_share * 1000.0).round() as u64,
                         (min_share * 1000.0).round() as u64
                     ),
+                    group: None,
                 });
                 Confirmation {
                     confirmed,
@@ -273,6 +274,7 @@ impl FailSlowDetector {
                             cfg.factor as u64,
                             baseline as u64 / 1_000
                         ),
+                        group: None,
                     });
                     fired.push(s);
                 } else if suspected && mean < baseline * cfg.clear_factor {
@@ -288,6 +290,7 @@ impl FailSlowDetector {
                             mean as u64 / 1_000,
                             baseline as u64 / 1_000
                         ),
+                        group: None,
                     });
                 } else if !suspected {
                     // Healthy: keep tracking the baseline.

@@ -64,6 +64,7 @@ pub fn spawn_leader_mitigation(
                 penalty.as_millis(),
                 target_id.0
             ),
+            group: None,
         });
         let s = sim.clone();
         sim.spawn(async move {
@@ -81,6 +82,7 @@ pub fn spawn_leader_mitigation(
                         layer: "mitigation",
                         transition: "campaign",
                         evidence: format!("leadership transfer from n{}", suspect.id.0),
+                        group: None,
                     });
                     DepFastRaft::force_campaign(&target);
                     s.sleep(Duration::from_millis(400)).await;

@@ -56,6 +56,12 @@ pub struct Event {
     pub transition: String,
     /// Supporting evidence.
     pub evidence: String,
+    /// Raft group the transition is scoped to, when the reacting layer
+    /// is group-aware (multi-group raft events); `None` for node-level
+    /// layers (detector, mitigation) and legacy single-group runs.
+    /// Kept last so the derived canonical ordering only uses it as a
+    /// final tiebreaker — single-group dumps sort exactly as before.
+    pub group: Option<u32>,
 }
 
 impl From<depfast::HealthEvent> for Event {
@@ -66,6 +72,7 @@ impl From<depfast::HealthEvent> for Event {
             layer: e.layer.to_string(),
             transition: e.transition.to_string(),
             evidence: e.evidence,
+            group: e.group,
         }
     }
 }
@@ -237,6 +244,7 @@ mod tests {
                     layer: "detector".into(),
                     transition: "suspect".into(),
                     evidence: "append_entries: window mean 40000us > 3x baseline 900us".into(),
+                    group: None,
                 },
                 Event {
                     t_ns: 2_450_000_000,
@@ -244,6 +252,7 @@ mod tests {
                     layer: "raft".into(),
                     transition: "quarantine".into(),
                     evidence: "append window full; acked=1200 leader_last=1500".into(),
+                    group: None,
                 },
                 Event {
                     t_ns: 3_400_000_000,
@@ -251,6 +260,7 @@ mod tests {
                     layer: "detector".into(),
                     transition: "clear".into(),
                     evidence: "append_entries: window mean 1000us back under baseline 900us".into(),
+                    group: None,
                 },
             ],
             throughput: vec![

@@ -56,16 +56,25 @@ pub fn render_report(dump: &IncidentDump, cell: &ScoreCell) -> String {
     if dump.events.is_empty() {
         out.push_str("  (no health events)\n");
     }
-    // Coalesce consecutive events with the same (node, layer, transition):
-    // the first occurrence keeps its evidence; repeats fold into a count
-    // and a time range.
+    // Coalesce consecutive events with the same (node, group, layer,
+    // transition): the first occurrence keeps its evidence; repeats fold
+    // into a count and a time range. Group-scoped events render the
+    // group next to the node; ungrouped lines are unchanged.
+    let subject = |e: &crate::Event| match e.group {
+        Some(g) => format!("n{}/g{g}", e.node),
+        None => format!("n{}", e.node),
+    };
     let mut i = 0;
     while i < dump.events.len() {
         let e = &dump.events[i];
         let mut j = i + 1;
         while j < dump.events.len() {
             let n = &dump.events[j];
-            if n.node == e.node && n.layer == e.layer && n.transition == e.transition {
+            if n.node == e.node
+                && n.group == e.group
+                && n.layer == e.layer
+                && n.transition == e.transition
+            {
                 j += 1;
             } else {
                 break;
@@ -73,19 +82,19 @@ pub fn render_report(dump: &IncidentDump, cell: &ScoreCell) -> String {
         }
         if j - i == 1 {
             out.push_str(&format!(
-                "  {}  n{}  {:<10}  {:<10}  {}\n",
+                "  {}  {}  {:<10}  {:<10}  {}\n",
                 fmt_t(e.t_ns),
-                e.node,
+                subject(e),
                 e.layer,
                 e.transition,
                 e.evidence
             ));
         } else {
             out.push_str(&format!(
-                "  {}..{}  n{}  {:<10}  {:<10}  x{}  {}\n",
+                "  {}..{}  {}  {:<10}  {:<10}  x{}  {}\n",
                 fmt_t(e.t_ns),
                 fmt_t(dump.events[j - 1].t_ns),
-                e.node,
+                subject(e),
                 e.layer,
                 e.transition,
                 j - i,
@@ -141,6 +150,7 @@ mod tests {
                 layer: "raft".into(),
                 transition: "probe".into(),
                 evidence: format!("lazy probe; acked={}", 1200 + k),
+                group: None,
             });
         }
         d.canonicalize();

@@ -179,6 +179,7 @@ mod tests {
             layer: "detector".into(),
             transition: "suspect".into(),
             evidence: "phantom".into(),
+            group: None,
         });
         let cell = score(&d, RECOVERY_BAND);
         assert_eq!(cell.false_positives, 1);
@@ -221,6 +222,7 @@ mod tests {
             layer: "detector".into(),
             transition: "suspect".into(),
             evidence: "wrong node".into(),
+            group: None,
         });
         let cell = score(&d, RECOVERY_BAND);
         assert_eq!(cell.misattributions, 1);

@@ -6,9 +6,13 @@
 //! # depfast-incident/v1
 //! meta\t<driver>\t<fault>\t<cluster>\t<seed>\t<end_ns>
 //! fault\t<node>\t<kind>\t<scheduled_ns|->\t<onset_ns>\t<cleared_ns|->\t<severity>
-//! event\t<t_ns>\t<node>\t<layer>\t<transition>\t<evidence>
+//! event\t<t_ns>\t<node>\t<layer>\t<transition>\t<evidence>[\t<group>]
 //! tput\t<t_ns>\t<ops_per_sec>
 //! ```
+//!
+//! The trailing `<group>` field is written only for group-scoped events
+//! (multi-group runs), so legacy single-group dumps serialize
+//! byte-identically to the original 6-field form.
 //!
 //! Evidence strings are escaped (`\t`, `\n`, `\\`), everything else is
 //! plain. A file may hold any number of dumps; each starts with the
@@ -94,13 +98,17 @@ pub fn serialize_dumps(dumps: &[IncidentDump]) -> String {
         }
         for e in &d.events {
             out.push_str(&format!(
-                "event\t{}\t{}\t{}\t{}\t{}\n",
+                "event\t{}\t{}\t{}\t{}\t{}",
                 e.t_ns,
                 e.node,
                 escape(&e.layer),
                 escape(&e.transition),
                 escape(&e.evidence)
             ));
+            if let Some(g) = e.group {
+                out.push_str(&format!("\t{g}"));
+            }
+            out.push('\n');
         }
         for (t, v) in &d.throughput {
             out.push_str(&format!("tput\t{t}\t{v:.6}\n"));
@@ -175,7 +183,10 @@ pub fn parse_dumps(text: &str) -> Result<Vec<IncidentDump>, String> {
                 });
             }
             "event" => {
-                want(6)?;
+                // 6 fields (legacy) or 7 (group-scoped).
+                if fields.len() != 6 {
+                    want(7)?;
+                }
                 d.events.push(Event {
                     t_ns: fields[1]
                         .parse()
@@ -186,6 +197,10 @@ pub fn parse_dumps(text: &str) -> Result<Vec<IncidentDump>, String> {
                     layer: unescape(fields[3]),
                     transition: unescape(fields[4]),
                     evidence: unescape(fields[5]),
+                    group: match fields.get(6) {
+                        Some(g) => Some(g.parse().map_err(|e| format!("line {ln}: group: {e}"))?),
+                        None => None,
+                    },
                 });
             }
             "tput" => {
@@ -228,6 +243,21 @@ mod tests {
         d.events[0].evidence = "a\tb\nc\\d".into();
         let back = parse_dumps(&serialize_dumps(&[d.clone()])).unwrap();
         assert_eq!(back[0].events[0].evidence, "a\tb\nc\\d");
+    }
+
+    #[test]
+    fn group_scoped_events_round_trip() {
+        let mut d = crate::tests::sample_dump();
+        d.events[1].group = Some(3);
+        d.canonicalize();
+        let text = serialize_dumps(&[d.clone()]);
+        // Only the group-scoped line grows a 7th field.
+        let event_lines: Vec<&str> = text.lines().filter(|l| l.starts_with("event\t")).collect();
+        assert_eq!(event_lines[1].split('\t').count(), 7);
+        assert_eq!(event_lines[0].split('\t').count(), 6);
+        let back = parse_dumps(&text).unwrap();
+        assert_eq!(back[0], d);
+        assert_eq!(serialize_dumps(&back), text);
     }
 
     #[test]

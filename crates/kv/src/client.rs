@@ -13,7 +13,7 @@ use bytes::Bytes;
 use depfast::event::Watchable;
 use depfast_raft::types::CLIENT_PROPOSE;
 use depfast_rpc::wire::{WireRead, WireWrite};
-use depfast_rpc::Endpoint;
+use depfast_rpc::{group_method, Endpoint, Method};
 use simkit::NodeId;
 
 use crate::command::{KvOp, KvRequest, KvResponse, KvStatus};
@@ -43,6 +43,8 @@ pub struct KvClient {
     ep: Endpoint,
     servers: Vec<NodeId>,
     client_id: u64,
+    /// The (possibly group-namespaced) method id requests go to.
+    method: Method,
     seq: Cell<u64>,
     leader: Cell<Option<NodeId>>,
     /// Per-attempt reply deadline.
@@ -52,12 +54,22 @@ pub struct KvClient {
 }
 
 impl KvClient {
-    /// Creates a client talking to `servers` from `ep`'s node.
+    /// Creates a client talking to `servers` from `ep`'s node (legacy
+    /// single-group form: group 0).
     pub fn new(ep: Endpoint, servers: Vec<NodeId>, client_id: u64) -> Self {
+        Self::for_group(ep, servers, client_id, 0)
+    }
+
+    /// Creates a client session bound to one Raft group of a multi-group
+    /// cluster: requests go to the group-namespaced `CLIENT_PROPOSE`
+    /// method, so co-located groups on a server node cannot intercept
+    /// each other's traffic. `servers` must be the group's member nodes.
+    pub fn for_group(ep: Endpoint, servers: Vec<NodeId>, client_id: u64, group: u32) -> Self {
         KvClient {
             ep,
             servers,
             client_id,
+            method: group_method(CLIENT_PROPOSE, group),
             seq: Cell::new(0),
             leader: Cell::new(None),
             attempt_timeout: Duration::from_millis(1500),
@@ -133,7 +145,7 @@ impl KvClient {
             let ev = self
                 .ep
                 .proxy(target)
-                .call(CLIENT_PROPOSE, "kv_request", payload.clone());
+                .call(self.method, "kv_request", payload.clone());
             let out = ev.handle().wait_timeout(self.attempt_timeout).await;
             if out.is_ready() {
                 if let Some(resp) = ev.take().and_then(|b| KvResponse::from_bytes(&b)) {

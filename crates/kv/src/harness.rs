@@ -4,13 +4,16 @@
 use std::time::Duration;
 
 use depfast::runtime::Runtime;
-use depfast_raft::cluster::{build_cluster, rpc_cfg_for, RaftCluster, RaftKind};
+use depfast_raft::cluster::{
+    build_cluster, build_multi_cluster, rpc_cfg_for, MultiRaftCluster, RaftCluster, RaftKind,
+};
 use depfast_raft::core::RaftCfg;
 use depfast_rpc::Endpoint;
 use simkit::{NodeId, Sim, World};
 
 use crate::client::KvClient;
 use crate::server::KvServer;
+use crate::shard::{ShardMap, ShardedKvClient};
 
 /// A running KV cluster plus client sessions.
 pub struct KvCluster {
@@ -86,6 +89,83 @@ impl KvCluster {
             servers,
             clients,
             client_nodes,
+        }
+    }
+}
+
+/// A running multi-group (sharded) KV deployment: `n_nodes` server nodes
+/// hosting `groups.len()` co-located Raft groups, plus shard-aware client
+/// sessions on nodes `n_nodes..n_nodes + n_clients`.
+pub struct ShardedKvCluster {
+    /// The underlying multi-group Raft cluster.
+    pub raft: MultiRaftCluster,
+    /// KV servers per group: `servers[g][r]` is group `g + 1`'s replica
+    /// `r` (indexed like `raft.groups[g].members`).
+    pub servers: Vec<Vec<KvServer>>,
+    /// Shard-aware client sessions (one per client host node).
+    pub clients: Vec<ShardedKvClient>,
+    /// Client host node ids.
+    pub client_nodes: Vec<NodeId>,
+    /// The key → group partition clients route by.
+    pub map: ShardMap,
+}
+
+impl ShardedKvCluster {
+    /// Builds `n_groups` co-located Raft groups of `group_size` replicas
+    /// striped over `n_nodes` server nodes, installs one KV state machine
+    /// per group replica, and creates `n_clients` shard-aware clients.
+    /// `world` must have at least `n_nodes + n_clients` nodes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_tuned(
+        sim: &Sim,
+        world: &World,
+        kind: RaftKind,
+        n_groups: usize,
+        n_nodes: usize,
+        group_size: usize,
+        n_clients: usize,
+        cfg: RaftCfg,
+        serve_cpu: Duration,
+    ) -> Self {
+        assert!(
+            world.node_count() >= n_nodes + n_clients,
+            "world too small: {} nodes for {} servers + {} clients",
+            world.node_count(),
+            n_nodes,
+            n_clients
+        );
+        let raft = build_multi_cluster(sim, world, kind, n_groups, n_nodes, group_size, cfg);
+        let servers: Vec<Vec<KvServer>> = raft
+            .groups
+            .iter()
+            .map(|g| {
+                g.servers
+                    .iter()
+                    .map(|s| KvServer::install_tuned(s.clone(), serve_cpu))
+                    .collect()
+            })
+            .collect();
+        let group_servers: Vec<Vec<NodeId>> =
+            raft.groups.iter().map(|g| g.members.clone()).collect();
+        let mut clients = Vec::with_capacity(n_clients);
+        let mut client_nodes = Vec::with_capacity(n_clients);
+        for i in 0..n_clients {
+            let node = NodeId((n_nodes + i) as u32);
+            let rt = Runtime::with_tracer(sim.clone(), node, raft.tracer.clone());
+            let ep = Endpoint::new(&rt, world, &raft.registry, rpc_cfg_for(kind));
+            clients.push(ShardedKvClient::new(
+                ep,
+                group_servers.clone(),
+                i as u64 + 1,
+            ));
+            client_nodes.push(node);
+        }
+        ShardedKvCluster {
+            raft,
+            servers,
+            clients,
+            client_nodes,
+            map: ShardMap::new(n_groups),
         }
     }
 }
@@ -187,6 +267,60 @@ mod tests {
         for s in &cl.servers {
             assert_eq!(s.keys(), 10, "replica state must converge");
         }
+    }
+
+    #[test]
+    fn sharded_cluster_routes_puts_and_gets_per_group() {
+        let (sim, w) = world(8);
+        // 4 groups of 3 replicas striped over 6 nodes, 2 clients.
+        let cl = Rc::new(ShardedKvCluster::build_tuned(
+            &sim,
+            &w,
+            RaftKind::DepFast,
+            4,
+            6,
+            3,
+            2,
+            RaftCfg {
+                bootstrap_leader: Some(0),
+                ..RaftCfg::default()
+            },
+            std::time::Duration::from_micros(30),
+        ));
+        let cl2 = cl.clone();
+        sim.block_on(async move {
+            for i in 0..20u32 {
+                let key = Bytes::from(format!("key{i:04}"));
+                let val = Bytes::from(format!("val{i}"));
+                cl2.clients[(i % 2) as usize].put(key, val).await.unwrap();
+            }
+        });
+        let cl2 = cl.clone();
+        let out = sim.block_on(async move {
+            let mut got = 0;
+            for i in 0..20u32 {
+                let key = Bytes::from(format!("key{i:04}"));
+                let v = cl2.clients[0].get(key).await.unwrap();
+                assert_eq!(v, Some(Bytes::from(format!("val{i}"))));
+                got += 1;
+            }
+            got
+        });
+        assert_eq!(out, 20);
+        // Keys landed in more than one group (the partition is real) and
+        // every group's replicas agree.
+        sim.run_until_time(sim.now() + std::time::Duration::from_secs(1));
+        let mut nonempty = 0;
+        for group in &cl.servers {
+            let keys = group[0].keys();
+            if keys > 0 {
+                nonempty += 1;
+            }
+            for replica in group {
+                assert_eq!(replica.keys(), keys, "replicas within a group converge");
+            }
+        }
+        assert!(nonempty >= 2, "only {nonempty} of 4 groups hold keys");
     }
 
     #[test]

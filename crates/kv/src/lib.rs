@@ -15,8 +15,10 @@ pub mod client;
 pub mod command;
 pub mod harness;
 pub mod server;
+pub mod shard;
 
 pub use client::{KvClient, KvError};
 pub use command::{KvOp, KvRequest, KvResponse, KvStatus};
-pub use harness::KvCluster;
+pub use harness::{KvCluster, ShardedKvCluster};
 pub use server::KvServer;
+pub use shard::{ShardMap, ShardedKvClient};

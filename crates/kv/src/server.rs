@@ -69,7 +69,7 @@ impl KvServer {
         };
         let r = raft.clone();
         raft.core().ep.register(
-            CLIENT_PROPOSE,
+            raft.core().method(CLIENT_PROPOSE),
             "kv:serve",
             move |_from, payload, responder| {
                 let r = r.clone();

@@ -1,0 +1,135 @@
+//! Shard-router properties: the key → group map is total, deterministic
+//! and balanced for arbitrary keys, and a client whose first guess lands
+//! on a follower converges onto the group's leader via the redirect.
+
+use bytes::Bytes;
+use depfast_kv::{ShardMap, ShardedKvCluster};
+use depfast_raft::cluster::RaftKind;
+use depfast_raft::core::RaftCfg;
+use proptest::prelude::*;
+use simkit::{Sim, World, WorldCfg};
+use std::rc::Rc;
+use std::time::Duration;
+
+proptest! {
+    /// Every byte string routes to exactly one group in `1..=n`, and the
+    /// same key routes there every time — across map instances too, so
+    /// clients built independently agree on the partition.
+    #[test]
+    fn routing_is_total_deterministic_and_in_range(
+        key in proptest::collection::vec(any::<u8>(), 0..64),
+        n in 1usize..=64,
+    ) {
+        let g = ShardMap::new(n).group_of(&key);
+        prop_assert!((1..=n as u32).contains(&g));
+        prop_assert_eq!(g, ShardMap::new(n).group_of(&key));
+    }
+
+    /// Random key *sets* spread across groups: with plenty of distinct
+    /// keys, no group of a 4-way partition stays empty.
+    #[test]
+    fn distinct_keys_reach_every_group(salt in any::<u64>()) {
+        let map = ShardMap::new(4);
+        let mut hit = [false; 4];
+        for i in 0..256u64 {
+            let key = format!("key{}", salt.wrapping_add(i));
+            hit[(map.group_of(key.as_bytes()) - 1) as usize] = true;
+        }
+        prop_assert!(hit.iter().all(|h| *h), "unreached group: {hit:?}");
+    }
+}
+
+/// YCSB-style sequential key names split within ±35% of the fair share.
+#[test]
+fn routing_balances_ycsb_style_keys() {
+    for n in [4usize, 16, 64] {
+        let map = ShardMap::new(n);
+        let mut counts = vec![0u64; n];
+        let total = 16_000u64;
+        for i in 0..total {
+            let key = format!("user{i:020}");
+            counts[(map.group_of(key.as_bytes()) - 1) as usize] += 1;
+        }
+        let fair = total as f64 / n as f64;
+        for (i, c) in counts.iter().enumerate() {
+            let skew = *c as f64 / fair;
+            assert!(
+                (0.65..=1.35).contains(&skew),
+                "group {} holds {:.2}x its fair share of {n} groups: {counts:?}",
+                i + 1,
+                skew
+            );
+        }
+    }
+}
+
+/// A sharded client's first attempt at each group goes to
+/// `members[client_id % group_size]` — a *follower* for client 1 — so
+/// the first operation exercises the NotLeader redirect. It must still
+/// succeed, and the session must converge on the real leader so later
+/// operations go straight there.
+#[test]
+fn wrong_leader_redirect_converges_per_group() {
+    let sim = Sim::new(53);
+    let world = World::new(
+        sim.clone(),
+        WorldCfg {
+            nodes: 7,
+            ..WorldCfg::default()
+        },
+    );
+    let cluster = Rc::new(ShardedKvCluster::build_tuned(
+        &sim,
+        &world,
+        RaftKind::DepFast,
+        4,
+        5,
+        3,
+        2,
+        RaftCfg {
+            bootstrap_leader: Some(0),
+            ..RaftCfg::default()
+        },
+        Duration::from_micros(50),
+    ));
+    // client_id 1 → first guess members[1], a follower of every group.
+    let client = &cluster.clients[0];
+    for gid in 1..=4u32 {
+        let kv = &client.groups()[(gid - 1) as usize];
+        assert_eq!(kv.known_leader(), None);
+    }
+    let cl2 = cluster.clone();
+    let keys: Vec<Bytes> = (0..32)
+        .map(|i| Bytes::from(format!("redirect{i}")))
+        .collect();
+    let keys2 = keys.clone();
+    sim.block_on(async move {
+        for k in &keys2 {
+            cl2.clients[0]
+                .put(k.clone(), Bytes::from_static(b"v"))
+                .await
+                .expect("put through a redirect");
+        }
+    });
+    // Every group the keys touched converged on its bootstrap leader.
+    let mut converged = 0;
+    for (i, g) in cluster.raft.groups.iter().enumerate() {
+        if let Some(leader) = cluster.clients[0].groups()[i].known_leader() {
+            assert_eq!(
+                leader, g.members[0],
+                "g{} leader hint should match the bootstrap leader",
+                g.gid
+            );
+            converged += 1;
+        }
+    }
+    assert!(converged >= 3, "only {converged} groups saw traffic");
+    // And the values are readable through the same router.
+    let cl3 = cluster.clone();
+    sim.block_on(async move {
+        for k in &keys {
+            let v = cl3.clients[0].get(k.clone()).await.expect("get");
+            assert_eq!(v, Some(Bytes::from_static(b"v")));
+        }
+    });
+}

@@ -66,3 +66,20 @@ pub use sampler::{SampleRow, Sampler};
 /// Virtual time in nanoseconds. The crate is clock-agnostic: callers
 /// (usually the simulator) supply timestamps.
 pub type TimeNs = u64;
+
+/// Interns the per-Raft-group metric tag for `group` (`"g1"`, `"g2"`,
+/// …) as a `&'static str`.
+///
+/// [`Key`] tags are `&'static str` so the hot path stays a copy, not an
+/// allocation; multi-group clusters need one tag per group id, minted at
+/// cluster build time. Labels are leaked once and cached — calling this
+/// twice with the same id returns the same pointer.
+pub fn group_label(group: u32) -> &'static str {
+    use std::collections::BTreeMap;
+    use std::sync::{Mutex, OnceLock};
+    static LABELS: OnceLock<Mutex<BTreeMap<u32, &'static str>>> = OnceLock::new();
+    let labels = LABELS.get_or_init(|| Mutex::new(BTreeMap::new()));
+    let mut map = labels.lock().expect("group label registry poisoned");
+    map.entry(group)
+        .or_insert_with(|| Box::leak(format!("g{group}").into_boxed_str()))
+}

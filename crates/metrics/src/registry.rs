@@ -428,6 +428,11 @@ impl NodeScope {
         self.registry.counter(Key::tagged(name, self.node, tag))
     }
 
+    /// Node-scoped, tagged gauge.
+    pub fn gauge_tagged(&self, name: &'static str, tag: &'static str) -> Gauge {
+        self.registry.gauge(Key::tagged(name, self.node, tag))
+    }
+
     /// Node-scoped, tagged histogram.
     pub fn histogram_tagged(&self, name: &'static str, tag: &'static str) -> HistogramHandle {
         self.registry.histogram(Key::tagged(name, self.node, tag))

@@ -218,9 +218,11 @@ impl BacklogRaft {
                     };
                     // Retry until this chunk is acknowledged.
                     loop {
-                        let ev =
-                            c.ep.proxy(peer)
-                                .call_t(APPEND_ENTRIES, "append_entries", &req);
+                        let ev = c.ep.proxy(peer).call_t(
+                            c.method(APPEND_ENTRIES),
+                            "append_entries",
+                            &req,
+                        );
                         let c2 = c.clone();
                         let classified = classified_reply::<AppendResp>(
                             &c.rt,

@@ -71,7 +71,7 @@ impl CallbackRaft {
     fn install_probe_service(core: &Rc<RaftCore>) {
         let c = core.clone();
         core.ep.register(
-            FLOW_PROBE,
+            core.method(FLOW_PROBE),
             "raft:handle_probe",
             move |_from, _p, responder| {
                 let c = c.clone();
@@ -130,7 +130,7 @@ impl CallbackRaft {
                                 .expect("has peers")
                         };
                         let ev = core.ep.proxy(laggard).call(
-                            FLOW_PROBE,
+                            core.method(FLOW_PROBE),
                             "flow_probe",
                             bytes::Bytes::new(),
                         );
@@ -222,7 +222,7 @@ impl CallbackRaft {
         let ev = core
             .ep
             .proxy(peer)
-            .call_t(APPEND_ENTRIES, "append_entries", &req);
+            .call_t(core.method(APPEND_ENTRIES), "append_entries", &req);
         let c2 = core.clone();
         classified_reply::<AppendResp>(&core.rt, &ev, peer, "append_entries", move |resp| {
             let Some(resp) = resp else { return false };

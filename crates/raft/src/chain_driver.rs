@@ -65,7 +65,7 @@ impl ChainRaft {
     fn install_forward_service(core: &Rc<RaftCore>, opts: ChainOpts) {
         let c = core.clone();
         core.ep.register(
-            CHAIN_FORWARD,
+            core.method(CHAIN_FORWARD),
             "chain:forward",
             move |_from, payload, responder| {
                 let c = c.clone();
@@ -104,7 +104,7 @@ impl ChainRaft {
                     if let Some(next) = Self::successor(&c) {
                         let ev =
                             c.ep.proxy(next)
-                                .call_t(CHAIN_FORWARD, "chain_forward", &req);
+                                .call_t(c.method(CHAIN_FORWARD), "chain_forward", &req);
                         let ok = classified_reply::<AppendResp>(
                             &c.rt,
                             &ev,
@@ -188,10 +188,10 @@ impl ChainRaft {
                     commit: core.commit.get(),
                     lazy: false,
                 };
-                let ev = core
-                    .ep
-                    .proxy(next)
-                    .call_t(CHAIN_FORWARD, "chain_forward", &req);
+                let ev =
+                    core.ep
+                        .proxy(next)
+                        .call_t(core.method(CHAIN_FORWARD), "chain_forward", &req);
                 let ok =
                     classified_reply::<AppendResp>(&core.rt, &ev, next, "chain_forward", |resp| {
                         resp.is_some_and(|r| r.success)

@@ -19,7 +19,7 @@ use depfast::TypedEvent;
 use depfast_metrics::{Counter, Gauge, HistogramHandle};
 use depfast_rpc::proxy::RpcEvent;
 use depfast_rpc::wire::WireRead;
-use depfast_rpc::Endpoint;
+use depfast_rpc::{group_method, Endpoint, Method};
 use depfast_storage::{Entry, LogStore, LogStoreCfg};
 use simkit::{NodeId, SimTime, World};
 
@@ -253,20 +253,42 @@ struct RaftStats {
 }
 
 impl RaftStats {
-    fn new(rt: &Runtime) -> Self {
+    fn new(rt: &Runtime, group: u32) -> Self {
         let scope = rt.tracer().metrics().node(rt.node().0);
-        RaftStats {
-            commit_lag: scope.histogram("raft.commit_lag"),
-            apply_lag: scope.histogram("raft.apply_lag"),
-            commit_index: scope.gauge("raft.commit_index"),
-            applied_index: scope.gauge("raft.applied_index"),
-            batch_size: scope.histogram("raft.batch.size"),
-            batch_rounds: scope.counter("raft.batch.rounds"),
-            pipeline_inflight: scope.gauge("raft.pipeline.inflight"),
-            pipeline_stalls: scope.counter("raft.pipeline.stalls"),
-            window_skips: scope.counter("raft.append.window_skips"),
-            suspects: scope.counter("raft.append.suspects"),
-            entries_per_append: scope.histogram("rpc.entries_per_append"),
+        if group == 0 {
+            // Legacy single-group namespace: untagged keys, byte-identical
+            // to every pre-multi-group artifact.
+            RaftStats {
+                commit_lag: scope.histogram("raft.commit_lag"),
+                apply_lag: scope.histogram("raft.apply_lag"),
+                commit_index: scope.gauge("raft.commit_index"),
+                applied_index: scope.gauge("raft.applied_index"),
+                batch_size: scope.histogram("raft.batch.size"),
+                batch_rounds: scope.counter("raft.batch.rounds"),
+                pipeline_inflight: scope.gauge("raft.pipeline.inflight"),
+                pipeline_stalls: scope.counter("raft.pipeline.stalls"),
+                window_skips: scope.counter("raft.append.window_skips"),
+                suspects: scope.counter("raft.append.suspects"),
+                entries_per_append: scope.histogram("rpc.entries_per_append"),
+            }
+        } else {
+            // Multi-group: co-located groups share a node, so every series
+            // carries a `g{gid}` tag — aggregating them silently would hide
+            // exactly the per-group blast-radius split this repo measures.
+            let g = depfast_metrics::group_label(group);
+            RaftStats {
+                commit_lag: scope.histogram_tagged("raft.commit_lag", g),
+                apply_lag: scope.histogram_tagged("raft.apply_lag", g),
+                commit_index: scope.gauge_tagged("raft.commit_index", g),
+                applied_index: scope.gauge_tagged("raft.applied_index", g),
+                batch_size: scope.histogram_tagged("raft.batch.size", g),
+                batch_rounds: scope.counter_tagged("raft.batch.rounds", g),
+                pipeline_inflight: scope.gauge_tagged("raft.pipeline.inflight", g),
+                pipeline_stalls: scope.counter_tagged("raft.pipeline.stalls", g),
+                window_skips: scope.counter_tagged("raft.append.window_skips", g),
+                suspects: scope.counter_tagged("raft.append.suspects", g),
+                entries_per_append: scope.histogram_tagged("rpc.entries_per_append", g),
+            }
         }
     }
 }
@@ -335,16 +357,37 @@ pub struct RaftCore {
     /// fail-slow mitigation (§5) uses it to keep a demoted fail-slow
     /// leader from immediately winning re-election.
     pub election_penalty: Cell<Duration>,
+    /// Raft group id. `0` is the legacy single-group namespace (untagged
+    /// metrics, un-namespaced RPC methods); multi-group clusters number
+    /// their groups from 1.
+    pub group: u32,
 }
 
 impl RaftCore {
-    /// Creates the core for `rt`'s node in a cluster of `members`.
+    /// Creates the core for `rt`'s node in a cluster of `members`
+    /// (legacy single-group form: group id 0).
     pub fn new(
         rt: &Runtime,
         world: &World,
         ep: &Endpoint,
         members: Vec<NodeId>,
         cfg: RaftCfg,
+    ) -> Rc<Self> {
+        Self::new_in_group(rt, world, ep, members, cfg, 0)
+    }
+
+    /// Creates the core for `rt`'s node as a member of Raft group
+    /// `group`. Groups co-located on one [`Endpoint`] keep their RPC
+    /// services and metric series apart: every method id is namespaced
+    /// through [`RaftCore::method`] and every `raft.*` series carries a
+    /// `g{group}` tag (group 0 = the legacy untagged namespace).
+    pub fn new_in_group(
+        rt: &Runtime,
+        world: &World,
+        ep: &Endpoint,
+        members: Vec<NodeId>,
+        cfg: RaftCfg,
+        group: u32,
     ) -> Rc<Self> {
         let id = rt.node();
         let peers: Vec<NodeId> = members.iter().copied().filter(|m| *m != id).collect();
@@ -378,7 +421,7 @@ impl RaftCore {
             proposals: ProposalQueue::default(),
             apply_fn: RefCell::new(None),
             applied: Cell::new(0),
-            stats: RaftStats::new(rt),
+            stats: RaftStats::new(rt, group),
             rounds_launched: Cell::new(0),
             rounds_done: ValueEvent::labeled(rt, 0, "rounds_done"),
             append_inflight: RefCell::new(HashMap::new()),
@@ -389,6 +432,7 @@ impl RaftCore {
             append_turn: ValueEvent::labeled(rt, 0, "append_turn"),
             committed_count: Cell::new(0),
             election_penalty: Cell::new(Duration::ZERO),
+            group,
         });
         if cfg.bootstrap_leader.is_some() {
             // Pre-seed term 1 so bootstrap leadership is term-consistent.
@@ -403,6 +447,20 @@ impl RaftCore {
     /// Installs the state-machine apply function.
     pub fn set_apply(&self, f: impl FnMut(&Entry) -> Bytes + 'static) {
         *self.apply_fn.borrow_mut() = Some(Box::new(f));
+    }
+
+    /// Namespaces `base` into this core's group: the method id every
+    /// register/call site of this group must use, so co-located groups on
+    /// one endpoint never collide (see [`depfast_rpc::group_method`]).
+    pub fn method(&self, base: Method) -> Method {
+        group_method(base, self.group)
+    }
+
+    /// The group id to stamp on this core's [`depfast::HealthEvent`]s:
+    /// `Some(group)` for multi-group cores, `None` for the legacy
+    /// single-group namespace (keeps old incident artifacts byte-identical).
+    pub fn health_group(&self) -> Option<u32> {
+        (self.group > 0).then_some(self.group)
     }
 
     /// Majority size of the cluster.
@@ -617,7 +675,7 @@ impl RaftCore {
     pub fn install_follower_services(self: &Rc<Self>) {
         let core = self.clone();
         self.ep.register(
-            APPEND_ENTRIES,
+            self.method(APPEND_ENTRIES),
             "raft:handle_append",
             move |from, payload, responder| {
                 let core = core.clone();
@@ -638,7 +696,7 @@ impl RaftCore {
         );
         let core = self.clone();
         self.ep.register(
-            REQUEST_VOTE,
+            self.method(REQUEST_VOTE),
             "raft:handle_vote",
             move |_from, payload, responder| {
                 let core = core.clone();
@@ -654,7 +712,7 @@ impl RaftCore {
         );
         let core = self.clone();
         self.ep.register(
-            PRE_VOTE,
+            self.method(PRE_VOTE),
             "raft:handle_prevote",
             move |_from, payload, responder| {
                 let core = core.clone();
@@ -859,6 +917,7 @@ impl RaftCore {
                 m,
                 self.log.last_index()
             ),
+            group: self.health_group(),
         });
     }
 
@@ -892,6 +951,7 @@ impl RaftCore {
                     "lag {} entries; drain verified fast",
                     last.saturating_sub(m)
                 ),
+                group: self.health_group(),
             });
             return Some(SuspectAction::Resume);
         }

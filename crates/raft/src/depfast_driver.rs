@@ -131,12 +131,12 @@ impl DepFastRaft {
             let proxy = core.ep.proxy(peer);
             let ev = match cancel {
                 Some(c) => proxy.call_cancellable(
-                    APPEND_ENTRIES,
+                    core.method(APPEND_ENTRIES),
                     "append_entries",
                     depfast_rpc::wire::WireWrite::to_bytes(&req),
                     c,
                 ),
-                None => proxy.call_t(APPEND_ENTRIES, "append_entries", &req),
+                None => proxy.call_t(core.method(APPEND_ENTRIES), "append_entries", &req),
             };
             let c2 = core.clone();
             let derived = classified_reply::<AppendResp>(
@@ -348,6 +348,7 @@ impl DepFastRaft {
                     layer: "raft",
                     transition: "probe",
                     evidence: format!("lazy probe; acked={}", core.match_index(peer)),
+                    group: core.health_group(),
                 });
                 Self::send_lazy(core, peer, None)
             }
@@ -358,6 +359,7 @@ impl DepFastRaft {
                     layer: "raft",
                     transition: "chunk",
                     evidence: format!("catch-up chunk [{lo}, {})", lo + n as u64),
+                    group: core.health_group(),
                 });
                 Self::send_lazy(core, peer, Some((lo, n)))
             }
@@ -397,10 +399,10 @@ impl DepFastRaft {
             // Same trace label as a regular append: probes ARE
             // AppendEntries, and the fail-slow detector's latency view
             // of a quarantined peer must not go dark.
-            let ev = core
-                .ep
-                .proxy(peer)
-                .call_t(APPEND_ENTRIES, "append_entries", &req);
+            let ev =
+                core.ep
+                    .proxy(peer)
+                    .call_t(core.method(APPEND_ENTRIES), "append_entries", &req);
             let c2 = core.clone();
             classified_reply::<AppendResp>(&core.rt, &ev, peer, "append_entries", move |resp| {
                 let Some(resp) = resp else { return false };
@@ -487,7 +489,7 @@ impl DepFastRaft {
             let ev = core
                 .ep
                 .proxy(peer)
-                .call_t(APPEND_ENTRIES, "read_index", &req);
+                .call_t(core.method(APPEND_ENTRIES), "read_index", &req);
             let c2 = core.clone();
             let ok =
                 classified_reply::<AppendResp>(
@@ -528,7 +530,10 @@ impl DepFastRaft {
             last_term: core.log.term_at(core.log.last_index()),
         };
         for peer in core.peers.clone() {
-            let ev = core.ep.proxy(peer).call_t(PRE_VOTE, "pre_vote", &req);
+            let ev = core
+                .ep
+                .proxy(peer)
+                .call_t(core.method(PRE_VOTE), "pre_vote", &req);
             let ok = classified_reply::<VoteResp>(&core.rt, &ev, peer, "pre_vote", move |r| {
                 r.is_some_and(|r| r.granted)
             });
@@ -570,7 +575,7 @@ impl DepFastRaft {
             let ev = core
                 .ep
                 .proxy(peer)
-                .call_t(REQUEST_VOTE, "request_vote", &req);
+                .call_t(core.method(REQUEST_VOTE), "request_vote", &req);
             let c2 = core.clone();
             let ok =
                 classified_reply::<VoteResp>(

@@ -25,6 +25,9 @@ pub mod depfast_driver;
 pub mod sync_driver;
 pub mod types;
 
-pub use cluster::{build_cluster, RaftCluster, RaftKind};
+pub use cluster::{
+    build_cluster, build_multi_cluster, build_multi_cluster_placed, GroupPlacement,
+    MultiRaftCluster, RaftCluster, RaftGroup, RaftKind,
+};
 pub use core::{RaftCfg, RaftCore, RaftServer, Role};
 pub use types::{AppendReq, AppendResp, VoteReq, VoteResp};

@@ -133,10 +133,11 @@ impl SyncRaft {
                         commit: core.commit.get(),
                         lazy: false,
                     };
-                    let ev = core
-                        .ep
-                        .proxy(peer)
-                        .call_t(APPEND_ENTRIES, "append_entries", &req);
+                    let ev = core.ep.proxy(peer).call_t(
+                        core.method(APPEND_ENTRIES),
+                        "append_entries",
+                        &req,
+                    );
                     let c2 = core.clone();
                     // Replies are processed by hooks (the region thread
                     // does not wait for them individually).

@@ -35,3 +35,15 @@ pub use wire::{WireRead, WireWrite};
 
 /// RPC method identifier. Applications define their own constants.
 pub type Method = u32;
+
+/// Namespaces a base method id into a Raft-group-specific method id.
+///
+/// All base method constants in this workspace live below `0x100`, so
+/// the group id is packed into the upper bits: `base | (group << 8)`.
+/// Group `0` is the legacy single-group namespace — `group_method(m, 0)
+/// == m` — which keeps every existing single-group artifact
+/// byte-identical. Co-located groups on one [`Endpoint`] register
+/// disjoint method ids instead of silently overwriting each other.
+pub fn group_method(base: Method, group: u32) -> Method {
+    base | (group << 8)
+}

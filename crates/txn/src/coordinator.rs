@@ -13,7 +13,7 @@ use bytes::Bytes;
 use depfast::event::{AndEvent, OrEvent, QuorumEvent, QuorumMode, Signal, Watchable};
 use depfast::runtime::Runtime;
 use depfast_rpc::wire::WireRead;
-use depfast_rpc::Endpoint;
+use depfast_rpc::{group_method, Endpoint};
 use simkit::NodeId;
 
 use crate::command::{TxnCmd, TxnVote, TxnWrite, TXN_EXEC};
@@ -88,9 +88,13 @@ impl TxnClient {
     }
 
     fn exec(&self, shard: usize, cmd: &TxnCmd, label: &'static str) -> depfast_rpc::RpcEvent {
-        self.ep
-            .proxy(self.leader_of(shard))
-            .call_t(TXN_EXEC, label, cmd)
+        // Shard `i` is served by Raft group `i + 1` (the ShardedCluster
+        // convention), so the call rides the group-namespaced method id.
+        self.ep.proxy(self.leader_of(shard)).call_t(
+            group_method(TXN_EXEC, shard as u32 + 1),
+            label,
+            cmd,
+        )
     }
 
     /// Runs one write transaction across however many shards its keys

@@ -95,9 +95,12 @@ impl TxnServer {
             st.borrow_mut().apply(&cmd).to_bytes()
         });
         let r = raft.clone();
+        // Namespaced per group, so co-located shards on one endpoint stay
+        // apart (group 0 keeps the bare method id).
+        let method = raft.core().method(TXN_EXEC);
         raft.core()
             .ep
-            .register(TXN_EXEC, "txn:serve", move |_from, payload, responder| {
+            .register(method, "txn:serve", move |_from, payload, responder| {
                 let r = r.clone();
                 Coroutine::create(&r.core().rt.clone(), "txn:serve", async move {
                     if !r.is_leader() {

@@ -1,13 +1,20 @@
 //! Sharded cluster harness: M Raft groups of N servers plus coordinator
 //! (client) hosts — the topology of the paper's Figure 2 (3 shards ×
 //! 3 servers, s1–s9, with clients c1–c3).
+//!
+//! Built on the real multi-group cluster layer
+//! ([`build_multi_cluster_placed`]): shard `i` is Raft group `i + 1`, so
+//! transaction RPCs ride group-namespaced method ids and every group's
+//! Raft metrics and health events carry its `g{gid}` label. Placement is
+//! [`GroupPlacement::Disjoint`] to preserve the figure's one-shard-per-
+//! node-triple layout.
 
 use depfast::runtime::Runtime;
 use depfast::Tracer;
-use depfast_raft::cluster::{rpc_cfg_for, RaftKind};
-use depfast_raft::core::{RaftCfg, RaftCore, RaftServer};
-use depfast_raft::depfast_driver::{DepFastOpts, DepFastRaft};
-use depfast_rpc::endpoint::Registry;
+use depfast_raft::cluster::{
+    build_multi_cluster_placed, rpc_cfg_for, GroupPlacement, MultiRaftCluster, RaftKind,
+};
+use depfast_raft::core::RaftCfg;
 use depfast_rpc::Endpoint;
 use simkit::{NodeId, Sim, World};
 
@@ -16,6 +23,9 @@ use crate::server::TxnServer;
 
 /// A sharded transactional deployment.
 pub struct ShardedCluster {
+    /// The underlying multi-group Raft cluster (shard `i` is group
+    /// `i + 1`).
+    pub raft: MultiRaftCluster,
     /// `servers[shard][replica]`.
     pub servers: Vec<Vec<TxnServer>>,
     /// Shard membership (node ids), `shards[shard]`.
@@ -42,40 +52,39 @@ impl ShardedCluster {
     ) -> Self {
         let total_servers = n_shards * group_size;
         assert!(world.node_count() >= total_servers + n_clients);
-        let tracer = Tracer::new();
-        let registry = Registry::new();
-        let mut servers = Vec::with_capacity(n_shards);
-        let mut shards = Vec::with_capacity(n_shards);
-        for shard in 0..n_shards {
-            let members: Vec<NodeId> = (0..group_size)
-                .map(|r| NodeId((shard * group_size + r) as u32))
-                .collect();
-            // Each shard's bootstrap leader is its first member.
-            let shard_cfg = RaftCfg {
-                bootstrap_leader: cfg.bootstrap_leader.map(|_| members[0].0),
-                ..cfg
-            };
-            let mut group = Vec::with_capacity(group_size);
-            for id in &members {
-                let rt = Runtime::with_tracer(sim.clone(), *id, tracer.clone());
-                let ep = Endpoint::new(&rt, world, &registry, rpc_cfg_for(RaftKind::DepFast));
-                let core = RaftCore::new(&rt, world, &ep, members.clone(), shard_cfg);
-                DepFastRaft::start(&core, DepFastOpts::default());
-                group.push(TxnServer::install(RaftServer::new(core, RaftKind::DepFast)));
-            }
-            servers.push(group);
-            shards.push(members);
-        }
+        let raft = build_multi_cluster_placed(
+            sim,
+            world,
+            RaftKind::DepFast,
+            n_shards,
+            total_servers,
+            group_size,
+            cfg,
+            GroupPlacement::Disjoint,
+        );
+        let servers: Vec<Vec<TxnServer>> = raft
+            .groups
+            .iter()
+            .map(|g| {
+                g.servers
+                    .iter()
+                    .map(|s| TxnServer::install(s.clone()))
+                    .collect()
+            })
+            .collect();
+        let shards: Vec<Vec<NodeId>> = raft.groups.iter().map(|g| g.members.clone()).collect();
+        let tracer = raft.tracer.clone();
         let mut clients = Vec::with_capacity(n_clients);
         let mut client_nodes = Vec::with_capacity(n_clients);
         for i in 0..n_clients {
             let node = NodeId((total_servers + i) as u32);
             let rt = Runtime::with_tracer(sim.clone(), node, tracer.clone());
-            let ep = Endpoint::new(&rt, world, &registry, rpc_cfg_for(RaftKind::DepFast));
+            let ep = Endpoint::new(&rt, world, &raft.registry, rpc_cfg_for(RaftKind::DepFast));
             clients.push(TxnClient::new(rt, ep, shards.clone(), i as u64 + 1));
             client_nodes.push(node);
         }
         ShardedCluster {
+            raft,
             servers,
             shards,
             clients,

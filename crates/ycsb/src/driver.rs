@@ -4,7 +4,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::time::Duration;
 
-use depfast_kv::KvCluster;
+use depfast_kv::{KvCluster, ShardedKvCluster};
 use simkit::{Sim, World};
 
 use crate::stats::{Histogram, Summary};
@@ -119,6 +119,131 @@ pub fn run_workload(
         throughput: rec.ops as f64 / cfg.measure.as_secs_f64(),
         latency: rec.hist.summary(),
         server_crashed,
+    }
+}
+
+/// Per-group results of one sharded workload run.
+#[derive(Debug, Clone)]
+pub struct GroupStats {
+    /// Raft group id (1-based).
+    pub gid: u32,
+    /// Successful operations routed to this group in the window.
+    pub ops: u64,
+    /// Failed operations routed to this group in the window.
+    pub errors: u64,
+    /// This group's throughput over the measurement window (ops/s).
+    pub throughput: f64,
+    /// Latency distribution of this group's measured operations.
+    pub latency: Summary,
+}
+
+/// Results of one sharded workload run: the aggregate plus the per-group
+/// split the blast-radius analysis reads.
+#[derive(Debug, Clone)]
+pub struct ShardedRunStats {
+    /// Aggregate statistics across every group.
+    pub total: RunStats,
+    /// Per-group statistics, indexed by `gid - 1`.
+    pub groups: Vec<GroupStats>,
+}
+
+/// Runs `spec` against a sharded (multi-group) `cluster` with all of its
+/// clients in closed loop. Identical measurement protocol to
+/// [`run_workload`], but every operation is additionally attributed to
+/// the Raft group its key routes to, so the result carries the
+/// per-group throughput/latency split.
+pub fn run_workload_sharded(
+    sim: &Sim,
+    world: &World,
+    cluster: &Rc<ShardedKvCluster>,
+    spec: WorkloadSpec,
+    cfg: DriverCfg,
+) -> ShardedRunStats {
+    let n_groups = cluster.map.n_groups();
+    let total = Rc::new(RefCell::new(Recorder {
+        hist: Histogram::new(),
+        ops: 0,
+        errors: 0,
+    }));
+    let per_group: Rc<RefCell<Vec<Recorder>>> = Rc::new(RefCell::new(
+        (0..n_groups)
+            .map(|_| Recorder {
+                hist: Histogram::new(),
+                ops: 0,
+                errors: 0,
+            })
+            .collect(),
+    ));
+    let t_start = sim.now();
+    let t_measure = t_start + cfg.warmup;
+    let t_end = t_measure + cfg.measure;
+    for i in 0..cluster.clients.len() {
+        let cluster = cluster.clone();
+        let total = total.clone();
+        let per_group = per_group.clone();
+        let sim2 = sim.clone();
+        let mut gen = OpGen::new(spec, cfg.seed.wrapping_add(i as u64 * 7919));
+        let rt = cluster.clients[i].runtime().clone();
+        depfast::Coroutine::create(&rt, "ycsb:client", async move {
+            let client = &cluster.clients[i];
+            loop {
+                let now = sim2.now();
+                if now >= t_end {
+                    break;
+                }
+                let (kind, key, value) = gen.next_op();
+                let gid = cluster.map.group_of(&key);
+                let t0 = sim2.now();
+                let result = match kind {
+                    OpKind::Update | OpKind::Insert => client.put(key, value).await.map(|_| ()),
+                    OpKind::Read => client.get(key).await.map(|_| ()),
+                };
+                let t1 = sim2.now();
+                if t0 >= t_measure && t1 <= t_end {
+                    let mut t = total.borrow_mut();
+                    let mut groups = per_group.borrow_mut();
+                    let g = &mut groups[(gid - 1) as usize];
+                    match result {
+                        Ok(()) => {
+                            t.ops += 1;
+                            t.hist.record(t1 - t0);
+                            g.ops += 1;
+                            g.hist.record(t1 - t0);
+                        }
+                        Err(_) => {
+                            t.errors += 1;
+                            g.errors += 1;
+                        }
+                    }
+                }
+            }
+        });
+    }
+    sim.run_until_time(t_end);
+    let server_crashed =
+        (0..cluster.raft.runtimes.len()).any(|n| world.is_crashed(simkit::NodeId(n as u32)));
+    let total = total.borrow();
+    let groups = per_group
+        .borrow()
+        .iter()
+        .enumerate()
+        .map(|(i, r)| GroupStats {
+            gid: i as u32 + 1,
+            ops: r.ops,
+            errors: r.errors,
+            throughput: r.ops as f64 / cfg.measure.as_secs_f64(),
+            latency: r.hist.summary(),
+        })
+        .collect();
+    ShardedRunStats {
+        total: RunStats {
+            ops: total.ops,
+            errors: total.errors,
+            throughput: total.ops as f64 / cfg.measure.as_secs_f64(),
+            latency: total.hist.summary(),
+            server_crashed,
+        },
+        groups,
     }
 }
 
