@@ -117,11 +117,11 @@ fn incidents_mode() {
         min_samples: 4,
         ..depfast_detect::DetectorCfg::default()
     };
+    let mut headers = vec!["Cluster"];
+    headers.extend(depfast_incident::scorecard_headers());
     let mut table = Table::new(
         "Figure 3 incidents: DepFastRaft detector scorecard (disk-slow minority)",
-        &[
-            "Cluster", "Detected", "TTD (ms)", "TTM (ms)", "TTR (ms)", "FP", "FN", "Misattr",
-        ],
+        &headers,
     );
     let mut dumps = Vec::new();
     for (n_servers, slow_followers) in [(3usize, 1usize), (5, 2)] {
@@ -146,19 +146,9 @@ fn incidents_mode() {
         let run = depfast_bench::run_experiment_incident(&cfg, dcfg);
         let cell = depfast_incident::score(&run.dump, depfast_incident::RECOVERY_BAND);
         print!("{}", depfast_incident::render_report(&run.dump, &cell));
-        let ms = |v: Option<u64>| {
-            v.map_or_else(|| "-".to_string(), |ns| format!("{:.1}", ns as f64 / 1e6))
-        };
-        table.row(vec![
-            format!("{n_servers} Nodes"),
-            cell.detected.to_string(),
-            ms(cell.ttd_ns),
-            ms(cell.ttm_ns),
-            ms(cell.ttr_ns),
-            cell.false_positives.to_string(),
-            cell.false_negatives.to_string(),
-            cell.misattributions.to_string(),
-        ]);
+        let mut row = vec![format!("{n_servers} Nodes")];
+        row.extend(depfast_incident::scorecard_cells(&cell));
+        table.row(row);
         dumps.push(run.dump);
     }
     table.print();

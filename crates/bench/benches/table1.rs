@@ -86,6 +86,8 @@ fn main() {
             }
             FaultKind::MemContention { .. } => ("1ms CPU work", measure_cpu(&sim, &world)),
             FaultKind::NetSlow { .. } => ("one-way msg", measure_delay(&sim, &world)),
+            // Not a Table 1 row; only the scenario matrix injects it.
+            FaultKind::PartialPartition { .. } => unreachable!("not a Table 1 fault"),
         };
         let injection = match kind {
             FaultKind::CpuSlow { quota } => format!("cgroup 5% quota -> rate x{quota}"),
@@ -102,6 +104,7 @@ fn main() {
                 format!("cgroup memory max -> limit {}MiB", limit / (1024 * 1024))
             }
             FaultKind::NetSlow { delay } => format!("tc netem -> +{}ms egress", delay.as_millis()),
+            FaultKind::PartialPartition { .. } => unreachable!("not a Table 1 fault"),
         };
         let guard = inject(&sim, &world, NODE, kind);
         if matches!(kind, FaultKind::MemContention { .. }) {
@@ -120,6 +123,7 @@ fn main() {
                 measure_fsync(&sim, &world)
             }
             FaultKind::NetSlow { .. } => measure_delay(&sim, &world),
+            FaultKind::PartialPartition { .. } => unreachable!("not a Table 1 fault"),
         };
         guard.revert();
         let inflation = faulty.as_secs_f64() / healthy.as_secs_f64().max(1e-12);

@@ -265,6 +265,102 @@ impl DetectRecord {
     }
 }
 
+/// One scenario × driver survival cell — the suite-level form of the
+/// scenario matrix's per-cell verdict: liveness plus client-visible
+/// survival numbers plus detection quality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRecord {
+    /// Scenario name (DSL catalog key).
+    pub scenario: String,
+    /// Raft driver name (`RaftKind::name()`).
+    pub driver: String,
+    /// Liveness verdict: no crash, work completed, no over-limit stall.
+    pub live: bool,
+    /// Any server node crashed during the cell.
+    pub crashed: bool,
+    /// Measurement-window throughput (ops/s).
+    pub throughput: f64,
+    /// Minimum post-onset commit-throughput sample (ops/s).
+    pub floor: f64,
+    /// Client-visible p99 latency, milliseconds.
+    pub p99_ms: f64,
+    /// Longest post-warm-up commit stall, milliseconds.
+    pub stall_ms: f64,
+    /// Every injected fault was suspected.
+    pub detected: bool,
+    /// Time to detect, milliseconds.
+    pub ttd_ms: Option<f64>,
+    /// Time to mitigate, milliseconds.
+    pub ttm_ms: Option<f64>,
+    /// Time to recover, milliseconds.
+    pub ttr_ms: Option<f64>,
+    /// Suspicions with no fault injected anywhere.
+    pub false_positives: u64,
+    /// Injected faults never suspected.
+    pub false_negatives: u64,
+    /// Suspicions of healthy nodes during a fault elsewhere.
+    pub misattributions: u64,
+}
+
+impl ScenarioRecord {
+    /// The record's identity within a suite.
+    pub fn key(&self) -> String {
+        format!("{} | {}", self.scenario, self.driver)
+    }
+
+    fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("scenario", Json::Str(self.scenario.clone()));
+        o.set("driver", Json::Str(self.driver.clone()));
+        o.set("live", Json::Bool(self.live));
+        o.set("crashed", Json::Bool(self.crashed));
+        o.set("throughput", Json::Num(round2(self.throughput)));
+        o.set("floor", Json::Num(round2(self.floor)));
+        o.set("p99_ms", Json::Num(round4(self.p99_ms)));
+        o.set("stall_ms", Json::Num(round2(self.stall_ms)));
+        o.set("detected", Json::Bool(self.detected));
+        // Absent keys mean "no measurement" — distinct from 0.0.
+        if let Some(v) = self.ttd_ms {
+            o.set("ttd_ms", Json::Num(round4(v)));
+        }
+        if let Some(v) = self.ttm_ms {
+            o.set("ttm_ms", Json::Num(round4(v)));
+        }
+        if let Some(v) = self.ttr_ms {
+            o.set("ttr_ms", Json::Num(round4(v)));
+        }
+        o.set("false_positives", Json::Num(self.false_positives as f64));
+        o.set("false_negatives", Json::Num(self.false_negatives as f64));
+        o.set("misattributions", Json::Num(self.misattributions as f64));
+        o
+    }
+
+    fn from_json(v: &Json) -> Result<ScenarioRecord, String> {
+        let str_field = |k: &str| {
+            v.str(k)
+                .map(str::to_string)
+                .ok_or_else(|| format!("scenario record missing string field {k:?}"))
+        };
+        Ok(ScenarioRecord {
+            scenario: str_field("scenario")?,
+            driver: str_field("driver")?,
+            live: matches!(v.get("live"), Some(Json::Bool(true))),
+            crashed: matches!(v.get("crashed"), Some(Json::Bool(true))),
+            throughput: v.num("throughput").unwrap_or(0.0),
+            floor: v.num("floor").unwrap_or(0.0),
+            p99_ms: v.num("p99_ms").unwrap_or(0.0),
+            stall_ms: v.num("stall_ms").unwrap_or(0.0),
+            detected: matches!(v.get("detected"), Some(Json::Bool(true))),
+            ttd_ms: v.num("ttd_ms"),
+            ttm_ms: v.num("ttm_ms"),
+            ttr_ms: v.num("ttr_ms"),
+            false_positives: v.num("false_positives").unwrap_or(0.0) as u64,
+            false_negatives: v.num("false_negatives").unwrap_or(0.0) as u64,
+            misattributions: v.num("misattributions").unwrap_or(0.0) as u64,
+        })
+    }
+}
+
 /// A full bench suite: provenance plus one [`RunRecord`] per cell and,
 /// for detection suites, one [`DetectRecord`] per scored cell.
 #[derive(Debug, Clone, PartialEq)]
@@ -281,6 +377,9 @@ pub struct Suite {
     /// `detect` array is emitted only when nonempty, so existing
     /// artifacts are byte-identical).
     pub detect: Vec<DetectRecord>,
+    /// Scenario-matrix survival cells (same emitted-only-when-nonempty
+    /// rule as `detect`).
+    pub scenarios: Vec<ScenarioRecord>,
 }
 
 impl Suite {
@@ -292,6 +391,7 @@ impl Suite {
             config: Vec::new(),
             runs: Vec::new(),
             detect: Vec::new(),
+            scenarios: Vec::new(),
         }
     }
 
@@ -321,6 +421,12 @@ impl Suite {
                 Json::Arr(self.detect.iter().map(DetectRecord::to_json).collect()),
             );
         }
+        if !self.scenarios.is_empty() {
+            o.set(
+                "scenarios",
+                Json::Arr(self.scenarios.iter().map(ScenarioRecord::to_json).collect()),
+            );
+        }
         o.pretty()
     }
 
@@ -348,12 +454,17 @@ impl Suite {
         for r in v.get("detect").and_then(Json::as_arr).unwrap_or(&[]) {
             detect.push(DetectRecord::from_json(r)?);
         }
+        let mut scenarios = Vec::new();
+        for r in v.get("scenarios").and_then(Json::as_arr).unwrap_or(&[]) {
+            scenarios.push(ScenarioRecord::from_json(r)?);
+        }
         Ok(Suite {
             suite: v.str("suite").unwrap_or("?").to_string(),
             seed: v.num("seed").unwrap_or(0.0) as u64,
             config,
             runs,
             detect,
+            scenarios,
         })
     }
 }
@@ -570,6 +681,129 @@ pub fn compare_detection(baseline: &Suite, current: &Suite, tol: &DetectToleranc
                 "[{}] new detection cell, not in baseline",
                 cur.key()
             ));
+        }
+    }
+    out
+}
+
+/// Allowed movement in scenario-matrix outcomes before the gate fails.
+///
+/// Liveness verdicts, crashes, lost detections and the FP/FN/misattr
+/// counters are gated exactly (a survival flip is always a behavior
+/// change worth a look); time-to-detect follows the same
+/// multiplicative-plus-slack band as [`DetectTolerance`]. Raw
+/// throughput/floor drift is reported as notes only — the perf gates
+/// already own those numbers, and double-gating them here would make
+/// every calibration change fail twice.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioTolerance {
+    /// Max allowed relative TTD rise (0.5 = +50%).
+    pub ttd_rise: f64,
+    /// Absolute TTD slack added on top, milliseconds.
+    pub ttd_slack_ms: f64,
+    /// Relative throughput drift that earns a note (not a failure).
+    pub throughput_note: f64,
+}
+
+impl Default for ScenarioTolerance {
+    fn default() -> Self {
+        ScenarioTolerance {
+            ttd_rise: 0.5,
+            ttd_slack_ms: 50.0,
+            throughput_note: 0.10,
+        }
+    }
+}
+
+/// Diffs scenario-matrix survival cells.
+///
+/// A cell fails when it disappeared, its liveness verdict flipped, it
+/// crashed where the baseline did not, it lost a detection, grew false
+/// positives / false negatives / misattributions, or its time-to-detect
+/// rose past `base × (1 + ttd_rise) + ttd_slack_ms`. Everything else —
+/// new cells, verdict improvements, throughput drift — is a note.
+pub fn compare_scenarios(
+    baseline: &Suite,
+    current: &Suite,
+    tol: &ScenarioTolerance,
+) -> GateOutcome {
+    let mut out = GateOutcome::default();
+    for base in &baseline.scenarios {
+        let key = base.key();
+        let Some(cur) = current
+            .scenarios
+            .iter()
+            .find(|r| r.scenario == base.scenario && r.driver == base.driver)
+        else {
+            out.failures
+                .push(format!("[{key}] missing from current matrix"));
+            continue;
+        };
+        out.checked += 1;
+        if base.live && !cur.live {
+            out.failures.push(format!(
+                "[{key}] liveness verdict flipped: live → {}",
+                if cur.crashed { "crashed" } else { "stalled" }
+            ));
+        } else if !base.live && cur.live {
+            out.notes.push(format!(
+                "[{key}] now survives (baseline did not) — consider refreshing the baseline"
+            ));
+        }
+        if cur.crashed && !base.crashed {
+            out.failures
+                .push(format!("[{key}] crashed (baseline did not)"));
+        }
+        if base.detected && !cur.detected {
+            out.failures
+                .push(format!("[{key}] fault no longer detected"));
+        }
+        if cur.false_positives > base.false_positives {
+            out.failures.push(format!(
+                "[{key}] false positives {} → {}",
+                base.false_positives, cur.false_positives
+            ));
+        }
+        if cur.false_negatives > base.false_negatives {
+            out.failures.push(format!(
+                "[{key}] false negatives {} → {}",
+                base.false_negatives, cur.false_negatives
+            ));
+        }
+        if cur.misattributions > base.misattributions {
+            out.failures.push(format!(
+                "[{key}] misattributions {} → {}",
+                base.misattributions, cur.misattributions
+            ));
+        }
+        if let (Some(b), Some(c)) = (base.ttd_ms, cur.ttd_ms) {
+            let limit = b * (1.0 + tol.ttd_rise) + tol.ttd_slack_ms;
+            if c > limit {
+                out.failures.push(format!(
+                    "[{key}] time-to-detect {b:.1} → {c:.1} ms (limit {limit:.1} ms)"
+                ));
+            }
+        }
+        if base.throughput > 0.0 {
+            let rel = cur.throughput / base.throughput - 1.0;
+            if rel.abs() > tol.throughput_note {
+                out.notes.push(format!(
+                    "[{key}] throughput {:.0} → {:.0} op/s ({:+.1}%)",
+                    base.throughput,
+                    cur.throughput,
+                    rel * 100.0
+                ));
+            }
+        }
+    }
+    for cur in &current.scenarios {
+        let known = baseline
+            .scenarios
+            .iter()
+            .any(|b| b.scenario == cur.scenario && b.driver == cur.driver);
+        if !known {
+            out.notes
+                .push(format!("[{}] new matrix cell, not in baseline", cur.key()));
         }
     }
     out
@@ -806,6 +1040,125 @@ mod tests {
         let out = compare_detection(&base, &cur, &DetectTolerance::default());
         assert!(out.passed(), "{:?}", out.failures);
         assert_eq!(out.notes.len(), 2, "{:?}", out.notes);
+    }
+
+    fn scenario_record(scenario: &str, driver: &str, live: bool) -> ScenarioRecord {
+        ScenarioRecord {
+            scenario: scenario.into(),
+            driver: driver.into(),
+            live,
+            crashed: false,
+            throughput: 3000.0,
+            floor: 800.0,
+            p99_ms: 25.0,
+            stall_ms: 200.0,
+            detected: true,
+            ttd_ms: Some(400.0),
+            ttm_ms: Some(450.0),
+            ttr_ms: Some(900.0),
+            false_positives: 0,
+            false_negatives: 0,
+            misattributions: 0,
+        }
+    }
+
+    fn scenario_suite(scenarios: Vec<ScenarioRecord>) -> Suite {
+        let mut s = Suite::new("scenarios", 7);
+        s.scenarios = scenarios;
+        s
+    }
+
+    #[test]
+    fn scenario_records_round_trip_and_stay_out_of_plain_suites() {
+        let with = scenario_suite(vec![
+            scenario_record("disk-slow-follower", "DepFastRaft", true),
+            scenario_record("flapping-disk-follower", "SyncRaft (TiDB-style)", false),
+        ]);
+        let text = with.to_json();
+        assert_eq!(text, with.to_json(), "serialization must be deterministic");
+        let back = Suite::parse(&text).unwrap();
+        assert_eq!(back, with);
+        // Suites without scenario cells serialize exactly as before the
+        // field existed.
+        let plain = suite(vec![record("d", "none", 5000.0, 8.0)]);
+        assert!(!plain.to_json().contains("scenarios"));
+    }
+
+    #[test]
+    fn identical_scenario_matrix_passes_the_gate() {
+        let s = scenario_suite(vec![scenario_record("disk-slow-follower", "d", true)]);
+        let out = compare_scenarios(&s, &s, &ScenarioTolerance::default());
+        assert!(out.passed(), "{:?}", out.failures);
+        assert_eq!(out.checked, 1);
+    }
+
+    #[test]
+    fn liveness_flip_fails_the_scenario_gate() {
+        let base = scenario_suite(vec![scenario_record("partial-partition", "d", true)]);
+        let mut flipped = scenario_record("partial-partition", "d", false);
+        flipped.stall_ms = 3000.0;
+        let out = compare_scenarios(
+            &base,
+            &scenario_suite(vec![flipped]),
+            &ScenarioTolerance::default(),
+        );
+        assert!(!out.passed());
+        assert!(
+            out.failures[0].contains("liveness verdict flipped"),
+            "{:?}",
+            out.failures
+        );
+    }
+
+    #[test]
+    fn doubled_scenario_ttd_fails_the_gate() {
+        let base = scenario_suite(vec![scenario_record("disk-slow-follower", "d", true)]);
+        let mut slow = scenario_record("disk-slow-follower", "d", true);
+        slow.ttd_ms = Some(800.0);
+        let out = compare_scenarios(
+            &base,
+            &scenario_suite(vec![slow]),
+            &ScenarioTolerance::default(),
+        );
+        assert!(!out.passed());
+        assert!(
+            out.failures[0].contains("time-to-detect"),
+            "{:?}",
+            out.failures
+        );
+    }
+
+    #[test]
+    fn new_scenario_misattribution_fails_and_missing_cell_fails() {
+        let base = scenario_suite(vec![scenario_record("leader-cpu-slow", "d", true)]);
+        let mut mis = scenario_record("leader-cpu-slow", "d", true);
+        mis.misattributions = 1;
+        let out = compare_scenarios(
+            &base,
+            &scenario_suite(vec![mis]),
+            &ScenarioTolerance::default(),
+        );
+        assert!(out.failures.iter().any(|f| f.contains("misattributions")));
+        let out2 = compare_scenarios(
+            &base,
+            &scenario_suite(vec![]),
+            &ScenarioTolerance::default(),
+        );
+        assert!(out2.failures.iter().any(|f| f.contains("missing")));
+    }
+
+    #[test]
+    fn scenario_throughput_drift_is_a_note_not_a_failure() {
+        let base = scenario_suite(vec![scenario_record("ramp-net-follower", "d", true)]);
+        let mut slower = scenario_record("ramp-net-follower", "d", true);
+        slower.throughput = 2000.0;
+        let out = compare_scenarios(
+            &base,
+            &scenario_suite(vec![slower]),
+            &ScenarioTolerance::default(),
+        );
+        assert!(out.passed(), "{:?}", out.failures);
+        assert_eq!(out.notes.len(), 1, "{:?}", out.notes);
     }
 
     #[test]

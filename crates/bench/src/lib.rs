@@ -22,7 +22,8 @@ pub mod report;
 pub mod scale;
 
 pub use baseline::{
-    compare_detection, DetectRecord, DetectTolerance, GateOutcome, RunRecord, Suite, Tolerance,
+    compare_detection, compare_scenarios, DetectRecord, DetectTolerance, GateOutcome, RunRecord,
+    ScenarioRecord, ScenarioTolerance, Suite, Tolerance,
 };
 pub use experiment::{
     run_experiment, run_experiment_incident, run_experiment_instrumented, run_experiment_profiled,

@@ -21,6 +21,32 @@ use depfast::Tracer;
 use depfast_metrics::Key;
 use simkit::{NodeId, Sim, SimTime};
 
+/// Which reference signal a window mean is judged against.
+///
+/// The peer-relative signal ("am I slower than the other replicas
+/// serving the same RPC right now?") adapts to workload shifts that move
+/// everyone together, but it *degenerates under correlated slowness*: if
+/// every peer of a label is slow at once there is no healthy majority to
+/// compare against and the ratio never trips. The absolute self-baseline
+/// EWMA is blind to nothing but pays for it with sensitivity to global
+/// workload shifts. [`DetectorMode::PeerWithFallback`] runs both tracks
+/// and suspects when either trips — the correlated-slowness fix the
+/// scenario matrix exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DetectorMode {
+    /// Judge against this (node, label)'s own frozen EWMA baseline only.
+    #[default]
+    SelfBaseline,
+    /// Judge against the median window mean of the *other* callees with
+    /// the same label in the same poll. With fewer than one healthy peer
+    /// the signal degenerates and no judgment is made (the documented
+    /// false negative under correlated slowness).
+    PeerRelative,
+    /// Peer-relative first, absolute self-baseline EWMA as a fallback
+    /// track: suspect when either trips.
+    PeerWithFallback,
+}
+
 /// Detector tuning.
 #[derive(Debug, Clone, Copy)]
 pub struct DetectorCfg {
@@ -38,6 +64,8 @@ pub struct DetectorCfg {
     pub clear_factor: f64,
     /// Baseline EWMA weight per window.
     pub alpha: f64,
+    /// Reference signal(s) to judge against.
+    pub mode: DetectorMode,
 }
 
 impl Default for DetectorCfg {
@@ -50,6 +78,7 @@ impl Default for DetectorCfg {
             floor: Duration::from_millis(2),
             clear_factor: 1.5,
             alpha: 0.2,
+            mode: DetectorMode::SelfBaseline,
         }
     }
 }
@@ -230,6 +259,46 @@ impl FailSlowDetector {
                 w.1 += (snap.total_ns - t0) as f64;
             }
         }
+        // Peer-relative reference: for each judged (callee, label) window,
+        // the median of the *other* callees' same-label window means this
+        // poll. Only computed for the peer modes; when a label has a single
+        // callee the signal degenerates to "no reference".
+        let peer_median: BTreeMap<(NodeId, &'static str), f64> =
+            if cfg.mode == DetectorMode::SelfBaseline {
+                BTreeMap::new()
+            } else {
+                let mut by_label: BTreeMap<&'static str, Vec<(NodeId, f64)>> = BTreeMap::new();
+                for ((callee, label), (count, total)) in &windows {
+                    if *count >= cfg.min_samples {
+                        by_label
+                            .entry(label)
+                            .or_default()
+                            .push((*callee, total / *count as f64));
+                    }
+                }
+                let mut out = BTreeMap::new();
+                for (label, means) in &by_label {
+                    for (callee, _) in means {
+                        let mut others: Vec<f64> = means
+                            .iter()
+                            .filter(|(c, _)| c != callee)
+                            .map(|(_, m)| *m)
+                            .collect();
+                        if others.is_empty() {
+                            continue;
+                        }
+                        others.sort_by(f64::total_cmp);
+                        let mid = others.len() / 2;
+                        let med = if others.len() % 2 == 1 {
+                            others[mid]
+                        } else {
+                            (others[mid - 1] + others[mid]) / 2.0
+                        };
+                        out.insert((*callee, *label), med);
+                    }
+                }
+                out
+            };
         let mut fired = Vec::new();
         {
             let mut st = self.state.borrow_mut();
@@ -251,47 +320,105 @@ impl FailSlowDetector {
                 }
                 let baseline = track.baseline_nanos;
                 let suspected = st.suspects.contains(&callee);
-                if !suspected && mean > baseline * cfg.factor && mean > cfg.floor.as_nanos() as f64
-                {
+                let pm = peer_median.get(&(callee, label)).copied();
+                let floor = cfg.floor.as_nanos() as f64;
+                let abs_trip = mean > baseline * cfg.factor && mean > floor;
+                let peer_trip = pm.is_some_and(|p| mean > p * cfg.factor && mean > floor);
+                // Which track tripped, the reference it compared against,
+                // and how the evidence names that reference.
+                let (trip, reference, track_name) = match cfg.mode {
+                    DetectorMode::SelfBaseline => (abs_trip, baseline, "self"),
+                    DetectorMode::PeerRelative => (peer_trip, pm.unwrap_or(baseline), "peer"),
+                    DetectorMode::PeerWithFallback => {
+                        if peer_trip {
+                            (true, pm.expect("peer_trip implies a median"), "peer")
+                        } else {
+                            (abs_trip, baseline, "fallback")
+                        }
+                    }
+                };
+                let cleared = match cfg.mode {
+                    DetectorMode::SelfBaseline => mean < baseline * cfg.clear_factor,
+                    DetectorMode::PeerRelative => pm.is_some_and(|p| mean < p * cfg.clear_factor),
+                    DetectorMode::PeerWithFallback => {
+                        mean < baseline * cfg.clear_factor
+                            && pm.is_none_or(|p| mean < p * cfg.clear_factor)
+                    }
+                };
+                if !suspected && trip {
                     st.suspects.insert(callee);
                     let s = Suspicion {
                         node: callee,
                         label,
                         observed: Duration::from_nanos(mean as u64),
-                        baseline: Duration::from_nanos(baseline as u64),
+                        baseline: Duration::from_nanos(reference as u64),
                         at: sim.now(),
                     };
                     st.history.push(s.clone());
+                    let evidence = match (cfg.mode, track_name) {
+                        (DetectorMode::SelfBaseline, _) => format!(
+                            "{}: window mean {}us > {}x baseline {}us",
+                            label,
+                            mean as u64 / 1_000,
+                            cfg.factor as u64,
+                            reference as u64 / 1_000
+                        ),
+                        (_, "peer") => format!(
+                            "{}: window mean {}us > {}x peer median {}us [peer]",
+                            label,
+                            mean as u64 / 1_000,
+                            cfg.factor as u64,
+                            reference as u64 / 1_000
+                        ),
+                        _ => format!(
+                            "{}: window mean {}us > {}x baseline {}us [fallback]",
+                            label,
+                            mean as u64 / 1_000,
+                            cfg.factor as u64,
+                            reference as u64 / 1_000
+                        ),
+                    };
                     tracer.record_health(depfast::HealthEvent {
                         t: sim.now(),
                         node: callee,
                         layer: "detector",
                         transition: "suspect",
-                        evidence: format!(
-                            "{}: window mean {}us > {}x baseline {}us",
-                            label,
-                            mean as u64 / 1_000,
-                            cfg.factor as u64,
-                            baseline as u64 / 1_000
-                        ),
+                        evidence,
                         group: None,
                     });
+                    tracer
+                        .metrics()
+                        .counter(Key::tagged("detector.suspect", callee.0, track_name))
+                        .inc();
                     fired.push(s);
-                } else if suspected && mean < baseline * cfg.clear_factor {
+                } else if suspected && cleared {
                     st.suspects.remove(&callee);
+                    let clear_ref = match cfg.mode {
+                        DetectorMode::PeerRelative => pm.unwrap_or(baseline),
+                        _ => baseline,
+                    };
+                    let noun = match cfg.mode {
+                        DetectorMode::PeerRelative => "peer median",
+                        _ => "baseline",
+                    };
                     tracer.record_health(depfast::HealthEvent {
                         t: sim.now(),
                         node: callee,
                         layer: "detector",
                         transition: "clear",
                         evidence: format!(
-                            "{}: window mean {}us back under baseline {}us",
+                            "{}: window mean {}us back under {} {}us",
                             label,
                             mean as u64 / 1_000,
-                            baseline as u64 / 1_000
+                            noun,
+                            clear_ref as u64 / 1_000
                         ),
                         group: None,
                     });
+                    tracer
+                        .metrics()
+                        .counter(Key::node("detector.clear", callee.0))
+                        .inc();
                 } else if !suspected {
                     // Healthy: keep tracking the baseline.
                     let track = st.tracks.get_mut(&(callee, label)).expect("present");
@@ -508,6 +635,123 @@ mod tests {
         assert_eq!(events.len(), 3);
         assert_eq!(events[2].transition, "unconfirmed");
         assert_eq!(events[2].t, events[0].t);
+    }
+
+    fn setup_mode(mode: DetectorMode) -> (Sim, Tracer, FailSlowDetector, DetectorCfg) {
+        let sim = Sim::new(1);
+        let tracer = Tracer::new();
+        let cfg = DetectorCfg {
+            mode,
+            ..DetectorCfg::default()
+        };
+        let det = FailSlowDetector::spawn(&sim, &tracer, cfg);
+        (sim, tracer, det, cfg)
+    }
+
+    #[test]
+    fn peer_relative_catches_a_lone_straggler() {
+        let (sim, tracer, det, cfg) = setup_mode(DetectorMode::PeerRelative);
+        for _ in 0..8 {
+            feed(&tracer, 1, 1, 50);
+            feed(&tracer, 2, 1, 50);
+            step(&sim, cfg.poll);
+        }
+        // Only follower 1 goes fail-slow: follower 2 is the healthy peer.
+        feed(&tracer, 1, 40, 50);
+        feed(&tracer, 2, 1, 50);
+        step(&sim, cfg.poll);
+        assert_eq!(det.suspects(), [NodeId(1)].into());
+        let events = tracer.health_events();
+        assert!(
+            events[0].evidence.contains("[peer]"),
+            "peer track must be credited: {}",
+            events[0].evidence
+        );
+    }
+
+    #[test]
+    fn peer_relative_alone_misses_correlated_two_follower_slowness() {
+        // The documented false negative: when both followers degrade
+        // together, each is the other's only peer, the median moves with
+        // them, and the ratio never trips.
+        let (sim, tracer, det, cfg) = setup_mode(DetectorMode::PeerRelative);
+        for _ in 0..8 {
+            feed(&tracer, 1, 1, 50);
+            feed(&tracer, 2, 1, 50);
+            step(&sim, cfg.poll);
+        }
+        for _ in 0..5 {
+            feed(&tracer, 1, 40, 50);
+            feed(&tracer, 2, 40, 50);
+            step(&sim, cfg.poll);
+        }
+        assert!(
+            det.suspects().is_empty(),
+            "peer-relative signal degenerates under correlated slowness"
+        );
+        assert!(det.history().is_empty());
+    }
+
+    #[test]
+    fn fallback_track_catches_correlated_two_follower_slowness() {
+        let (sim, tracer, det, cfg) = setup_mode(DetectorMode::PeerWithFallback);
+        for _ in 0..8 {
+            feed(&tracer, 1, 1, 50);
+            feed(&tracer, 2, 1, 50);
+            step(&sim, cfg.poll);
+        }
+        // Same correlated degradation: the absolute-baseline fallback
+        // trips within one judged window (one poll period).
+        feed(&tracer, 1, 40, 50);
+        feed(&tracer, 2, 40, 50);
+        step(&sim, cfg.poll);
+        assert_eq!(det.suspects(), [NodeId(1), NodeId(2)].into());
+        let events = tracer.health_events();
+        assert_eq!(events.len(), 2);
+        for e in &events {
+            assert!(
+                e.evidence.contains("[fallback]"),
+                "fallback track must be credited: {}",
+                e.evidence
+            );
+        }
+        // And the track-tagged metric rows exist for both nodes.
+        for node in [1u32, 2] {
+            assert_eq!(
+                tracer
+                    .metrics()
+                    .counter(Key::tagged("detector.suspect", node, "fallback"))
+                    .get(),
+                1
+            );
+        }
+    }
+
+    #[test]
+    fn fallback_mode_still_clears_after_recovery() {
+        let (sim, tracer, det, cfg) = setup_mode(DetectorMode::PeerWithFallback);
+        for _ in 0..8 {
+            feed(&tracer, 1, 1, 50);
+            feed(&tracer, 2, 1, 50);
+            step(&sim, cfg.poll);
+        }
+        feed(&tracer, 1, 40, 50);
+        feed(&tracer, 2, 40, 50);
+        step(&sim, cfg.poll);
+        assert_eq!(det.suspects().len(), 2);
+        for _ in 0..3 {
+            feed(&tracer, 1, 1, 50);
+            feed(&tracer, 2, 1, 50);
+            step(&sim, cfg.poll);
+        }
+        assert!(det.suspects().is_empty());
+        assert_eq!(
+            tracer
+                .metrics()
+                .counter(Key::node("detector.clear", 1))
+                .get(),
+            1
+        );
     }
 
     #[test]

@@ -18,5 +18,5 @@
 pub mod detect;
 pub mod mitigate;
 
-pub use detect::{Confirmation, DetectorCfg, FailSlowDetector, Suspicion};
+pub use detect::{Confirmation, DetectorCfg, DetectorMode, FailSlowDetector, Suspicion};
 pub use mitigate::spawn_leader_mitigation;

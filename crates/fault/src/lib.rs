@@ -68,6 +68,14 @@ pub enum FaultKind {
         /// Added one-way delay.
         delay: Duration,
     },
+    /// Partial network partition: this node and `peer` cannot reach each
+    /// other, while every other link stays up (the "A sees B, B can't
+    /// see C" gray failure). Not part of Table 1; used by the scenario
+    /// matrix.
+    PartialPartition {
+        /// The node on the other side of the severed link.
+        peer: u32,
+    },
 }
 
 impl FaultKind {
@@ -104,6 +112,7 @@ impl FaultKind {
             FaultKind::DiskContention { .. } => "Disk Contention",
             FaultKind::MemContention { .. } => "Memory Contention",
             FaultKind::NetSlow { .. } => "Network Slowness",
+            FaultKind::PartialPartition { .. } => "Partial Partition",
         }
     }
 
@@ -127,6 +136,8 @@ impl FaultKind {
             // nominal (the Table 1 setting squeezes to just above usage).
             FaultKind::MemContention { .. } => 0.75,
             FaultKind::NetSlow { delay } => (delay.as_secs_f64() / 0.4).min(1.0),
+            // One link fully severed: complete loss on that path.
+            FaultKind::PartialPartition { .. } => 1.0,
         }
     }
 }
@@ -218,16 +229,68 @@ impl FaultLedger {
     }
 }
 
+/// The world knob a fault kind owns while active. Two faults of the same
+/// class on the same node contend for one knob (latest injection wins);
+/// partial partitions are per-link, so the peer participates in the key.
+fn knob_key(world: &World, node: NodeId, kind: FaultKind) -> (usize, u32, u8, u32) {
+    let (class, param) = match kind {
+        FaultKind::CpuSlow { .. } => (0, 0),
+        FaultKind::CpuContention { .. } => (1, 0),
+        FaultKind::DiskSlow { .. } => (2, 0),
+        FaultKind::DiskContention { .. } => (3, 0),
+        FaultKind::MemContention { .. } => (4, 0),
+        FaultKind::NetSlow { .. } => (5, 0),
+        FaultKind::PartialPartition { peer } => (6, peer),
+    };
+    (world.uid(), node.0, class, param)
+}
+
+thread_local! {
+    /// Current owner epoch per world knob. Sim is single-threaded, so a
+    /// thread-local map is the whole synchronization story. Keyed by
+    /// [`World::uid`]: many worlds in one test process stay independent.
+    static KNOB_OWNERS: RefCell<std::collections::HashMap<(usize, u32, u8, u32), u64>> =
+        RefCell::new(std::collections::HashMap::new());
+}
+
+/// Claims the knob for a new injection, returning the epoch that marks
+/// this injection as the knob's current owner.
+fn claim_knob(world: &World, node: NodeId, kind: FaultKind) -> u64 {
+    KNOB_OWNERS.with(|m| {
+        let mut m = m.borrow_mut();
+        let e = m.entry(knob_key(world, node, kind)).or_insert(0);
+        *e += 1;
+        *e
+    })
+}
+
+/// `true` while `epoch` is still the knob's current owner — i.e. no newer
+/// injection of the same class has re-armed the node since.
+fn owns_knob(world: &World, node: NodeId, kind: FaultKind, epoch: u64) -> bool {
+    KNOB_OWNERS.with(|m| {
+        m.borrow()
+            .get(&knob_key(world, node, kind))
+            .is_some_and(|e| *e == epoch)
+    })
+}
+
 /// Handle to an injected fault. Reverting — explicitly with
 /// [`FaultGuard::revert`] or implicitly by dropping the guard — removes
 /// the fault and stamps the ledger's clear time, so fault durations in
 /// the ledger are exact. Use [`FaultGuard::leak`] to keep a fault active
 /// for the remainder of the run.
+///
+/// Re-injection is safe: each injection claims ownership of its node's
+/// resource knob, and a guard only resets world state it still owns. A
+/// flapping schedule that re-arms a fault at the exact instant an older
+/// window's revert fires gets adjacent, non-overlapping ledger intervals
+/// and keeps the new fault active, regardless of scheduler ordering.
 pub struct FaultGuard {
     sim: Sim,
     world: World,
     node: NodeId,
     kind: FaultKind,
+    epoch: u64,
     stop: Rc<Cell<bool>>,
     ledger: Option<(FaultLedger, usize)>,
     reverted: bool,
@@ -265,13 +328,20 @@ impl FaultGuard {
             return;
         }
         self.stop.set(true);
-        match self.kind {
-            FaultKind::CpuSlow { .. } => self.world.set_cpu_quota(self.node, 1.0),
-            FaultKind::CpuContention { .. } => self.world.set_cpu_contention(self.node, None),
-            FaultKind::DiskSlow { .. } => self.world.set_disk_bw_factor(self.node, 1.0),
-            FaultKind::DiskContention { .. } => {}
-            FaultKind::MemContention { .. } => self.world.reset_mem_limit(self.node),
-            FaultKind::NetSlow { .. } => self.world.set_egress_delay(self.node, Duration::ZERO),
+        // Only the knob's current owner may reset world state: if a newer
+        // injection re-armed this node (flapping window k+1 landing at the
+        // same instant as window k's revert), the stale guard must not
+        // stomp the live fault.
+        if owns_knob(&self.world, self.node, self.kind, self.epoch) {
+            match self.kind {
+                FaultKind::CpuSlow { .. } => self.world.set_cpu_quota(self.node, 1.0),
+                FaultKind::CpuContention { .. } => self.world.set_cpu_contention(self.node, None),
+                FaultKind::DiskSlow { .. } => self.world.set_disk_bw_factor(self.node, 1.0),
+                FaultKind::DiskContention { .. } => {}
+                FaultKind::MemContention { .. } => self.world.reset_mem_limit(self.node),
+                FaultKind::NetSlow { .. } => self.world.set_egress_delay(self.node, Duration::ZERO),
+                FaultKind::PartialPartition { peer } => self.world.heal(self.node, NodeId(peer)),
+            }
         }
         if let Some((ledger, slot)) = &self.ledger {
             ledger.close(*slot, self.sim.now());
@@ -309,6 +379,7 @@ fn inject_inner(
     ledger: Option<(FaultLedger, Option<SimTime>)>,
 ) -> FaultGuard {
     let stop = Rc::new(Cell::new(false));
+    let epoch = claim_knob(world, node, kind);
     match kind {
         FaultKind::CpuSlow { quota } => world.set_cpu_quota(node, quota),
         FaultKind::CpuContention { share, on, off } => {
@@ -317,15 +388,25 @@ fn inject_inner(
             let stop2 = stop.clone();
             sim.spawn(async move {
                 // The contending program: bursts of activity that squeeze
-                // the victim's share, with gaps in between.
+                // the victim's share, with gaps in between. Every touch of
+                // the contention knob is ownership-checked: once a newer
+                // injection re-arms the node, this loop exits without
+                // resetting state it no longer owns.
                 loop {
                     if stop2.get() || w.is_crashed(node) {
-                        w.set_cpu_contention(node, None);
+                        if owns_knob(&w, node, kind, epoch) {
+                            w.set_cpu_contention(node, None);
+                        }
+                        break;
+                    }
+                    if !owns_knob(&w, node, kind, epoch) {
                         break;
                     }
                     w.set_cpu_contention(node, Some(share));
                     s.sleep(on).await;
-                    w.set_cpu_contention(node, None);
+                    if owns_knob(&w, node, kind, epoch) {
+                        w.set_cpu_contention(node, None);
+                    }
                     s.sleep(off).await;
                 }
             });
@@ -342,9 +423,11 @@ fn inject_inner(
                 // The contending program: a heavy writer submitting bursts
                 // on a fixed schedule, regardless of completion — it can
                 // oversubscribe the shared disk queue, exactly how a
-                // misbehaving neighbour starves foreground fsyncs.
+                // misbehaving neighbour starves foreground fsyncs. The
+                // ownership check stops a stale writer the moment a newer
+                // injection takes over the node's disk queue.
                 loop {
-                    if stop2.get() || w.is_crashed(node) {
+                    if stop2.get() || w.is_crashed(node) || !owns_knob(&w, node, kind, epoch) {
                         break;
                     }
                     let w2 = w.clone();
@@ -357,6 +440,7 @@ fn inject_inner(
         }
         FaultKind::MemContention { limit } => world.set_mem_limit(node, limit),
         FaultKind::NetSlow { delay } => world.set_egress_delay(node, delay),
+        FaultKind::PartialPartition { peer } => world.partition(node, NodeId(peer)),
     }
     let ledger = ledger.map(|(l, scheduled)| {
         let slot = l.open(node, kind, scheduled, sim.now());
@@ -367,6 +451,7 @@ fn inject_inner(
         world: world.clone(),
         node,
         kind,
+        epoch,
         stop,
         ledger,
         reverted: false,
@@ -656,6 +741,94 @@ mod tests {
         let rec = &ledger.records()[0];
         assert_eq!(rec.cleared, Some(SimTime::from_millis(150)));
         assert_eq!(rec.duration(), Some(Duration::from_millis(50)));
+    }
+
+    #[test]
+    fn flapping_reinjection_keeps_fault_active_with_disjoint_intervals() {
+        // Two adjacent windows scheduled upfront, exactly how a flapping
+        // schedule arms: window 2's injection fires at the same instant as
+        // window 1's revert, and (same-time timers run in scheduling
+        // order) *before* it. The stale revert must not stomp the newly
+        // armed fault, and the ledger must show adjacent, non-overlapping
+        // intervals.
+        let (sim, w) = setup();
+        let ledger = FaultLedger::new();
+        let kind = FaultKind::CpuSlow { quota: 0.05 };
+        for at_ms in [100, 200] {
+            inject_at_logged(
+                &sim,
+                &w,
+                NodeId(0),
+                kind,
+                Duration::from_millis(at_ms),
+                Some(Duration::from_millis(100)),
+                &ledger,
+            );
+        }
+        sim.run_until_time(SimTime::from_millis(250));
+        assert!(
+            (w.cpu_rate(NodeId(0)) - 0.05).abs() < 1e-12,
+            "window 2 must stay active across the re-arm boundary; rate {}",
+            w.cpu_rate(NodeId(0))
+        );
+        sim.run_until_time(SimTime::from_millis(350));
+        assert!((w.cpu_rate(NodeId(0)) - 1.0).abs() < 1e-12, "window 2 over");
+        let recs = ledger.records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].onset, SimTime::from_millis(100));
+        assert_eq!(recs[0].cleared, Some(SimTime::from_millis(200)));
+        assert_eq!(recs[1].onset, SimTime::from_millis(200));
+        assert_eq!(recs[1].cleared, Some(SimTime::from_millis(300)));
+        // Interval disjointness: each record clears no later than the next
+        // one starts (half-open [onset, cleared) intervals back to back).
+        for pair in recs.windows(2) {
+            assert!(
+                pair[0].cleared.expect("closed") <= pair[1].onset,
+                "overlapping ledger intervals: {pair:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stale_contention_loop_does_not_stomp_a_reinjection() {
+        let (sim, w) = setup();
+        let kind = FaultKind::CpuContention {
+            share: 1.0 / 17.0,
+            on: Duration::from_millis(10),
+            off: Duration::from_millis(10),
+        };
+        let g1 = inject(&sim, &w, NodeId(0), kind);
+        sim.run_until_time(SimTime::from_millis(5));
+        assert!(w.cpu_rate(NodeId(0)) < 0.1, "first burst active");
+        // Revert and immediately re-arm: g1's background loop is still
+        // asleep mid-burst and wakes at 10 ms, inside g2's first burst.
+        g1.revert();
+        let _g2 = inject(&sim, &w, NodeId(0), kind);
+        sim.run_until_time(SimTime::from_millis(12));
+        assert!(
+            w.cpu_rate(NodeId(0)) < 0.1,
+            "g2's burst survives g1's stale loop tick; rate {}",
+            w.cpu_rate(NodeId(0))
+        );
+    }
+
+    #[test]
+    fn partial_partition_drops_the_link_and_heals_on_revert() {
+        let (sim, w) = setup();
+        let hits: Rc<std::cell::RefCell<Vec<u32>>> = Rc::default();
+        for target in [1u32, 2] {
+            let h = hits.clone();
+            w.register_handler(NodeId(target), move |_| h.borrow_mut().push(target));
+        }
+        let g = inject(&sim, &w, NodeId(0), FaultKind::PartialPartition { peer: 1 });
+        w.send(NodeId(0), NodeId(1), bytes::Bytes::from_static(b"x"));
+        w.send(NodeId(0), NodeId(2), bytes::Bytes::from_static(b"y"));
+        sim.run();
+        assert_eq!(*hits.borrow(), vec![2], "0↔1 severed, 0↔2 alive");
+        g.revert();
+        w.send(NodeId(0), NodeId(1), bytes::Bytes::from_static(b"z"));
+        sim.run();
+        assert_eq!(*hits.borrow(), vec![2, 1], "link heals on revert");
     }
 
     #[test]

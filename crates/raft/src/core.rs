@@ -539,7 +539,10 @@ impl RaftCore {
         };
         if was_leader {
             self.proposals.fail_all();
-            let drained: Vec<_> = self.pending.borrow_mut().drain().collect();
+            // Fail in log-index order: HashMap drain order varies per
+            // process and would wake waiting proposers nondeterministically.
+            let mut drained: Vec<_> = self.pending.borrow_mut().drain().collect();
+            drained.sort_unstable_by_key(|(idx, _)| *idx);
             for (_, ev) in drained {
                 ev.fire_err();
             }

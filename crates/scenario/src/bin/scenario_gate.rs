@@ -1,0 +1,249 @@
+//! `scenario-gate` — the gray-failure survival regression gate.
+//!
+//! ```text
+//! scenario-gate                    # run the matrix, diff vs BENCH_scenarios_baseline.json
+//! scenario-gate --write-baseline   # run the matrix and (re)write the baseline
+//! scenario-gate --current <file>   # diff a pre-recorded suite instead of running
+//! scenario-gate --baseline <file>  # diff against a different baseline file
+//! scenario-gate --out <file>       # where to write the fresh suite (default BENCH_scenarios.json)
+//! scenario-gate --report           # also print the survival-report table
+//! ```
+//!
+//! Runs the fixed-seed scenario catalog (8 gray-failure scenarios:
+//! constant, flapping, ramped, load-triggered, leader-targeted,
+//! quorum-minority, correlated-pair, partial-partition) against all five
+//! Raft drivers and diffs each cell's survival verdict against the
+//! committed baseline: a liveness-verdict flip, a new crash, a lost
+//! detection, a new false positive / false negative / misattribution, or
+//! a time-to-detect regression fails CI. Exit codes: 0 pass, 1
+//! regression, 2 usage/IO error.
+//!
+//! Local shrink knobs (CI runs the full matrix): `SCEN_SCALE_SCENARIOS`
+//! and `SCEN_SCALE_DRIVERS` are comma-separated allowlists filtering the
+//! catalog by scenario name / driver name substring.
+
+use std::process::ExitCode;
+
+use depfast_bench::baseline::{compare_scenarios, ScenarioRecord, ScenarioTolerance, Suite};
+use depfast_bench::repo_root;
+use depfast_incident::RECOVERY_BAND;
+use depfast_scenario::{all_drivers, catalog, render_survival_report, run_matrix, MatrixCfg};
+
+const BASELINE_FILE: &str = "BENCH_scenarios_baseline.json";
+const GATE_FILE: &str = "BENCH_scenarios.json";
+
+fn record_from_cell(cell: &depfast_scenario::SurvivalCell) -> ScenarioRecord {
+    let ms = |ns: u64| ns as f64 / 1e6;
+    ScenarioRecord {
+        scenario: cell.scenario.clone(),
+        driver: cell.driver.clone(),
+        live: cell.live,
+        crashed: cell.crashed,
+        throughput: cell.throughput,
+        floor: cell.floor,
+        p99_ms: cell.p99_ms,
+        stall_ms: cell.stall_ms,
+        detected: cell.score.detected,
+        ttd_ms: cell.score.ttd_ns.map(ms),
+        ttm_ms: cell.score.ttm_ns.map(ms),
+        ttr_ms: cell.score.ttr_ns.map(ms),
+        false_positives: cell.score.false_positives,
+        false_negatives: cell.score.false_negatives,
+        misattributions: cell.score.misattributions,
+    }
+}
+
+fn env_filter(var: &str) -> Option<Vec<String>> {
+    std::env::var(var).ok().map(|v| {
+        v.split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect()
+    })
+}
+
+fn run_scenario_suite(report: bool) -> Result<Suite, String> {
+    let cfg = MatrixCfg::default();
+    let mut scenarios = catalog();
+    if let Some(allow) = env_filter("SCEN_SCALE_SCENARIOS") {
+        scenarios.retain(|s| allow.iter().any(|a| s.name.contains(a.as_str())));
+        eprintln!(
+            "[scenario-gate] SCEN_SCALE_SCENARIOS set: {} scenario(s) kept",
+            scenarios.len()
+        );
+    }
+    let mut drivers = all_drivers();
+    if let Some(allow) = env_filter("SCEN_SCALE_DRIVERS") {
+        drivers.retain(|k| allow.iter().any(|a| k.name().contains(a.as_str())));
+        eprintln!(
+            "[scenario-gate] SCEN_SCALE_DRIVERS set: {} driver(s) kept",
+            drivers.len()
+        );
+    }
+    let cells = run_matrix(&scenarios, &drivers, &cfg, |cell| {
+        eprintln!(
+            "[scenario-gate] {} / {}: {} ({:.0} op/s, floor {:.0})",
+            cell.scenario,
+            cell.driver,
+            if cell.crashed {
+                "CRASH"
+            } else if cell.live {
+                "live"
+            } else {
+                "STALLED"
+            },
+            cell.throughput,
+            cell.floor
+        );
+    })
+    .map_err(|e| format!("scenario failed to compile: {e}"))?;
+    if report {
+        print!("{}", render_survival_report(&cells, &cfg));
+    }
+    let mut suite = Suite::new("scenarios", cfg.seed);
+    suite.config("n_servers", cfg.n_servers as f64);
+    suite.config("clients", cfg.n_clients as f64);
+    suite.config("warmup_secs", cfg.warmup.as_secs_f64());
+    suite.config("measure_secs", cfg.measure.as_secs_f64());
+    suite.config("records", cfg.records as f64);
+    suite.config("stall_limit_secs", cfg.stall_limit.as_secs_f64());
+    suite.config("recovery_band", RECOVERY_BAND);
+    suite.scenarios = cells.iter().map(record_from_cell).collect();
+    Ok(suite)
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn load_suite(path: &std::path::Path) -> Result<Suite, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Suite::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn print_cells(suite: &Suite) {
+    let opt = |v: Option<f64>| v.map_or_else(|| "      -".to_string(), |m| format!("{m:>7.1}"));
+    for r in &suite.scenarios {
+        println!(
+            "  {:<55} live={:<5} tput={:>6.0} floor={:>6.0} detected={:<5} ttd{} ms  fp={} fn={} misattr={}",
+            r.key(),
+            r.live,
+            r.throughput,
+            r.floor,
+            r.detected,
+            opt(r.ttd_ms),
+            r.false_positives,
+            r.false_negatives,
+            r.misattributions
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: scenario-gate [--write-baseline] [--current <file>] [--baseline <file>] [--out <file>] [--report]"
+        );
+        return ExitCode::from(2);
+    }
+    let report = args.iter().any(|a| a == "--report");
+    let root = repo_root();
+    let baseline_path = arg_value(&args, "--baseline")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| root.join(BASELINE_FILE));
+
+    if args.iter().any(|a| a == "--write-baseline") {
+        let suite = match run_scenario_suite(report) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("scenario-gate: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(e) = std::fs::write(&baseline_path, suite.to_json()) {
+            eprintln!(
+                "scenario-gate: cannot write {}: {e}",
+                baseline_path.display()
+            );
+            return ExitCode::from(2);
+        }
+        println!(
+            "[scenario-gate] baseline written to {}",
+            baseline_path.display()
+        );
+        print_cells(&suite);
+        return ExitCode::SUCCESS;
+    }
+
+    let current = match arg_value(&args, "--current") {
+        Some(path) => match load_suite(std::path::Path::new(&path)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("scenario-gate: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => {
+            let suite = match run_scenario_suite(report) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("scenario-gate: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let out = arg_value(&args, "--out")
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(|| root.join(GATE_FILE));
+            match std::fs::write(&out, suite.to_json()) {
+                Ok(()) => println!("[scenario-gate] fresh suite written to {}", out.display()),
+                Err(e) => eprintln!(
+                    "scenario-gate: cannot write {}: {e} (continuing)",
+                    out.display()
+                ),
+            }
+            suite
+        }
+    };
+
+    let baseline = match load_suite(&baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "scenario-gate: {e}\nhint: commit one with `cargo run -p depfast-scenario --bin scenario-gate -- --write-baseline`"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let tol = ScenarioTolerance::default();
+    let outcome = compare_scenarios(&baseline, &current, &tol);
+    println!(
+        "[scenario-gate] {} cell(s) checked against {} (liveness/crash/detection exact, ttd +{:.0}% +{:.0}ms, zero new FP/FN/misattribution)",
+        outcome.checked,
+        baseline_path.display(),
+        tol.ttd_rise * 100.0,
+        tol.ttd_slack_ms
+    );
+    print_cells(&current);
+    for note in &outcome.notes {
+        println!("  note: {note}");
+    }
+    if outcome.passed() {
+        println!("[scenario-gate] PASS");
+        ExitCode::SUCCESS
+    } else {
+        for failure in &outcome.failures {
+            println!("  FAIL: {failure}");
+        }
+        println!(
+            "[scenario-gate] FAIL ({} regression(s))",
+            outcome.failures.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,34 @@
+//! Gray-failure scenarios as first-class, repeatable tests.
+//!
+//! The paper's Table 1 measures six *static, single-node* fail-slow
+//! faults. Real fleets see flapping disks, correlated stragglers,
+//! partial partitions and load-induced metastable states — regimes
+//! where "recovery is the normal case" and a detector's blind spots
+//! matter more than its happy path. This crate turns those regimes into
+//! data:
+//!
+//! - [`dsl`]: `Scenario = fault kind × schedule (constant | flapping |
+//!   ramp | load-triggered) × target (follower | leader |
+//!   quorum-minority | correlated-pair)`, with [`dsl::catalog`] as the
+//!   fixed 8-cell matrix.
+//! - [`compile`]: pure scenario → [`InjectionPlan`] lowering, enforcing
+//!   the never-degrade-a-majority invariant before anything runs.
+//! - [`matrix`]: the deterministic scenario × driver runner emitting
+//!   per-cell [`SurvivalCell`]s and the per-driver survival report.
+//!
+//! The `scenario-gate` binary diffs a fixed-seed matrix against the
+//! committed `BENCH_scenarios.json` baseline in CI: a liveness-verdict
+//! flip, a new false positive/negative/misattribution, or a TTD
+//! regression fails the build.
+
+#![warn(missing_docs)]
+
+pub mod compile;
+pub mod dsl;
+pub mod matrix;
+
+pub use compile::{scale_kind, CompileError, InjectionPlan, Trigger, Window};
+pub use dsl::{catalog, Scenario, Schedule, Target};
+pub use matrix::{
+    all_drivers, render_survival_report, run_cell, run_matrix, MatrixCfg, SurvivalCell,
+};

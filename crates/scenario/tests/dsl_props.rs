@@ -1,0 +1,198 @@
+//! Scenario-DSL properties: compilation is a pure, deterministic
+//! function of `(scenario, n_servers, leader, seed)`, compiled plans
+//! never degrade a majority unless the scenario explicitly opts in, and
+//! window schedules stay inside their declared envelope.
+
+use std::time::Duration;
+
+use depfast_fault::FaultKind;
+use depfast_scenario::{CompileError, Scenario, Schedule, Target};
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = FaultKind> {
+    // The vendored proptest subset has integer range strategies only;
+    // fractional severities are mapped out of per-mille draws.
+    prop_oneof![
+        (10u64..900).prop_map(|q| FaultKind::CpuSlow {
+            quota: q as f64 / 1000.0
+        }),
+        (1u64..900).prop_map(|bw| FaultKind::DiskSlow {
+            bw_factor: bw as f64 / 1000.0
+        }),
+        (1u64..2_000).prop_map(|ms| FaultKind::NetSlow {
+            delay: Duration::from_millis(ms)
+        }),
+        (10u64..500, 1u64..100, 1u64..100).prop_map(|(share, on, off)| {
+            FaultKind::CpuContention {
+                share: share as f64 / 1000.0,
+                on: Duration::from_millis(on),
+                off: Duration::from_millis(off),
+            }
+        }),
+        (1u64..4_000_000).prop_map(|write_bytes| FaultKind::DiskContention {
+            write_bytes,
+            period: Duration::from_millis(10),
+        }),
+        (1u64 << 20..1u64 << 28).prop_map(|limit| FaultKind::MemContention { limit }),
+        (0u32..8).prop_map(|peer| FaultKind::PartialPartition { peer }),
+    ]
+}
+
+fn arb_schedule() -> impl Strategy<Value = Schedule> {
+    prop_oneof![
+        (0u64..5_000, 0u64..5_000).prop_map(|(at, dur)| {
+            Schedule::Constant {
+                at: Duration::from_millis(at),
+                // 0 doubles as "never clears".
+                duration: (dur > 0).then(|| Duration::from_millis(dur)),
+            }
+        }),
+        (0u64..3_000, 10u64..1_000, 50u64..=1_000, 1u64..6_000).prop_map(
+            |(at, period, duty_mille, span)| Schedule::Flapping {
+                at: Duration::from_millis(at),
+                period: Duration::from_millis(period),
+                duty: duty_mille as f64 / 1000.0,
+                until: Duration::from_millis(at + span),
+            }
+        ),
+        (0u64..3_000, 1u64..6_000, 1u32..12).prop_map(|(at, span, steps)| Schedule::Ramp {
+            at: Duration::from_millis(at),
+            until: Duration::from_millis(at + span),
+            steps,
+        }),
+        (1u64..100_000, 1u64..5_000).prop_map(|(commits, dur)| Schedule::LoadTriggered {
+            commits,
+            duration: Duration::from_millis(dur),
+        }),
+    ]
+}
+
+fn arb_target() -> impl Strategy<Value = Target> {
+    prop_oneof![
+        Just(Target::Follower),
+        Just(Target::Leader),
+        Just(Target::QuorumMinority),
+        Just(Target::CorrelatedPair),
+    ]
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (arb_kind(), arb_schedule(), arb_target(), any::<bool>()).prop_map(
+        |(kind, schedule, target, allow_majority)| Scenario {
+            name: "prop".to_string(),
+            kind,
+            schedule,
+            target,
+            allow_majority,
+        },
+    )
+}
+
+proptest! {
+    /// Same `(scenario, n, leader, seed)` always compiles to the same
+    /// plan — the pure-function guarantee the byte-identical survival
+    /// report rests on.
+    #[test]
+    fn same_seed_compilation_is_deterministic(
+        s in arb_scenario(),
+        n in 2usize..=9,
+        leader_pick in 0u32..9,
+        seed in any::<u64>(),
+    ) {
+        let leader = leader_pick % n as u32;
+        prop_assert_eq!(s.compile(n, leader, seed), s.compile(n, leader, seed));
+    }
+
+    /// A compiled plan never degrades a majority of the group unless the
+    /// scenario explicitly set `allow_majority` — the safety invariant
+    /// that keeps every scenario inside the paper's quorum-tolerable
+    /// envelope by default.
+    #[test]
+    fn compiled_plans_never_target_a_majority_without_override(
+        s in arb_scenario(),
+        n in 2usize..=9,
+        leader_pick in 0u32..9,
+        seed in any::<u64>(),
+    ) {
+        let leader = leader_pick % n as u32;
+        if let Ok(plan) = s.compile(n, leader, seed) {
+            let targeted = plan.targets().len();
+            prop_assert!(
+                2 * targeted <= n || s.allow_majority,
+                "{targeted} of {n} nodes degraded without allow_majority"
+            );
+            // Targets are real group members, and a partition's peer is
+            // never also a target (that pair would self-heal to a no-op).
+            prop_assert!(plan.targets().iter().all(|&t| (t as usize) < n));
+            if let FaultKind::PartialPartition { peer } = s.kind {
+                prop_assert!(!plan.targets().contains(&peer));
+            }
+        }
+    }
+
+    /// Every static window stays inside the schedule's declared envelope
+    /// and ramp severities never exceed the scenario's own fault.
+    #[test]
+    fn windows_respect_the_schedule_envelope(
+        s in arb_scenario(),
+        seed in any::<u64>(),
+    ) {
+        if let Ok(plan) = s.compile(5, 0, seed) {
+            match s.schedule {
+                Schedule::Constant { at, .. } => {
+                    for w in &plan.windows {
+                        prop_assert_eq!(w.at, at);
+                    }
+                }
+                Schedule::Flapping { at, until, period, .. } => {
+                    for w in &plan.windows {
+                        prop_assert!(w.at >= at && w.at < until);
+                        let dur = w.duration.expect("flapping windows are bounded");
+                        prop_assert!(dur <= period);
+                    }
+                }
+                Schedule::Ramp { at, until, .. } => {
+                    for w in &plan.windows {
+                        prop_assert!(w.at >= at && w.at < until);
+                        if let (
+                            FaultKind::NetSlow { delay },
+                            FaultKind::NetSlow { delay: full },
+                        ) = (w.kind, s.kind)
+                        {
+                            prop_assert!(delay <= full);
+                        }
+                    }
+                }
+                Schedule::LoadTriggered { .. } => {
+                    prop_assert!(plan.windows.is_empty());
+                    prop_assert_eq!(plan.triggers.len(), 1);
+                }
+            }
+            // Windows arrive sorted by (at, node): the runner arms them
+            // in onset order.
+            for pair in plan.windows.windows(2) {
+                prop_assert!((pair[0].at, pair[0].node) <= (pair[1].at, pair[1].node));
+            }
+        }
+    }
+
+    /// Compilation refuses (with a structured error) rather than
+    /// producing an unsafe or degenerate plan: every error is one of the
+    /// declared refusal reasons.
+    #[test]
+    fn refusals_are_structured(
+        s in arb_scenario(),
+        n in 2usize..=9,
+        seed in any::<u64>(),
+    ) {
+        if let Err(e) = s.compile(n, 0, seed) {
+            prop_assert!(matches!(
+                e,
+                CompileError::MajorityTarget { .. }
+                    | CompileError::GroupTooSmall(_)
+                    | CompileError::PeerIsTarget
+                    | CompileError::BadSchedule(_)
+            ));
+        }
+    }
+}
