@@ -300,6 +300,17 @@ pub struct ScenarioRecord {
     pub false_negatives: u64,
     /// Suspicions of healthy nodes during a fault elsewhere.
     pub misattributions: u64,
+    /// Time to stabilize, milliseconds: fault-clear → `storm_cleared`.
+    /// `None` in a storm cell means the storm never dissolved; absent
+    /// entirely (also `None`) for non-storm matrix cells.
+    pub tts_ms: Option<f64>,
+    /// Storm verdict: `Some(true)` when a retry storm outlived its
+    /// fault (metastable), `Some(false)` when monitored and it did not,
+    /// `None` for cells without a storm monitor.
+    pub storm_sustained: Option<bool>,
+    /// Retry amplification (attempts per fresh op) at/after fault
+    /// onset. `None` for cells without a storm monitor.
+    pub amp: Option<f64>,
 }
 
 impl ScenarioRecord {
@@ -332,6 +343,17 @@ impl ScenarioRecord {
         o.set("false_positives", Json::Num(self.false_positives as f64));
         o.set("false_negatives", Json::Num(self.false_negatives as f64));
         o.set("misattributions", Json::Num(self.misattributions as f64));
+        // Storm columns: emitted only for storm-monitored cells, so
+        // pre-existing (non-storm) baselines stay byte-identical.
+        if let Some(v) = self.tts_ms {
+            o.set("tts_ms", Json::Num(round4(v)));
+        }
+        if let Some(v) = self.storm_sustained {
+            o.set("storm_sustained", Json::Bool(v));
+        }
+        if let Some(v) = self.amp {
+            o.set("amp", Json::Num(round4(v)));
+        }
         o
     }
 
@@ -357,6 +379,12 @@ impl ScenarioRecord {
             false_positives: v.num("false_positives").unwrap_or(0.0) as u64,
             false_negatives: v.num("false_negatives").unwrap_or(0.0) as u64,
             misattributions: v.num("misattributions").unwrap_or(0.0) as u64,
+            tts_ms: v.num("tts_ms"),
+            storm_sustained: match v.get("storm_sustained") {
+                Some(Json::Bool(b)) => Some(*b),
+                _ => None,
+            },
+            amp: v.num("amp"),
         })
     }
 }
@@ -703,6 +731,10 @@ pub struct ScenarioTolerance {
     pub ttd_slack_ms: f64,
     /// Relative throughput drift that earns a note (not a failure).
     pub throughput_note: f64,
+    /// Max allowed relative time-to-stabilize rise (0.5 = +50%).
+    pub tts_rise: f64,
+    /// Absolute TTS slack added on top, milliseconds.
+    pub tts_slack_ms: f64,
 }
 
 impl Default for ScenarioTolerance {
@@ -711,6 +743,8 @@ impl Default for ScenarioTolerance {
             ttd_rise: 0.5,
             ttd_slack_ms: 50.0,
             throughput_note: 0.10,
+            tts_rise: 0.5,
+            tts_slack_ms: 50.0,
         }
     }
 }
@@ -783,6 +817,38 @@ pub fn compare_scenarios(
                     "[{key}] time-to-detect {b:.1} → {c:.1} ms (limit {limit:.1} ms)"
                 ));
             }
+        }
+        // Storm columns (present only for storm-monitored cells): a
+        // cell whose retry storm newly outlives its fault is a
+        // metastability regression; so is losing or slowing the
+        // stabilization the retry-budget mitigation used to deliver.
+        match (base.storm_sustained, cur.storm_sustained) {
+            (Some(false), Some(true)) => out.failures.push(format!(
+                "[{key}] retry storm now sustained past fault clear (metastable)"
+            )),
+            (Some(true), Some(false)) => out.notes.push(format!(
+                "[{key}] retry storm no longer sustained — consider refreshing the baseline"
+            )),
+            _ => {}
+        }
+        match (base.tts_ms, cur.tts_ms) {
+            (Some(b), Some(c)) => {
+                let limit = b * (1.0 + tol.tts_rise) + tol.tts_slack_ms;
+                if c > limit {
+                    out.failures.push(format!(
+                        "[{key}] time-to-stabilize {b:.1} → {c:.1} ms (limit {limit:.1} ms)"
+                    ));
+                }
+            }
+            (Some(b), None) if cur.storm_sustained.is_some() => {
+                out.failures.push(format!(
+                    "[{key}] no longer stabilizes (baseline TTS {b:.1} ms, storm never cleared)"
+                ));
+            }
+            (None, Some(c)) => out.notes.push(format!(
+                "[{key}] now stabilizes in {c:.1} ms (baseline never did) — consider refreshing the baseline"
+            )),
+            _ => {}
         }
         if base.throughput > 0.0 {
             let rel = cur.throughput / base.throughput - 1.0;
@@ -1059,7 +1125,20 @@ mod tests {
             false_positives: 0,
             false_negatives: 0,
             misattributions: 0,
+            tts_ms: None,
+            storm_sustained: None,
+            amp: None,
         }
+    }
+
+    /// A storm-monitored cell: the mitigated shape (stabilizes, not
+    /// sustained) unless doctored otherwise.
+    fn storm_record(scenario: &str) -> ScenarioRecord {
+        let mut r = scenario_record(scenario, "DepFastRaft", true);
+        r.tts_ms = Some(800.0);
+        r.storm_sustained = Some(false);
+        r.amp = Some(1.5);
+        r
     }
 
     fn scenario_suite(scenarios: Vec<ScenarioRecord>) -> Suite {
@@ -1159,6 +1238,82 @@ mod tests {
         );
         assert!(out.passed(), "{:?}", out.failures);
         assert_eq!(out.notes.len(), 1, "{:?}", out.notes);
+    }
+
+    #[test]
+    fn storm_records_round_trip_and_stay_out_of_plain_cells() {
+        let s = scenario_suite(vec![
+            scenario_record("disk-slow-follower", "d", true),
+            storm_record("retry-storm-budget"),
+        ]);
+        let text = s.to_json();
+        let back = Suite::parse(&text).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.to_json(), text);
+        // Storm keys appear only on the storm-monitored cell, so
+        // pre-existing baseline bytes are untouched.
+        assert_eq!(text.matches("storm_sustained").count(), 1);
+        assert_eq!(text.matches("tts_ms").count(), 1);
+        assert_eq!(text.matches("\"amp\"").count(), 1);
+    }
+
+    #[test]
+    fn sustained_storm_flip_fails_the_gate() {
+        let base = scenario_suite(vec![storm_record("retry-storm-budget")]);
+        let mut flipped = storm_record("retry-storm-budget");
+        flipped.storm_sustained = Some(true);
+        flipped.tts_ms = None;
+        let out = compare_scenarios(
+            &base,
+            &scenario_suite(vec![flipped]),
+            &ScenarioTolerance::default(),
+        );
+        assert!(!out.passed());
+        assert!(
+            out.failures.iter().any(|f| f.contains("sustained")),
+            "{:?}",
+            out.failures
+        );
+        assert!(
+            out.failures
+                .iter()
+                .any(|f| f.contains("no longer stabilizes")),
+            "{:?}",
+            out.failures
+        );
+    }
+
+    #[test]
+    fn doubled_tts_fails_the_gate_but_dissolving_is_a_note() {
+        let base = scenario_suite(vec![storm_record("retry-storm-budget")]);
+        let mut slower = storm_record("retry-storm-budget");
+        slower.tts_ms = Some(1600.0);
+        let out = compare_scenarios(
+            &base,
+            &scenario_suite(vec![slower]),
+            &ScenarioTolerance::default(),
+        );
+        assert!(!out.passed());
+        assert!(
+            out.failures.iter().any(|f| f.contains("time-to-stabilize")),
+            "{:?}",
+            out.failures
+        );
+        // The unmitigated cell learning to stabilize is an improvement.
+        let mut sustained_base = storm_record("retry-storm");
+        sustained_base.storm_sustained = Some(true);
+        sustained_base.tts_ms = None;
+        sustained_base.live = false;
+        let mut healed = sustained_base.clone();
+        healed.storm_sustained = Some(false);
+        healed.tts_ms = Some(500.0);
+        let out = compare_scenarios(
+            &scenario_suite(vec![sustained_base]),
+            &scenario_suite(vec![healed]),
+            &ScenarioTolerance::default(),
+        );
+        assert!(out.passed(), "{:?}", out.failures);
+        assert!(out.notes.len() >= 2, "{:?}", out.notes);
     }
 
     #[test]

@@ -281,6 +281,10 @@ pub fn run_experiment_incident(cfg: &ExperimentCfg, dcfg: DetectorCfg) -> Incide
         events: run.health.into_iter().map(Into::into).collect(),
         throughput,
         end_ns: (cfg.warmup + cfg.measure).as_nanos() as u64,
+        health_dropped: run
+            .metrics
+            .counter(Key::global("trace.health_dropped"))
+            .get(),
     };
     dump.canonicalize();
     IncidentRun {

@@ -133,7 +133,7 @@ pub fn run_scale_experiment(cfg: &ScaleCfg) -> ShardedRunStats {
 /// joined [`IncidentDump`] ready for the per-group scorecard split.
 pub fn run_scale_incident(cfg: &ScaleCfg, dcfg: DetectorCfg) -> ScaleIncidentRun {
     let ledger = FaultLedger::new();
-    let (stats, sampler, health, members) =
+    let (stats, sampler, health, members, health_dropped) =
         run(cfg, Some(INCIDENT_SAMPLE_EVERY), Some((&ledger, dcfg)));
     let end_ns = (cfg.warmup + cfg.measure).as_nanos() as u64;
     let fault_name = cfg
@@ -193,6 +193,7 @@ pub fn run_scale_incident(cfg: &ScaleCfg, dcfg: DetectorCfg) -> ScaleIncidentRun
                 .collect(),
             throughput,
             end_ns,
+            health_dropped,
         };
         dump.canonicalize();
         dumps.push(dump);
@@ -218,6 +219,7 @@ fn run(
     Sampler,
     Vec<depfast::HealthEvent>,
     Vec<Vec<NodeId>>,
+    u64,
 ) {
     // Same hygiene as the single-group runner: no inherited trace
     // context from an earlier experiment in the process.
@@ -293,7 +295,8 @@ fn run(
     );
     let sampler = sampler.replace(Sampler::new(MetricsRegistry::new(), 1));
     let health = cluster.raft.tracer.take_health_events();
-    (stats, sampler, health, members)
+    let health_dropped = cluster.raft.tracer.health_dropped();
+    (stats, sampler, health, members, health_dropped)
 }
 
 #[cfg(test)]

@@ -279,7 +279,8 @@ pub struct HealthEvent {
 }
 
 /// Cap on buffered health events; a run that floods past it is itself an
-/// incident (counted in the global `health.dropped` metric).
+/// incident (counted in the global `trace.health_dropped` metric, which
+/// incident and survival reports surface as a warning when non-zero).
 pub const HEALTH_EVENT_CAPACITY: usize = 65_536;
 
 struct TraceInner {
@@ -329,7 +330,7 @@ impl Tracer {
                 dropped: metrics.counter(Key::global("trace.dropped")),
                 samples: HashMap::new(),
                 health: Vec::new(),
-                health_dropped: metrics.counter(Key::global("health.dropped")),
+                health_dropped: metrics.counter(Key::global("trace.health_dropped")),
                 next_event: 0,
                 next_coro: 0,
                 // Trace id 0 is the wire's "untraced" sentinel.
@@ -511,6 +512,14 @@ impl Tracer {
         self.inner.borrow().health.clone()
     }
 
+    /// Number of health events dropped on the capacity cap
+    /// (`trace.health_dropped`). Non-zero means the health timeline is
+    /// incomplete — reports must say so rather than present a truncated
+    /// timeline as the whole story.
+    pub fn health_dropped(&self) -> u64 {
+        self.inner.borrow().health_dropped.get()
+    }
+
     /// Moves the health-event buffer out, leaving it empty.
     pub fn take_health_events(&self) -> Vec<HealthEvent> {
         std::mem::take(&mut self.inner.borrow_mut().health)
@@ -644,7 +653,7 @@ mod tests {
         let taken = t.take_health_events();
         assert_eq!(taken.len(), 1);
         assert!(t.health_events().is_empty());
-        assert_eq!(r.counter(Key::global("health.dropped")).get(), 0);
+        assert_eq!(r.counter(Key::global("trace.health_dropped")).get(), 0);
     }
 
     #[test]

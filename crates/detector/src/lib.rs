@@ -17,6 +17,8 @@
 
 pub mod detect;
 pub mod mitigate;
+pub mod storm;
 
 pub use detect::{Confirmation, DetectorCfg, DetectorMode, FailSlowDetector, Suspicion};
 pub use mitigate::spawn_leader_mitigation;
+pub use storm::{AmpSample, StormCfg, StormMonitor};

@@ -1,0 +1,483 @@
+//! Metastability (retry-storm) monitor.
+//!
+//! The client telemetry (`client.attempts` / `client.success` /
+//! `client.ops`) separates *offered load* from *goodput*; this monitor
+//! turns their ratio into an interval-aligned amplification series and
+//! joins it with the [`FaultLedger`]'s ground truth. The metastable
+//! signature — the "Building on Quicksand" feedback loop the paper's
+//! gray-failure arc leads to — is goodput still collapsed while
+//! amplification stays high *after the injected fault has cleared*: the
+//! retries themselves are now the load keeping the system saturated.
+//!
+//! Verdicts are emitted as structured [`HealthEvent`]s on the `"storm"`
+//! layer (`storm_onset` / `storm_sustained` / `storm_cleared`), which
+//! `depfast-incident` scores into a time-to-stabilize (TTS) column.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use depfast::{HealthEvent, Tracer};
+use depfast_fault::FaultLedger;
+use depfast_metrics::{Gauge, Key};
+use simkit::{NodeId, Sim, SimTime};
+
+/// Storm-monitor tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct StormCfg {
+    /// Sampling tick. Align with the incident sampler interval so the
+    /// amplification series lines up with the throughput series.
+    pub every: Duration,
+    /// Ticks of pre-fault goodput averaged into the baseline.
+    pub baseline_ticks: u32,
+    /// Rolling window (in ticks) the storm condition is evaluated over.
+    /// Smoothing matters: admission-controlled clients phase-lock on
+    /// their token refills, so single ticks alternate between
+    /// all-attempts and all-successes — a beat pattern, not a storm.
+    pub smooth_ticks: u32,
+    /// Storm requires amplification ≥ this (attempts per fresh op,
+    /// over the rolling window).
+    pub amp_high: f64,
+    /// ... and windowed goodput < this fraction of the pre-fault
+    /// baseline.
+    pub floor_frac: f64,
+    /// ... and at least this many attempts in the window (ignore idle).
+    pub min_attempts: u64,
+    /// Consecutive storm ticks *after every ledger fault has cleared*
+    /// before the storm is flagged sustained (metastable). Must be
+    /// comfortably larger than `smooth_ticks`: the window lags a real
+    /// recovery by up to its own length.
+    pub sustain_ticks: u32,
+    /// Consecutive healthy ticks before the storm is declared over.
+    pub clear_ticks: u32,
+}
+
+impl Default for StormCfg {
+    fn default() -> Self {
+        StormCfg {
+            every: Duration::from_millis(100),
+            baseline_ticks: 5,
+            smooth_ticks: 5,
+            amp_high: 2.0,
+            floor_frac: 0.5,
+            min_attempts: 10,
+            sustain_ticks: 12,
+            clear_ticks: 3,
+        }
+    }
+}
+
+/// One tick of the offered-load / goodput series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AmpSample {
+    /// Tick timestamp.
+    pub t: SimTime,
+    /// RPC attempts sent this tick (offered load).
+    pub attempts: u64,
+    /// Fresh operations started this tick.
+    pub ops: u64,
+    /// Operations completed `Ok` this tick (goodput).
+    pub success: u64,
+    /// Attempts per fresh op over the rolling
+    /// [`smooth_ticks`](StormCfg::smooth_ticks) window (1.0 when idle).
+    pub amplification: f64,
+    /// `true` while this tick met the (windowed) storm condition.
+    pub stormy: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// No storm condition seen (or the last one fully cleared).
+    Calm,
+    /// Storm condition holding; not yet flagged sustained.
+    Storming,
+    /// Flagged sustained (condition held after the fault cleared).
+    Sustained,
+}
+
+struct StormState {
+    last_attempts: u64,
+    last_ops: u64,
+    last_success: u64,
+    /// Rolling `(attempts, ops, success)` per-tick deltas, newest last,
+    /// at most `smooth_ticks` long.
+    window: Vec<(u64, u64, u64)>,
+    /// Pre-fault goodput ticks (per-tick success counts).
+    baseline_window: Vec<u64>,
+    baseline: Option<f64>,
+    phase: Phase,
+    stormy_after_clear: u32,
+    calm_ticks: u32,
+    series: Vec<AmpSample>,
+    sustained_ever: bool,
+}
+
+/// Joins client amplification telemetry with fault ground truth and
+/// emits `storm_*` health events. Drive it either from your own sampling
+/// loop via [`StormMonitor::tick`] (interval-aligned with an incident
+/// sampler — what the scenario harness does) or detached via
+/// [`StormMonitor::spawn`].
+#[derive(Clone)]
+pub struct StormMonitor {
+    state: Rc<RefCell<StormState>>,
+    tracer: Tracer,
+    ledger: FaultLedger,
+    cfg: StormCfg,
+    offered: Gauge,
+    goodput: Gauge,
+    amp_x100: Gauge,
+}
+
+impl StormMonitor {
+    /// Creates a monitor over `tracer`'s client counters and `ledger`'s
+    /// ground truth. Call [`tick`](StormMonitor::tick) once per interval.
+    pub fn new(tracer: &Tracer, ledger: &FaultLedger, cfg: StormCfg) -> Self {
+        let metrics = tracer.metrics();
+        StormMonitor {
+            state: Rc::new(RefCell::new(StormState {
+                last_attempts: 0,
+                last_ops: 0,
+                last_success: 0,
+                window: Vec::new(),
+                baseline_window: Vec::new(),
+                baseline: None,
+                phase: Phase::Calm,
+                stormy_after_clear: 0,
+                calm_ticks: 0,
+                series: Vec::new(),
+                sustained_ever: false,
+            })),
+            tracer: tracer.clone(),
+            ledger: ledger.clone(),
+            cfg,
+            offered: metrics.gauge(Key::global("client.offered")),
+            goodput: metrics.gauge(Key::global("client.goodput")),
+            amp_x100: metrics.gauge(Key::global("client.amplification_x100")),
+        }
+    }
+
+    /// Starts a detached monitor ticking every `cfg.every`.
+    pub fn spawn(sim: &Sim, tracer: &Tracer, ledger: &FaultLedger, cfg: StormCfg) -> Self {
+        let monitor = Self::new(tracer, ledger, cfg);
+        let m = monitor.clone();
+        let sim2 = sim.clone();
+        sim.spawn(async move {
+            loop {
+                sim2.sleep(cfg.every).await;
+                m.tick(sim2.now());
+            }
+        });
+        monitor
+    }
+
+    /// The amplification series so far.
+    pub fn series(&self) -> Vec<AmpSample> {
+        self.state.borrow().series.clone()
+    }
+
+    /// `true` if any storm episode was flagged sustained (metastable).
+    pub fn sustained(&self) -> bool {
+        self.state.borrow().sustained_ever
+    }
+
+    /// The node the storm is pinned on: the first ledger fault's target
+    /// (the storm is *caused* by retries, but *about* the fault that
+    /// seeded it); `NodeId(0)` when no fault was ever recorded.
+    fn subject(&self) -> NodeId {
+        self.ledger.records().first().map_or(NodeId(0), |r| r.node)
+    }
+
+    fn record(&self, t: SimTime, transition: &'static str, evidence: String) {
+        self.tracer.record_health(HealthEvent {
+            t,
+            node: self.subject(),
+            layer: "storm",
+            transition,
+            evidence,
+            group: None,
+        });
+    }
+
+    /// Processes one interval ending at `now`: updates the amplification
+    /// gauges/series, advances the storm state machine, and emits any
+    /// `storm_*` health events.
+    pub fn tick(&self, now: SimTime) {
+        let cfg = self.cfg;
+        let metrics = self.tracer.metrics();
+        let attempts_c = metrics.counter(Key::global("client.attempts")).get();
+        let ops_c = metrics.counter(Key::global("client.ops")).get();
+        let success_c = metrics.counter(Key::global("client.success")).get();
+        let mut st = self.state.borrow_mut();
+        let attempts = attempts_c - st.last_attempts;
+        let ops = ops_c - st.last_ops;
+        let success = success_c - st.last_success;
+        st.last_attempts = attempts_c;
+        st.last_ops = ops_c;
+        st.last_success = success_c;
+
+        st.window.push((attempts, ops, success));
+        let extra = st
+            .window
+            .len()
+            .saturating_sub(cfg.smooth_ticks.max(1) as usize);
+        if extra > 0 {
+            st.window.drain(..extra);
+        }
+        let w_len = st.window.len() as f64;
+        let (w_attempts, w_ops, w_success) = st
+            .window
+            .iter()
+            .fold((0u64, 0u64, 0u64), |(a, o, s), (da, db, dc)| {
+                (a + da, o + db, s + dc)
+            });
+
+        let amplification = if w_ops > 0 {
+            w_attempts as f64 / w_ops as f64
+        } else if w_attempts > 0 {
+            // Every client stuck retrying ops started before the window:
+            // the offered load is pure amplification.
+            w_attempts as f64
+        } else {
+            1.0
+        };
+        let secs = cfg.every.as_secs_f64();
+        self.offered.set((attempts as f64 / secs) as i64);
+        self.goodput.set((success as f64 / secs) as i64);
+        self.amp_x100.set((amplification * 100.0) as i64);
+
+        let records = self.ledger.records();
+        let fault_seen = records.iter().any(|r| r.onset <= now);
+        let all_cleared =
+            !records.is_empty() && records.iter().all(|r| r.cleared.is_some_and(|c| c <= now));
+
+        // Goodput baseline: mean of the last `baseline_ticks` pre-fault
+        // ticks, frozen at first fault onset.
+        if !fault_seen {
+            st.baseline_window.push(success);
+            let extra = st
+                .baseline_window
+                .len()
+                .saturating_sub(cfg.baseline_ticks as usize);
+            if extra > 0 {
+                st.baseline_window.drain(..extra);
+            }
+        } else if st.baseline.is_none() && !st.baseline_window.is_empty() {
+            let sum: u64 = st.baseline_window.iter().sum();
+            st.baseline = Some(sum as f64 / st.baseline_window.len() as f64);
+        }
+
+        let stormy = match st.baseline {
+            Some(base) if base > 0.0 => {
+                w_attempts >= cfg.min_attempts
+                    && (w_success as f64) < cfg.floor_frac * base * w_len
+                    && amplification >= cfg.amp_high
+            }
+            _ => false,
+        };
+        st.series.push(AmpSample {
+            t: now,
+            attempts,
+            ops,
+            success,
+            amplification,
+            stormy,
+        });
+
+        let base = st.baseline.unwrap_or(0.0);
+        let evidence = || {
+            format!(
+                "goodput {}/tick vs baseline {}/tick, amp x100 = {}, attempts {}",
+                (w_success as f64 / w_len) as u64,
+                base as u64,
+                (amplification * 100.0) as u64,
+                (w_attempts as f64 / w_len) as u64
+            )
+        };
+        if stormy {
+            st.calm_ticks = 0;
+            if st.phase == Phase::Calm {
+                st.phase = Phase::Storming;
+                st.stormy_after_clear = 0;
+                drop(st);
+                self.record(now, "storm_onset", evidence());
+                return;
+            }
+            if st.phase == Phase::Storming {
+                // The storm is only *metastable* once it outlives its
+                // cause: count storm ticks after the last fault cleared.
+                if all_cleared {
+                    st.stormy_after_clear += 1;
+                    if st.stormy_after_clear >= cfg.sustain_ticks {
+                        st.phase = Phase::Sustained;
+                        st.sustained_ever = true;
+                        drop(st);
+                        self.record(now, "storm_sustained", evidence());
+                    }
+                } else {
+                    st.stormy_after_clear = 0;
+                }
+            }
+        } else if st.phase != Phase::Calm {
+            st.calm_ticks += 1;
+            if st.calm_ticks >= cfg.clear_ticks {
+                st.phase = Phase::Calm;
+                st.calm_ticks = 0;
+                st.stormy_after_clear = 0;
+                drop(st);
+                self.record(now, "storm_cleared", evidence());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use depfast_fault::FaultKind;
+
+    fn cfg() -> StormCfg {
+        StormCfg::default()
+    }
+
+    /// Pushes client counters forward by one tick's worth of activity.
+    fn activity(tracer: &Tracer, ops: u64, attempts: u64, success: u64) {
+        let m = tracer.metrics();
+        m.counter(Key::global("client.ops")).add(ops);
+        m.counter(Key::global("client.attempts")).add(attempts);
+        m.counter(Key::global("client.success")).add(success);
+    }
+
+    fn ns(ms: u64) -> SimTime {
+        SimTime::from_nanos(ms * 1_000_000)
+    }
+
+    #[test]
+    fn healthy_traffic_never_storms() {
+        let tracer = Tracer::new();
+        let ledger = FaultLedger::new();
+        let mon = StormMonitor::new(&tracer, &ledger, cfg());
+        for i in 1..=20u64 {
+            activity(&tracer, 100, 100, 100);
+            mon.tick(ns(i * 100));
+        }
+        assert!(!mon.sustained());
+        assert!(tracer.health_events().is_empty());
+        assert!(mon.series().iter().all(|s| !s.stormy));
+        assert_eq!(mon.series().len(), 20);
+    }
+
+    /// Drives the canonical metastable trajectory: healthy baseline, a
+    /// fault that collapses goodput, the fault clears, but amplification
+    /// keeps goodput collapsed — then (optionally) recovery.
+    fn run_storm(recover: bool) -> (Tracer, StormMonitor) {
+        let tracer = Tracer::new();
+        let ledger = FaultLedger::new();
+        let mon = StormMonitor::new(&tracer, &ledger, cfg());
+        let mut t = 0u64;
+        let mut tick = |tr: &Tracer, ops, attempts, success| {
+            t += 100;
+            activity(tr, ops, attempts, success);
+            mon.tick(ns(t));
+        };
+        for _ in 0..6 {
+            tick(&tracer, 100, 100, 100);
+        }
+        // Fault onset at 700 ms, cleared at 900 ms (ledger ground truth).
+        let slot = ledger.log_onset(NodeId(2), FaultKind::CpuSlow { quota: 0.05 }, ns(700));
+        for _ in 0..2 {
+            tick(&tracer, 10, 300, 5);
+        }
+        ledger.log_clear(slot, ns(900));
+        // Metastable: fault is gone, goodput stays collapsed, retries
+        // keep the offered load high.
+        for _ in 0..16 {
+            tick(&tracer, 10, 300, 5);
+        }
+        if recover {
+            // Enough healthy ticks to flush the smoothing window and
+            // satisfy the clear hysteresis.
+            for _ in 0..6 {
+                tick(&tracer, 100, 110, 100);
+            }
+        }
+        (tracer, mon)
+    }
+
+    #[test]
+    fn metastable_storm_is_flagged_sustained_only_after_fault_clears() {
+        let (tracer, mon) = run_storm(false);
+        assert!(mon.sustained());
+        let events = tracer.health_events();
+        let transitions: Vec<&str> = events.iter().map(|e| e.transition).collect();
+        assert_eq!(transitions, vec!["storm_onset", "storm_sustained"]);
+        assert!(events.iter().all(|e| e.layer == "storm"));
+        // Pinned on the faulted node, and sustained only post-clear.
+        assert!(events.iter().all(|e| e.node == NodeId(2)));
+        assert!(events[1].t >= ns(900));
+    }
+
+    #[test]
+    fn recovery_emits_storm_cleared() {
+        let (tracer, mon) = run_storm(true);
+        let events = tracer.health_events();
+        let transitions: Vec<&str> = events.iter().map(|e| e.transition).collect();
+        assert_eq!(
+            transitions,
+            vec!["storm_onset", "storm_sustained", "storm_cleared"]
+        );
+        assert!(mon.sustained(), "sustained_ever latches");
+    }
+
+    #[test]
+    fn storm_that_dies_with_the_fault_is_not_metastable() {
+        let tracer = Tracer::new();
+        let ledger = FaultLedger::new();
+        let mon = StormMonitor::new(&tracer, &ledger, cfg());
+        let mut t = 0u64;
+        let mut tick = |tr: &Tracer, ops, attempts, success| {
+            t += 100;
+            activity(tr, ops, attempts, success);
+            mon.tick(ns(t));
+        };
+        for _ in 0..6 {
+            tick(&tracer, 100, 100, 100);
+        }
+        let slot = ledger.log_onset(NodeId(3), FaultKind::CpuSlow { quota: 0.05 }, ns(700));
+        // Storm while the fault is active...
+        for _ in 0..10 {
+            tick(&tracer, 10, 300, 5);
+        }
+        ledger.log_clear(slot, ns(1700));
+        // ...but goodput snaps back as soon as it clears.
+        for _ in 0..6 {
+            tick(&tracer, 100, 110, 100);
+        }
+        assert!(!mon.sustained());
+        let transitions: Vec<&str> = tracer
+            .health_events()
+            .iter()
+            .map(|e| e.transition)
+            .collect();
+        assert_eq!(transitions, vec!["storm_onset", "storm_cleared"]);
+    }
+
+    #[test]
+    fn amplification_series_tracks_offered_vs_goodput() {
+        let tracer = Tracer::new();
+        let ledger = FaultLedger::new();
+        let mon = StormMonitor::new(&tracer, &ledger, cfg());
+        activity(&tracer, 50, 150, 40);
+        mon.tick(ns(100));
+        let s = mon.series();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].attempts, 150);
+        assert_eq!(s[0].ops, 50);
+        assert_eq!(s[0].success, 40);
+        assert!((s[0].amplification - 3.0).abs() < 1e-9);
+        // Gauges mirror the tick for the interval-aligned sampler.
+        let m = tracer.metrics();
+        assert_eq!(m.gauge(Key::global("client.amplification_x100")).get(), 300);
+        assert_eq!(m.gauge(Key::global("client.offered")).get(), 1500);
+        assert_eq!(m.gauge(Key::global("client.goodput")).get(), 400);
+    }
+}

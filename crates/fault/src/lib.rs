@@ -213,6 +213,21 @@ impl FaultLedger {
         }
     }
 
+    /// Records an onset that happened outside the injection API (an
+    /// externally induced fault a harness still wants in the ground
+    /// truth). Returns the record's slot for [`log_clear`].
+    ///
+    /// [`log_clear`]: FaultLedger::log_clear
+    pub fn log_onset(&self, node: NodeId, kind: FaultKind, onset: SimTime) -> usize {
+        self.open(node, kind, None, onset)
+    }
+
+    /// Stamps the clear time of a record opened with
+    /// [`log_onset`](FaultLedger::log_onset) (idempotent).
+    pub fn log_clear(&self, slot: usize, at: SimTime) {
+        self.close(slot, at);
+    }
+
     /// Snapshot of all records (open faults have `cleared: None`).
     pub fn records(&self) -> Vec<FaultRecord> {
         self.records.borrow().clone()

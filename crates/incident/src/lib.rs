@@ -130,6 +130,11 @@ pub struct IncidentDump {
     /// End of the observed window, nanoseconds (open faults and
     /// suspicions extend to here in the incident track).
     pub end_ns: u64,
+    /// Health events lost at the tracer's capacity cap
+    /// (`trace.health_dropped`). Non-zero means `events` is an
+    /// *incomplete* timeline; reports must surface this rather than
+    /// present a truncated timeline as the whole story.
+    pub health_dropped: u64,
 }
 
 impl IncidentDump {
@@ -273,6 +278,7 @@ mod tests {
                 (4_000_000_000, 1000.0),
             ],
             end_ns: 4_000_000_000,
+            health_dropped: 0,
         }
     }
 

@@ -29,7 +29,7 @@ fn fmt_opt_ms(v: Option<u64>) -> String {
 /// columns (cluster shape, scenario name, driver, ...).
 pub fn scorecard_headers() -> Vec<&'static str> {
     vec![
-        "Detected", "TTD (ms)", "TTM (ms)", "TTR (ms)", "FP", "FN", "Misattr",
+        "Detected", "TTD (ms)", "TTM (ms)", "TTR (ms)", "TTS (ms)", "Storm", "FP", "FN", "Misattr",
     ]
 }
 
@@ -44,6 +44,8 @@ pub fn scorecard_cells(cell: &ScoreCell) -> Vec<String> {
         ms(cell.ttd_ns),
         ms(cell.ttm_ns),
         ms(cell.ttr_ns),
+        ms(cell.tts_ns),
+        cell.storm_sustained.to_string(),
         cell.false_positives.to_string(),
         cell.false_negatives.to_string(),
         cell.misattributions.to_string(),
@@ -129,9 +131,15 @@ pub fn render_report(dump: &IncidentDump, cell: &ScoreCell) -> String {
         }
         i = j;
     }
+    if dump.health_dropped > 0 {
+        out.push_str(&format!(
+            "  WARNING: {} health events dropped at the tracer capacity cap — timeline above is incomplete\n",
+            dump.health_dropped
+        ));
+    }
 
     out.push_str(&format!(
-        "scorecard:\n  detected={} ttd={} ttm={} ttr={} fp={} fn={} misattr={}\n",
+        "scorecard:\n  detected={} ttd={} ttm={} ttr={} tts={} storm={} fp={} fn={} misattr={}\n",
         if dump.faults.is_empty() {
             "n/a".to_string()
         } else {
@@ -140,6 +148,8 @@ pub fn render_report(dump: &IncidentDump, cell: &ScoreCell) -> String {
         fmt_opt_ms(cell.ttd_ns),
         fmt_opt_ms(cell.ttm_ns),
         fmt_opt_ms(cell.ttr_ns),
+        fmt_opt_ms(cell.tts_ns),
+        cell.storm_sustained,
         cell.false_positives,
         cell.false_negatives,
         cell.misattributions
@@ -191,6 +201,21 @@ mod tests {
     }
 
     #[test]
+    fn dropped_health_events_are_called_out() {
+        let mut d = crate::tests::sample_dump();
+        let cell = score(&d, RECOVERY_BAND);
+        let clean = render_report(&d, &cell);
+        assert!(!clean.contains("WARNING"), "{clean}");
+        d.health_dropped = 12;
+        let r = render_report(&d, &cell);
+        assert!(
+            r.contains("WARNING: 12 health events dropped"),
+            "silent loss must be visible: {r}"
+        );
+        assert!(r.contains("timeline above is incomplete"));
+    }
+
+    #[test]
     fn no_fault_report_says_so() {
         let d = crate::IncidentDump {
             driver: "Sync".into(),
@@ -201,6 +226,7 @@ mod tests {
             events: vec![],
             throughput: vec![],
             end_ns: 0,
+            health_dropped: 0,
         };
         let cell = score(&d, RECOVERY_BAND);
         let r = render_report(&d, &cell);

@@ -17,7 +17,14 @@
 //!   of healthy nodes are counted under *misattribution*);
 //! - **false negatives** — injected faults never suspected;
 //! - **misattributions** — suspicions of a node that was not injected
-//!   while a fault was active elsewhere.
+//!   while a fault was active elsewhere;
+//! - **time-to-stabilize** — for runs the storm monitor flagged
+//!   (`storm_onset` on the `storm` layer), last fault clear until the
+//!   storm monitor declared the storm over (`storm_cleared`); `None`
+//!   when the storm never dissolved inside the observed window — the
+//!   metastable outcome;
+//! - **storm sustained** — whether the storm monitor flagged the run
+//!   metastable (`storm_sustained`: the storm outlived its cause).
 
 use crate::IncidentDump;
 
@@ -45,6 +52,12 @@ pub struct ScoreCell {
     pub false_negatives: u64,
     /// Suspicions of healthy nodes while a fault was active elsewhere.
     pub misattributions: u64,
+    /// Last fault clear → storm monitor's `storm_cleared`. `None` when
+    /// no storm was flagged, or the storm never dissolved (metastable).
+    pub tts_ns: Option<u64>,
+    /// `true` when the storm monitor flagged the run metastable (the
+    /// retry storm outlived the fault that seeded it).
+    pub storm_sustained: bool,
 }
 
 impl ScoreCell {
@@ -64,6 +77,36 @@ pub fn score(dump: &IncidentDump, band: f64) -> ScoreCell {
         .events_in("detector")
         .filter(|e| e.transition == "suspect")
         .collect();
+
+    // Storm verdicts come from the storm monitor's own layer; they are
+    // deliberately excluded from the detector FP/FN/misattribution
+    // accounting above (those judge the fail-slow detector, not the
+    // metastability monitor).
+    cell.storm_sustained = dump
+        .events_in("storm")
+        .any(|e| e.transition == "storm_sustained");
+    let storm_flagged = dump
+        .events_in("storm")
+        .any(|e| e.transition == "storm_onset");
+    if storm_flagged && !dump.faults.is_empty() {
+        // TTS runs from the moment the system was last healthy by ground
+        // truth — every injected fault cleared — to the monitor's
+        // all-clear. A fault that never cleared leaves TTS undefined
+        // (recovery was never physically possible).
+        let last_clear = dump
+            .faults
+            .iter()
+            .map(|f| f.cleared_ns)
+            .collect::<Option<Vec<u64>>>()
+            .and_then(|clears| clears.into_iter().max());
+        if let Some(last_clear) = last_clear {
+            cell.tts_ns = dump
+                .events_in("storm")
+                .filter(|e| e.transition == "storm_cleared" && e.t_ns >= last_clear)
+                .map(|e| e.t_ns - last_clear)
+                .min();
+        }
+    }
 
     if dump.faults.is_empty() {
         cell.false_positives = suspicions.len() as u64;
@@ -161,6 +204,18 @@ mod tests {
             events: vec![],
             throughput: vec![(1_000_000_000, 1000.0), (2_000_000_000, 1000.0)],
             end_ns: 2_000_000_000,
+            health_dropped: 0,
+        }
+    }
+
+    fn storm_event(t_ns: u64, transition: &str) -> Event {
+        Event {
+            t_ns,
+            node: 2,
+            layer: "storm".into(),
+            transition: transition.into(),
+            evidence: "goodput 5/tick vs baseline 100/tick, amp x100 = 3000, attempts 300".into(),
+            group: None,
         }
     }
 
@@ -228,6 +283,54 @@ mod tests {
         assert_eq!(cell.misattributions, 1);
         assert_eq!(cell.false_positives, 0, "faulted runs count misattribution");
         assert!(cell.detected, "the real fault was still found");
+    }
+
+    #[test]
+    fn storm_that_dissolves_yields_a_finite_tts() {
+        let mut d = crate::tests::sample_dump();
+        // Fault cleared at 3.2s; the storm monitor declares all-clear at
+        // 3.8s → TTS 600ms, and the run was never flagged metastable.
+        d.events.push(storm_event(2_600_000_000, "storm_onset"));
+        d.events.push(storm_event(3_800_000_000, "storm_cleared"));
+        d.canonicalize();
+        let cell = score(&d, RECOVERY_BAND);
+        assert_eq!(cell.tts_ns, Some(600_000_000));
+        assert!(!cell.storm_sustained);
+    }
+
+    #[test]
+    fn sustained_storm_without_clear_is_metastable() {
+        let mut d = crate::tests::sample_dump();
+        d.events.push(storm_event(2_600_000_000, "storm_onset"));
+        d.events.push(storm_event(3_900_000_000, "storm_sustained"));
+        d.canonicalize();
+        let cell = score(&d, RECOVERY_BAND);
+        assert!(cell.storm_sustained);
+        assert_eq!(cell.tts_ns, None, "never stabilized");
+        // Storm events must not leak into the detector's accounting.
+        assert_eq!(cell.false_positives, 0);
+        assert_eq!(cell.misattributions, 0);
+        assert!(cell.detected);
+    }
+
+    #[test]
+    fn storm_free_runs_have_no_tts() {
+        let mut d = crate::tests::sample_dump();
+        d.canonicalize();
+        let cell = score(&d, RECOVERY_BAND);
+        assert_eq!(cell.tts_ns, None);
+        assert!(!cell.storm_sustained);
+    }
+
+    #[test]
+    fn never_cleared_fault_leaves_tts_undefined() {
+        let mut d = crate::tests::sample_dump();
+        d.faults[0].cleared_ns = None;
+        d.events.push(storm_event(2_600_000_000, "storm_onset"));
+        d.events.push(storm_event(3_800_000_000, "storm_cleared"));
+        d.canonicalize();
+        let cell = score(&d, RECOVERY_BAND);
+        assert_eq!(cell.tts_ns, None);
     }
 
     #[test]

@@ -5,14 +5,16 @@
 //! ```text
 //! # depfast-incident/v1
 //! meta\t<driver>\t<fault>\t<cluster>\t<seed>\t<end_ns>
+//! dropped\t<health_dropped>
 //! fault\t<node>\t<kind>\t<scheduled_ns|->\t<onset_ns>\t<cleared_ns|->\t<severity>
 //! event\t<t_ns>\t<node>\t<layer>\t<transition>\t<evidence>[\t<group>]
 //! tput\t<t_ns>\t<ops_per_sec>
 //! ```
 //!
 //! The trailing `<group>` field is written only for group-scoped events
-//! (multi-group runs), so legacy single-group dumps serialize
-//! byte-identically to the original 6-field form.
+//! (multi-group runs), and the `dropped` line only when the run lost
+//! health events at the tracer capacity cap, so legacy dumps serialize
+//! byte-identically to the original form.
 //!
 //! Evidence strings are escaped (`\t`, `\n`, `\\`), everything else is
 //! plain. A file may hold any number of dumps; each starts with the
@@ -85,6 +87,9 @@ pub fn serialize_dumps(dumps: &[IncidentDump]) -> String {
             d.seed,
             d.end_ns
         ));
+        if d.health_dropped > 0 {
+            out.push_str(&format!("dropped\t{}\n", d.health_dropped));
+        }
         for f in &d.faults {
             out.push_str(&format!(
                 "fault\t{}\t{}\t{}\t{}\t{}\t{:.6}\n",
@@ -135,6 +140,7 @@ pub fn parse_dumps(text: &str) -> Result<Vec<IncidentDump>, String> {
                 events: Vec::new(),
                 throughput: Vec::new(),
                 end_ns: 0,
+                health_dropped: 0,
             });
             continue;
         }
@@ -164,6 +170,12 @@ pub fn parse_dumps(text: &str) -> Result<Vec<IncidentDump>, String> {
                 d.end_ns = fields[5]
                     .parse()
                     .map_err(|e| format!("line {ln}: end_ns: {e}"))?;
+            }
+            "dropped" => {
+                want(2)?;
+                d.health_dropped = fields[1]
+                    .parse()
+                    .map_err(|e| format!("line {ln}: dropped: {e}"))?;
             }
             "fault" => {
                 want(7)?;
@@ -255,6 +267,22 @@ mod tests {
         let event_lines: Vec<&str> = text.lines().filter(|l| l.starts_with("event\t")).collect();
         assert_eq!(event_lines[1].split('\t').count(), 7);
         assert_eq!(event_lines[0].split('\t').count(), 6);
+        let back = parse_dumps(&text).unwrap();
+        assert_eq!(back[0], d);
+        assert_eq!(serialize_dumps(&back), text);
+    }
+
+    #[test]
+    fn health_dropped_round_trips_and_stays_out_of_clean_dumps() {
+        let mut d = crate::tests::sample_dump();
+        let clean = serialize_dumps(&[d.clone()]);
+        assert!(
+            !clean.contains("dropped\t"),
+            "clean dumps keep legacy bytes"
+        );
+        d.health_dropped = 7;
+        let text = serialize_dumps(&[d.clone()]);
+        assert!(text.contains("dropped\t7\n"));
         let back = parse_dumps(&text).unwrap();
         assert_eq!(back[0], d);
         assert_eq!(serialize_dumps(&back), text);

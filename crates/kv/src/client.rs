@@ -5,12 +5,23 @@
 //! *leader* is out of scope for follower-tolerance (§2) and is instead
 //! handled by detection + re-election (§5, implemented in
 //! `depfast-detect`).
+//!
+//! The retry loop is where "Building on Quicksand"-style metastability
+//! is born, so it is fully instrumented: every attempt is counted
+//! (`client.attempts`), every retry is attributed to a reason
+//! (`client.retry[timeout|not_leader|error]`), backoff and admission
+//! waits are accounted (`client.backoff_wait`), exhausted operations are
+//! visible (`client.give_up`), and each attempt opens a [`PhaseSpan`]
+//! blamed on the server it targeted — so a blame report charges
+//! retry/backoff time to the slow component, not to the client.
 
 use std::cell::Cell;
 use std::time::Duration;
 
 use bytes::Bytes;
 use depfast::event::Watchable;
+use depfast::PhaseSpan;
+use depfast_metrics::{Counter, Key};
 use depfast_raft::types::CLIENT_PROPOSE;
 use depfast_rpc::wire::{WireRead, WireWrite};
 use depfast_rpc::{group_method, Endpoint, Method};
@@ -38,6 +49,163 @@ impl std::fmt::Display for KvError {
 
 impl std::error::Error for KvError {}
 
+/// Wait strategy between retry attempts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Backoff {
+    /// Retry immediately (the historical behavior).
+    None,
+    /// Exponential backoff with seeded jitter: attempt `k` waits a
+    /// uniform draw from `[d/2, d]` where `d = min(cap, base × 2^(k-1))`.
+    /// The draw comes from the world RNG (never the wall clock), so
+    /// same-seed runs back off identically.
+    ExpJitter {
+        /// First-retry backoff ceiling.
+        base: Duration,
+        /// Upper bound on any single backoff.
+        cap: Duration,
+    },
+}
+
+/// Token-bucket admission control over *attempts* (fresh and retried
+/// alike): the client-side retry budget that caps the load a storm of
+/// timeouts can offer the cluster. An attempt consumes one token; tokens
+/// refill at `rate_per_sec` up to `burst`. When the bucket is empty the
+/// attempt waits (virtual time) for the next token — accounted under
+/// `client.backoff_wait` — instead of joining the stampede.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryBudget {
+    /// Sustained attempts per second this session may offer.
+    pub rate_per_sec: f64,
+    /// Bucket capacity (burst allowance), in tokens.
+    pub burst: f64,
+}
+
+/// Retry policy of one client session.
+///
+/// [`RetryPolicy::default`] reproduces the historical client behavior
+/// byte-for-byte: 1500 ms attempt timeout, 6 attempts, no backoff, no
+/// admission control.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Per-attempt reply deadline.
+    pub attempt_timeout: Duration,
+    /// Maximum attempts per operation.
+    pub max_attempts: usize,
+    /// Wait strategy between attempts.
+    pub backoff: Backoff,
+    /// Optional token-bucket admission control (retry budget).
+    pub admission: Option<RetryBudget>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempt_timeout: Duration::from_millis(1500),
+            max_attempts: 6,
+            backoff: Backoff::None,
+            admission: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// An aggressive storm-prone policy: short attempt deadline, a few
+    /// attempts, no backoff. The retry-storm scenario cells use this to
+    /// reproduce metastable timeout storms.
+    pub fn aggressive(attempt_timeout: Duration, max_attempts: usize) -> Self {
+        RetryPolicy {
+            attempt_timeout,
+            max_attempts,
+            backoff: Backoff::None,
+            admission: None,
+        }
+    }
+
+    /// This policy with a token-bucket retry budget attached.
+    pub fn with_budget(mut self, budget: RetryBudget) -> Self {
+        self.admission = Some(budget);
+        self
+    }
+
+    /// This policy with seeded-jitter exponential backoff attached.
+    pub fn with_backoff(mut self, base: Duration, cap: Duration) -> Self {
+        self.backoff = Backoff::ExpJitter { base, cap };
+        self
+    }
+}
+
+/// Why an attempt is being retried (tags the `client.retry` counter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RetryReason {
+    Timeout,
+    NotLeader,
+    Error,
+}
+
+/// Client-side telemetry handles, resolved once per session.
+struct ClientMetrics {
+    /// Fresh operations started (`client.ops`).
+    ops: Counter,
+    /// Operations completed `Ok` (`client.success`) — the goodput side
+    /// of the amplification ratio.
+    success: Counter,
+    /// RPC attempts sent (`client.attempts`) — the offered-load side.
+    attempts: Counter,
+    /// Retries by reason (`client.retry[timeout|not_leader|error]`).
+    retry_timeout: Counter,
+    retry_not_leader: Counter,
+    retry_error: Counter,
+    /// Nanoseconds spent in backoff / admission waits
+    /// (`client.backoff_wait`).
+    backoff_wait: Counter,
+    /// Operations that exhausted every attempt (`client.give_up`).
+    give_up: Counter,
+}
+
+impl ClientMetrics {
+    fn new(metrics: &depfast_metrics::MetricsRegistry) -> Self {
+        let tagged = |tag: &'static str| Key {
+            name: "client.retry",
+            node: None,
+            tag: Some(tag),
+        };
+        ClientMetrics {
+            ops: metrics.counter(Key::global("client.ops")),
+            success: metrics.counter(Key::global("client.success")),
+            attempts: metrics.counter(Key::global("client.attempts")),
+            retry_timeout: metrics.counter(tagged("timeout")),
+            retry_not_leader: metrics.counter(tagged("not_leader")),
+            retry_error: metrics.counter(tagged("error")),
+            backoff_wait: metrics.counter(Key::global("client.backoff_wait")),
+            give_up: metrics.counter(Key::global("client.give_up")),
+        }
+    }
+
+    fn retry(&self, reason: RetryReason) {
+        match reason {
+            RetryReason::Timeout => self.retry_timeout.inc(),
+            RetryReason::NotLeader => self.retry_not_leader.inc(),
+            RetryReason::Error => self.retry_error.inc(),
+        }
+    }
+}
+
+/// Advances `rotate` past `failed` and returns the next candidate from
+/// `servers`, falling back to `failed` itself only when it is the sole
+/// member. The historical rotation (`rotate += 1` with no skip) could
+/// hand a timed-out attempt straight back to the server that just
+/// failed it.
+fn next_rotation(servers: &[NodeId], failed: NodeId, rotate: &mut usize) -> NodeId {
+    for _ in 0..servers.len() {
+        *rotate += 1;
+        let candidate = servers[*rotate % servers.len()];
+        if candidate != failed {
+            return candidate;
+        }
+    }
+    failed
+}
+
 /// A KV client session bound to one client host node.
 pub struct KvClient {
     ep: Endpoint,
@@ -47,10 +215,12 @@ pub struct KvClient {
     method: Method,
     seq: Cell<u64>,
     leader: Cell<Option<NodeId>>,
-    /// Per-attempt reply deadline.
-    pub attempt_timeout: Duration,
-    /// Maximum attempts per operation.
-    pub max_attempts: usize,
+    /// Retry policy (attempt deadline, attempt cap, backoff, admission).
+    policy: Cell<RetryPolicy>,
+    /// Token-bucket admission state: tokens left, last refill instant.
+    bucket_tokens: Cell<f64>,
+    bucket_refill_at: Cell<simkit::SimTime>,
+    metrics: ClientMetrics,
 }
 
 impl KvClient {
@@ -65,6 +235,7 @@ impl KvClient {
     /// method, so co-located groups on a server node cannot intercept
     /// each other's traffic. `servers` must be the group's member nodes.
     pub fn for_group(ep: Endpoint, servers: Vec<NodeId>, client_id: u64, group: u32) -> Self {
+        let metrics = ClientMetrics::new(&ep.runtime().tracer().metrics());
         KvClient {
             ep,
             servers,
@@ -72,8 +243,10 @@ impl KvClient {
             method: group_method(CLIENT_PROPOSE, group),
             seq: Cell::new(0),
             leader: Cell::new(None),
-            attempt_timeout: Duration::from_millis(1500),
-            max_attempts: 6,
+            policy: Cell::new(RetryPolicy::default()),
+            bucket_tokens: Cell::new(0.0),
+            bucket_refill_at: Cell::new(simkit::SimTime::ZERO),
+            metrics,
         }
     }
 
@@ -94,6 +267,20 @@ impl KvClient {
         self.leader.get()
     }
 
+    /// The session's retry policy.
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy.get()
+    }
+
+    /// Replaces the session's retry policy. A new admission budget
+    /// starts full (burst tokens available).
+    pub fn set_policy(&self, policy: RetryPolicy) {
+        self.policy.set(policy);
+        self.bucket_tokens
+            .set(policy.admission.map_or(0.0, |b| b.burst));
+        self.bucket_refill_at.set(self.ep.runtime().now());
+    }
+
     /// Inserts or overwrites `key`.
     pub async fn put(&self, key: Bytes, value: Bytes) -> Result<(), KvError> {
         self.run(KvOp::Put, key, value).await.map(|_| ())
@@ -109,6 +296,57 @@ impl KvClient {
         self.run(KvOp::Delete, key, Bytes::new()).await.map(|_| ())
     }
 
+    /// Picks the next rotation target, never re-picking the server that
+    /// just failed (unless it is the only one): a timed-out attempt must
+    /// not immediately hammer the same node.
+    fn rotate_target(&self, failed: NodeId, rotate: &mut usize) -> NodeId {
+        next_rotation(&self.servers, failed, rotate)
+    }
+
+    /// Blocks (virtual time) until the admission bucket grants a token.
+    /// No-op without an admission budget.
+    async fn admit(&self) {
+        let Some(budget) = self.policy.get().admission else {
+            return;
+        };
+        let rt = self.ep.runtime();
+        let now = rt.now();
+        let elapsed = (now - self.bucket_refill_at.get()).as_secs_f64();
+        let tokens = (self.bucket_tokens.get() + elapsed * budget.rate_per_sec).min(budget.burst);
+        self.bucket_refill_at.set(now);
+        if tokens >= 1.0 {
+            self.bucket_tokens.set(tokens - 1.0);
+            return;
+        }
+        let wait = Duration::from_secs_f64((1.0 - tokens) / budget.rate_per_sec);
+        self.metrics.backoff_wait.add(wait.as_nanos() as u64);
+        rt.sleep(wait).await;
+        self.bucket_tokens.set(0.0);
+        self.bucket_refill_at.set(rt.now());
+    }
+
+    /// Waits out the policy's backoff before retry attempt `attempt`
+    /// (1-based count of attempts already made), charging the wait to
+    /// the server that failed.
+    async fn backoff(&self, attempt: usize, blame: NodeId) {
+        let Backoff::ExpJitter { base, cap } = self.policy.get().backoff else {
+            return;
+        };
+        let rt = self.ep.runtime();
+        let exp = base
+            .saturating_mul(1u32 << (attempt - 1).min(16) as u32)
+            .min(cap);
+        let hi = exp.as_nanos() as u64;
+        if hi == 0 {
+            return;
+        }
+        // Seeded jitter: uniform in [d/2, d] from the world RNG.
+        let wait = Duration::from_nanos(rt.rand_range(hi / 2, hi.max(hi / 2 + 1)));
+        self.metrics.backoff_wait.add(wait.as_nanos() as u64);
+        let _span = PhaseSpan::begin_blaming(rt, "client:backoff", blame);
+        rt.sleep(wait).await;
+    }
+
     async fn run(&self, op: KvOp, key: Bytes, value: Bytes) -> Result<Option<Bytes>, KvError> {
         let seq = self.seq.get() + 1;
         self.seq.set(seq);
@@ -120,6 +358,7 @@ impl KvClient {
             value,
         };
         let payload = req.to_bytes();
+        self.metrics.ops.inc();
         // Root of this operation's causal trace. Retries reuse the trace
         // id: they are attempts at the *same* client operation.
         let tracer = self.ep.runtime().tracer();
@@ -136,30 +375,42 @@ impl KvClient {
             trace_id,
             parent_span: depfast::SpanId::NONE,
         }));
+        let policy = self.policy.get();
         let mut target = self
             .leader
             .get()
             .unwrap_or_else(|| self.servers[(self.client_id as usize) % self.servers.len()]);
         let mut rotate = 0usize;
-        for _ in 0..self.max_attempts {
+        for attempt in 1..=policy.max_attempts {
+            self.admit().await;
+            self.metrics.attempts.inc();
+            let span = PhaseSpan::begin_blaming(self.ep.runtime(), "client:attempt", target);
             let ev = self
                 .ep
                 .proxy(target)
                 .call(self.method, "kv_request", payload.clone());
-            let out = ev.handle().wait_timeout(self.attempt_timeout).await;
+            let out = ev.handle().wait_timeout(policy.attempt_timeout).await;
+            drop(span);
             if out.is_ready() {
                 if let Some(resp) = ev.take().and_then(|b| KvResponse::from_bytes(&b)) {
                     match resp.status {
                         KvStatus::Ok => {
                             self.leader.set(Some(target));
+                            self.metrics.success.inc();
                             return Ok(resp.value);
                         }
                         KvStatus::NotLeader => {
+                            self.metrics.retry(RetryReason::NotLeader);
                             target = match resp.leader_hint {
                                 Some(h) if NodeId(h) != target => NodeId(h),
                                 _ => {
-                                    rotate += 1;
-                                    self.servers[rotate % self.servers.len()]
+                                    // No usable hint: rotate (skipping the
+                                    // server that just rejected us) and
+                                    // back off like any other failure.
+                                    let failed = target;
+                                    let next = self.rotate_target(failed, &mut rotate);
+                                    self.backoff(attempt, failed).await;
+                                    next
                                 }
                             };
                             self.leader.set(None);
@@ -168,18 +419,75 @@ impl KvClient {
                         KvStatus::Error => {
                             // Leadership churn mid-commit: retry (the
                             // session dedup makes this safe).
-                            rotate += 1;
-                            target = self.servers[rotate % self.servers.len()];
+                            self.metrics.retry(RetryReason::Error);
+                            let failed = target;
+                            target = self.rotate_target(failed, &mut rotate);
+                            self.backoff(attempt, failed).await;
                             continue;
                         }
                     }
                 }
             }
-            // Timeout: try another server.
+            // Timeout: try another server (never the one that just timed
+            // out — the historical rotation could re-pick it).
+            self.metrics.retry(RetryReason::Timeout);
             self.leader.set(None);
-            rotate += 1;
-            target = self.servers[rotate % self.servers.len()];
+            let failed = target;
+            target = self.rotate_target(failed, &mut rotate);
+            self.backoff(attempt, failed).await;
         }
+        self.metrics.give_up.inc();
         Err(KvError::Timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotation_never_repicks_the_failed_server() {
+        let servers: Vec<NodeId> = (0..3).map(NodeId).collect();
+        let mut rotate = 0usize;
+        // Whatever the cursor position, the node that just failed is
+        // skipped — for every failed node, many times over.
+        for failed in &servers {
+            for _ in 0..10 {
+                let next = next_rotation(&servers, *failed, &mut rotate);
+                assert_ne!(next, *failed, "rotation re-picked the failed server");
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_cycles_through_the_survivors() {
+        let servers: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let mut rotate = 0usize;
+        let failed = NodeId(2);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..8 {
+            seen.insert(next_rotation(&servers, failed, &mut rotate).0);
+        }
+        assert_eq!(
+            seen.into_iter().collect::<Vec<_>>(),
+            vec![0, 1, 3],
+            "all non-failed servers must stay in rotation"
+        );
+    }
+
+    #[test]
+    fn single_server_rotation_returns_it_even_when_failed() {
+        let servers = vec![NodeId(7)];
+        let mut rotate = 0usize;
+        assert_eq!(next_rotation(&servers, NodeId(7), &mut rotate), NodeId(7));
+    }
+
+    #[test]
+    fn default_policy_matches_the_historical_client() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.attempt_timeout, Duration::from_millis(1500));
+        assert_eq!(p.max_attempts, 6);
+        assert_eq!(p.backoff, Backoff::None);
+        assert_eq!(p.admission, None);
     }
 }

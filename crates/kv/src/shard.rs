@@ -11,7 +11,7 @@ use bytes::Bytes;
 use depfast_rpc::Endpoint;
 use simkit::NodeId;
 
-use crate::client::{KvClient, KvError};
+use crate::client::{KvClient, KvError, RetryPolicy};
 
 /// Partitions the keyspace over `n_groups` Raft groups (gids 1-based, as
 /// produced by `build_multi_cluster`).
@@ -102,6 +102,13 @@ impl ShardedKvClient {
     /// All per-group sessions, indexed by `gid - 1`.
     pub fn groups(&self) -> &[KvClient] {
         &self.groups
+    }
+
+    /// Replaces the retry policy on every per-group session.
+    pub fn set_policy(&self, policy: RetryPolicy) {
+        for g in &self.groups {
+            g.set_policy(policy);
+        }
     }
 
     /// Inserts or overwrites `key` in its owning group.

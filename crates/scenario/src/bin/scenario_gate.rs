@@ -27,7 +27,10 @@ use std::process::ExitCode;
 use depfast_bench::baseline::{compare_scenarios, ScenarioRecord, ScenarioTolerance, Suite};
 use depfast_bench::repo_root;
 use depfast_incident::RECOVERY_BAND;
-use depfast_scenario::{all_drivers, catalog, render_survival_report, run_matrix, MatrixCfg};
+use depfast_scenario::{
+    all_drivers, catalog, render_storm_report, render_survival_report, run_matrix,
+    run_storm_matrix, storm_catalog, storm_cfg, MatrixCfg,
+};
 
 const BASELINE_FILE: &str = "BENCH_scenarios_baseline.json";
 const GATE_FILE: &str = "BENCH_scenarios.json";
@@ -50,7 +53,18 @@ fn record_from_cell(cell: &depfast_scenario::SurvivalCell) -> ScenarioRecord {
         false_positives: cell.score.false_positives,
         false_negatives: cell.score.false_negatives,
         misattributions: cell.score.misattributions,
+        tts_ms: None,
+        storm_sustained: None,
+        amp: None,
     }
+}
+
+fn record_from_storm_cell(storm: &depfast_scenario::StormCell) -> ScenarioRecord {
+    let mut r = record_from_cell(&storm.cell);
+    r.tts_ms = storm.cell.score.tts_ns.map(|ns| ns as f64 / 1e6);
+    r.storm_sustained = Some(storm.cell.score.storm_sustained);
+    r.amp = Some(storm.amp);
+    r
 }
 
 fn env_filter(var: &str) -> Option<Vec<String>> {
@@ -97,8 +111,41 @@ fn run_scenario_suite(report: bool) -> Result<Suite, String> {
         );
     })
     .map_err(|e| format!("scenario failed to compile: {e}"))?;
+    // The retry-storm ablation cells ride the same suite: DepFast only,
+    // storm-tuned stall limit, goodput-based survival (see
+    // `depfast_scenario::storm`). The scenario filter applies so local
+    // shrink runs can skip or isolate them.
+    let mut storms = storm_catalog();
+    if let Some(allow) = env_filter("SCEN_SCALE_SCENARIOS") {
+        storms.retain(|s| allow.iter().any(|a| s.name.contains(a.as_str())));
+    }
+    let scfg = storm_cfg();
+    let storm_cells = run_storm_matrix(&storms, &scfg, |storm| {
+        eprintln!(
+            "[scenario-gate] {} / {}: {} (goodput {:.0} op/s, amp {:.1}, storm {})",
+            storm.cell.scenario,
+            storm.cell.driver,
+            if storm.cell.crashed {
+                "CRASH"
+            } else if storm.cell.live {
+                "live"
+            } else {
+                "STALLED"
+            },
+            storm.cell.throughput,
+            storm.amp,
+            if storm.cell.score.storm_sustained {
+                "SUSTAINED"
+            } else {
+                "dissolved"
+            },
+        );
+    });
     if report {
         print!("{}", render_survival_report(&cells, &cfg));
+        if !storm_cells.is_empty() {
+            print!("{}", render_storm_report(&storm_cells, &scfg));
+        }
     }
     let mut suite = Suite::new("scenarios", cfg.seed);
     suite.config("n_servers", cfg.n_servers as f64);
@@ -108,7 +155,11 @@ fn run_scenario_suite(report: bool) -> Result<Suite, String> {
     suite.config("records", cfg.records as f64);
     suite.config("stall_limit_secs", cfg.stall_limit.as_secs_f64());
     suite.config("recovery_band", RECOVERY_BAND);
+    suite.config("storm_stall_limit_secs", scfg.stall_limit.as_secs_f64());
     suite.scenarios = cells.iter().map(record_from_cell).collect();
+    suite
+        .scenarios
+        .extend(storm_cells.iter().map(record_from_storm_cell));
     Ok(suite)
 }
 
@@ -128,8 +179,17 @@ fn load_suite(path: &std::path::Path) -> Result<Suite, String> {
 fn print_cells(suite: &Suite) {
     let opt = |v: Option<f64>| v.map_or_else(|| "      -".to_string(), |m| format!("{m:>7.1}"));
     for r in &suite.scenarios {
+        let storm = match r.storm_sustained {
+            Some(true) => format!("  storm=SUSTAINED amp={:.1}", r.amp.unwrap_or(0.0)),
+            Some(false) => format!(
+                "  storm=dissolved tts{} ms amp={:.1}",
+                opt(r.tts_ms),
+                r.amp.unwrap_or(0.0)
+            ),
+            None => String::new(),
+        };
         println!(
-            "  {:<55} live={:<5} tput={:>6.0} floor={:>6.0} detected={:<5} ttd{} ms  fp={} fn={} misattr={}",
+            "  {:<55} live={:<5} tput={:>6.0} floor={:>6.0} detected={:<5} ttd{} ms  fp={} fn={} misattr={}{}",
             r.key(),
             r.live,
             r.throughput,
@@ -138,7 +198,8 @@ fn print_cells(suite: &Suite) {
             opt(r.ttd_ms),
             r.false_positives,
             r.false_negatives,
-            r.misattributions
+            r.misattributions,
+            storm
         );
     }
 }

@@ -26,9 +26,14 @@
 pub mod compile;
 pub mod dsl;
 pub mod matrix;
+pub mod storm;
 
 pub use compile::{scale_kind, CompileError, InjectionPlan, Trigger, Window};
 pub use dsl::{catalog, Scenario, Schedule, Target};
 pub use matrix::{
     all_drivers, render_survival_report, run_cell, run_matrix, MatrixCfg, SurvivalCell,
+};
+pub use storm::{
+    render_storm_report, run_storm_cell, run_storm_matrix, storm_catalog, storm_cfg, StormCell,
+    StormScenario,
 };

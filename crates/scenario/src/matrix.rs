@@ -250,6 +250,7 @@ pub fn run_cell(
             .collect(),
         throughput,
         end_ns: (cfg.warmup + cfg.measure).as_nanos() as u64,
+        health_dropped: cluster.raft.tracer.health_dropped(),
     };
     dump.canonicalize();
     let cell_score = score(&dump, RECOVERY_BAND);
@@ -368,5 +369,12 @@ pub fn render_survival_report(cells: &[SurvivalCell], cfg: &MatrixCfg) -> String
         row.extend(depfast_incident::scorecard_cells(&c.score));
         table.row(row);
     }
-    table.render()
+    let mut out = table.render();
+    let dropped: u64 = cells.iter().map(|c| c.dump.health_dropped).sum();
+    if dropped > 0 {
+        out.push_str(&format!(
+            "WARNING: {dropped} health events dropped at the tracer capacity cap — scorecards above may under-count reactions\n"
+        ));
+    }
+    out
 }

@@ -90,6 +90,9 @@ fn doctored_survival_records_fail_the_gate_comparison() {
         false_positives: cell.score.false_positives,
         false_negatives: cell.score.false_negatives,
         misattributions: cell.score.misattributions,
+        tts_ms: None,
+        storm_sustained: None,
+        amp: None,
     };
     assert!(
         record.live && record.detected,

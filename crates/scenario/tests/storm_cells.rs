@@ -1,0 +1,80 @@
+//! The retry-storm ablation pair, end to end: the unmitigated cell must
+//! be genuinely metastable (goodput stays collapsed after the ledger
+//! says the fault cleared, offered load amplified ≥ 2×), the
+//! retry-budget cell must dissolve the same storm (finite
+//! time-to-stabilize, verdict live), and the whole storm matrix must
+//! render byte-identically across same-seed runs — the properties the
+//! committed `BENCH_scenarios_baseline.json` pins and `scenario-gate`
+//! enforces.
+
+use depfast_scenario::{
+    render_storm_report, run_storm_matrix, storm_catalog, storm_cfg, StormCell,
+};
+
+fn pick<'a>(cells: &'a [StormCell], name: &str) -> &'a StormCell {
+    cells
+        .iter()
+        .find(|c| c.cell.scenario == name)
+        .unwrap_or_else(|| panic!("{name} missing from storm matrix"))
+}
+
+#[test]
+fn storm_matrix_is_metastable_without_budget_and_deterministic() {
+    let scenarios = storm_catalog();
+    let cfg = storm_cfg();
+    let run = || run_storm_matrix(&scenarios, &cfg, |_| {});
+    let first = run();
+
+    // Unmitigated cell: a 1 s fault births a storm the cluster never
+    // escapes — zombie retries keep per-attempt latency above the
+    // deadline long after the fault clears.
+    let storm = pick(&first, "retry-storm");
+    assert!(
+        storm.cell.score.storm_sustained,
+        "retry-storm must sustain past the fault clearing"
+    );
+    assert!(
+        storm.cell.score.tts_ns.is_none(),
+        "a sustained storm has no time-to-stabilize"
+    );
+    assert!(!storm.cell.live, "metastable collapse must flunk liveness");
+    assert!(
+        storm.amp >= 2.0,
+        "offered load must be ≥ 2× goodput, got {:.2}",
+        storm.amp
+    );
+
+    // Same fault, same clients, plus a token-bucket retry budget: the
+    // storm dissolves shortly after the fault clears.
+    let budget = pick(&first, "retry-storm-budget");
+    assert!(
+        !budget.cell.score.storm_sustained,
+        "the retry budget must dissolve the storm"
+    );
+    let tts = budget
+        .cell
+        .score
+        .tts_ns
+        .expect("a dissolved storm has a finite time-to-stabilize");
+    assert!(
+        tts <= 2_000_000_000,
+        "time-to-stabilize {tts} ns outside the 2 s band"
+    );
+    assert!(budget.cell.live, "the mitigated cell must stay live");
+    assert!(
+        budget.amp < storm.amp,
+        "admission control must cut amplification ({:.2} vs {:.2})",
+        budget.amp,
+        storm.amp
+    );
+
+    // Determinism: a second same-seed run renders the identical report.
+    let second = run();
+    let report_a = render_storm_report(&first, &cfg);
+    let report_b = render_storm_report(&second, &cfg);
+    assert!(!report_a.is_empty());
+    assert_eq!(
+        report_a, report_b,
+        "same-seed storm reports must be byte-identical"
+    );
+}

@@ -1,0 +1,123 @@
+//! End-to-end acceptance for the storm columns of the `scenario-gate`
+//! binary: fed two suite files, it must exit 0 when the storm verdicts
+//! match the committed baseline, and exit 1 when the current suite
+//! carries a sustained-storm flip or a doubled time-to-stabilize. Same
+//! code path CI runs — there the current suite comes from a live
+//! fixed-seed matrix run instead of a file.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use depfast_bench::baseline::{ScenarioRecord, Suite};
+
+/// A storm-monitored cell the shape `record_from_storm_cell` emits.
+fn storm_record(sustained: bool, tts_ms: Option<f64>, amp: f64) -> ScenarioRecord {
+    ScenarioRecord {
+        scenario: "retry-storm-budget".to_string(),
+        driver: "DepFastRaft".to_string(),
+        live: true,
+        crashed: false,
+        throughput: 430.0,
+        floor: 0.0,
+        p99_ms: 900.0,
+        stall_ms: 1700.0,
+        detected: true,
+        ttd_ms: Some(210.0),
+        ttm_ms: None,
+        ttr_ms: Some(900.0),
+        false_positives: 0,
+        false_negatives: 0,
+        misattributions: 0,
+        tts_ms,
+        storm_sustained: Some(sustained),
+        amp: Some(amp),
+    }
+}
+
+fn suite(record: ScenarioRecord) -> Suite {
+    let mut s = Suite::new("scenarios", 20210531);
+    s.config("clients", 160.0);
+    s.scenarios.push(record);
+    s
+}
+
+fn write_suite(name: &str, s: &Suite) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "depfast_storm_{}_{}.json",
+        std::process::id(),
+        name
+    ));
+    std::fs::write(&path, s.to_json()).expect("write suite file");
+    path
+}
+
+fn run_gate(baseline: &PathBuf, current: &PathBuf) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_scenario-gate"))
+        .arg("--baseline")
+        .arg(baseline)
+        .arg("--current")
+        .arg(current)
+        .output()
+        .expect("spawn scenario-gate")
+}
+
+#[test]
+fn identical_storm_suites_pass_the_gate() {
+    let baseline = write_suite("base_ok", &suite(storm_record(false, Some(800.0), 1.5)));
+    let current = write_suite("curr_ok", &suite(storm_record(false, Some(800.0), 1.5)));
+    let out = run_gate(&baseline, &current);
+    assert!(
+        out.status.success(),
+        "gate should pass on identical storm suites\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_file(baseline);
+    let _ = std::fs::remove_file(current);
+}
+
+#[test]
+fn sustained_storm_flip_fails_the_gate() {
+    let baseline = write_suite("base_flip", &suite(storm_record(false, Some(800.0), 1.5)));
+    // The mitigation stopped working: the storm now outlives its fault.
+    let mut doctored = storm_record(true, None, 6.1);
+    doctored.live = false;
+    let current = write_suite("curr_flip", &suite(doctored));
+    let out = run_gate(&baseline, &current);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "gate must exit 1 on a sustained-storm flip\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("metastable"),
+        "failure report should name the metastable flip:\n{stdout}"
+    );
+    let _ = std::fs::remove_file(baseline);
+    let _ = std::fs::remove_file(current);
+}
+
+#[test]
+fn doubled_time_to_stabilize_fails_the_gate() {
+    let baseline = write_suite("base_tts", &suite(storm_record(false, Some(800.0), 1.5)));
+    // Still dissolves, but takes 2× as long (band is +50% + 50 ms).
+    let current = write_suite("curr_tts", &suite(storm_record(false, Some(1600.0), 1.5)));
+    let out = run_gate(&baseline, &current);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "gate must exit 1 on a 2× time-to-stabilize regression\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("time-to-stabilize"),
+        "failure report should name the regressed metric:\n{stdout}"
+    );
+    let _ = std::fs::remove_file(baseline);
+    let _ = std::fs::remove_file(current);
+}
